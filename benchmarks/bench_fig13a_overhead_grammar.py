@@ -1,0 +1,28 @@
+"""Fig. 13a — safety-check overhead as the grammar grows.
+
+The benchmarked operation is the full query-time overhead of the labeling
+approach (minimal DFA + safety check + query-index construction) for IFQs of
+size k=3 over synthetic workflows of increasing size.
+"""
+
+import pytest
+
+from repro.core.query_index import build_query_index
+from repro.core.safety import analyze_safety, query_dfa
+from repro.datasets.queries import generate_ifq
+from repro.datasets.synthetic import generate_synthetic_specification
+
+
+@pytest.mark.parametrize("grammar_size", [200, 400, 800])
+def test_overhead_vs_grammar_size(benchmark, grammar_size):
+    spec = generate_synthetic_specification(grammar_size, seed=0)
+    query = generate_ifq(spec, 3, seed=1)
+
+    def overhead():
+        report = analyze_safety(spec, query_dfa(spec, query))
+        if report.is_safe:
+            build_query_index(spec, query)
+        return report.is_safe
+
+    benchmark.group = "fig13a overhead vs grammar size"
+    benchmark(overhead)

@@ -1,0 +1,23 @@
+"""Fig. 13b — safety-check overhead as the query grows (BioAID / QBLast)."""
+
+import pytest
+
+from repro.core.query_index import build_query_index
+from repro.core.safety import analyze_safety, query_dfa
+from repro.datasets.queries import generate_ifq
+
+
+@pytest.mark.parametrize("k", [0, 3, 6, 10])
+@pytest.mark.parametrize("workflow", ["bioaid", "qblast"])
+def test_overhead_vs_query_size(benchmark, workflow, k, bioaid_spec, qblast_spec):
+    spec = bioaid_spec if workflow == "bioaid" else qblast_spec
+    query = generate_ifq(spec, k, seed=k)
+
+    def overhead():
+        report = analyze_safety(spec, query_dfa(spec, query))
+        if report.is_safe:
+            build_query_index(spec, query)
+        return report.is_safe
+
+    benchmark.group = f"fig13b overhead vs query size ({workflow})"
+    benchmark(overhead)

@@ -1,0 +1,55 @@
+"""Fig. 13c — pairwise IFQ time versus run size (RPL vs G3 vs G2).
+
+Each benchmark answers a fixed batch of pairwise queries over BioAID runs of
+increasing size; the labeling approach should stay flat while the baselines
+grow with the run.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.g2_rare_labels import g2_pairwise_batch
+from repro.baselines.g3_label_index import g3_pairwise_batch
+from repro.core.pairwise import answer_pairwise_query
+from repro.core.query_index import build_query_index
+from repro.bench.experiments import _safe_path_ifq
+from repro.datasets.index import EdgeTagIndex
+from repro.datasets.runs import generate_run
+
+RUN_SIZES = [300, 600, 1200]
+PAIRS = 300
+
+
+def _setup(bioaid_spec, run_edges):
+    run = generate_run(bioaid_spec, run_edges, seed=run_edges)
+    index = EdgeTagIndex.from_run(run)
+    query = _safe_path_ifq(run, 3, index, base_seed=7)
+    rng = random.Random(run_edges)
+    nodes = list(run.node_ids())
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(PAIRS)]
+    return run, index, query, pairs
+
+
+@pytest.mark.parametrize("run_edges", RUN_SIZES)
+def test_rpl_pairwise(benchmark, bioaid_spec, run_edges):
+    run, _, query, pairs = _setup(bioaid_spec, run_edges)
+    query_index = build_query_index(bioaid_spec, query)
+    labels = [(run.label_of(u), run.label_of(v)) for u, v in pairs]
+
+    benchmark.group = f"fig13c pairwise (run={run_edges})"
+    benchmark(lambda: [answer_pairwise_query(query_index, lu, lv) for lu, lv in labels])
+
+
+@pytest.mark.parametrize("run_edges", RUN_SIZES)
+def test_g3_pairwise(benchmark, bioaid_spec, run_edges):
+    run, index, query, pairs = _setup(bioaid_spec, run_edges)
+    benchmark.group = f"fig13c pairwise (run={run_edges})"
+    benchmark(lambda: g3_pairwise_batch(run, pairs, query, index=index))
+
+
+@pytest.mark.parametrize("run_edges", RUN_SIZES)
+def test_g2_pairwise(benchmark, bioaid_spec, run_edges):
+    run, index, query, pairs = _setup(bioaid_spec, run_edges)
+    benchmark.group = f"fig13c pairwise (run={run_edges})"
+    benchmark(lambda: g2_pairwise_batch(run, pairs, query, index=index))

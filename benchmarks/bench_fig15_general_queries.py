@@ -1,0 +1,55 @@
+"""Fig. 15 — general (unsafe) queries: decomposition vs the G1 baseline.
+
+For a fixed set of unsafe queries over BioAID and QBLast runs, benchmark the
+join-only baseline (G1) against the safe-subtree decomposition (our
+approach).  The improvement percentages of the paper's Fig. 15 are produced
+by ``python -m repro.bench fig15a fig15b``.
+"""
+
+import pytest
+
+from repro.baselines.g1_parse_tree_joins import g1_all_pairs
+from repro.core.decomposition import evaluate_general_query, plan_decomposition
+from repro.datasets.queries import generate_query_suite
+from repro.datasets.runs import node_lists
+
+
+def _unsafe_queries(spec, count=3):
+    queries = []
+    seed = 0
+    while len(queries) < count and seed < 200:
+        query = generate_query_suite(spec, count=1, seed=seed, depth=2)[0]
+        seed += 1
+        plan = plan_decomposition(spec, query)
+        if not plan.is_fully_safe and plan.has_safe_parts:
+            queries.append(query)
+    return queries
+
+
+def _workload(run):
+    return node_lists(run, limit=120, seed=4)
+
+
+@pytest.mark.parametrize("workflow", ["bioaid", "qblast"])
+@pytest.mark.parametrize("query_id", [0, 1, 2])
+def test_baseline_g1(benchmark, workflow, query_id, bioaid_run, qblast_run):
+    run = bioaid_run if workflow == "bioaid" else qblast_run
+    queries = _unsafe_queries(run.spec)
+    if query_id >= len(queries):
+        pytest.skip("not enough unsafe queries generated")
+    l1, l2 = _workload(run)
+    benchmark.group = f"fig15 general queries ({workflow}, q{query_id})"
+    benchmark(lambda: g1_all_pairs(run, l1, l2, queries[query_id]))
+
+
+@pytest.mark.parametrize("workflow", ["bioaid", "qblast"])
+@pytest.mark.parametrize("query_id", [0, 1, 2])
+def test_decomposition(benchmark, workflow, query_id, bioaid_run, qblast_run):
+    run = bioaid_run if workflow == "bioaid" else qblast_run
+    queries = _unsafe_queries(run.spec)
+    if query_id >= len(queries):
+        pytest.skip("not enough unsafe queries generated")
+    l1, l2 = _workload(run)
+    plan = plan_decomposition(run.spec, queries[query_id])
+    benchmark.group = f"fig15 general queries ({workflow}, q{query_id})"
+    benchmark(lambda: evaluate_general_query(run, queries[query_id], l1, l2, plan=plan))

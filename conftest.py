@@ -1,0 +1,14 @@
+"""Pytest bootstrap.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (useful in offline environments where ``pip install -e .`` cannot
+build editable wheels).  When the package *is* installed the inserted path is
+harmless because it points at the same source tree.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network access and ships setuptools without
+the ``wheel`` package, so PEP 517 editable installs (which build a wheel)
+fail.  Keeping a classic ``setup.py`` lets ``pip install -e .`` fall back to
+the legacy ``setup.py develop`` code path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,187 @@
+"""Compact boolean matrices over small index sets.
+
+The core query engine manipulates *path-transition relations*: for a DFA with
+state set ``Q``, the relation ``M[q1][q2] = 1`` means "some path with the
+property at hand drives the DFA from ``q1`` to ``q2``".  These relations are
+composed by boolean matrix multiplication thousands of times per query, so the
+representation matters even in pure Python.  Rows are stored as integer
+bitmasks which makes multiplication a handful of integer OR operations.
+
+DFAs for provenance queries are small (a few states), so these matrices are
+typically 2x2 to 10x10.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["BooleanMatrix"]
+
+
+class BooleanMatrix:
+    """A square boolean matrix with rows stored as integer bitmasks.
+
+    ``rows[i]`` has bit ``j`` set iff entry ``(i, j)`` is true.  Instances are
+    immutable and hashable, so they can be cached and used in sets (the cycle
+    power cache of the query index relies on this).
+    """
+
+    __slots__ = ("_size", "_rows")
+
+    def __init__(self, size: int, rows: Sequence[int] | None = None) -> None:
+        if size < 0:
+            raise ValueError("matrix size must be non-negative")
+        self._size = size
+        if rows is None:
+            self._rows: tuple[int, ...] = (0,) * size
+        else:
+            if len(rows) != size:
+                raise ValueError(f"expected {size} rows, got {len(rows)}")
+            mask = (1 << size) - 1
+            self._rows = tuple(row & mask for row in rows)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def identity(cls, size: int) -> "BooleanMatrix":
+        """The identity relation (used for empty paths / atomic modules)."""
+        return cls(size, [1 << i for i in range(size)])
+
+    @classmethod
+    def zero(cls, size: int) -> "BooleanMatrix":
+        """The empty relation."""
+        return cls(size)
+
+    @classmethod
+    def full(cls, size: int) -> "BooleanMatrix":
+        """The complete relation."""
+        mask = (1 << size) - 1
+        return cls(size, [mask] * size)
+
+    @classmethod
+    def from_pairs(cls, size: int, pairs: Iterable[tuple[int, int]]) -> "BooleanMatrix":
+        """Build a matrix from explicit ``(row, column)`` pairs."""
+        rows = [0] * size
+        for row, column in pairs:
+            if not (0 <= row < size and 0 <= column < size):
+                raise ValueError(f"pair ({row}, {column}) outside a {size}x{size} matrix")
+            rows[row] |= 1 << column
+        return cls(size, rows)
+
+    @classmethod
+    def from_function(cls, size: int, mapping: dict[int, int]) -> "BooleanMatrix":
+        """Build a matrix from a (partial) function ``row -> column``."""
+        return cls.from_pairs(size, mapping.items())
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def rows(self) -> tuple[int, ...]:
+        return self._rows
+
+    def get(self, row: int, column: int) -> bool:
+        """Return entry ``(row, column)``."""
+        return bool(self._rows[row] >> column & 1)
+
+    def row_mask(self, row: int) -> int:
+        """Return the bitmask of columns set in ``row``."""
+        return self._rows[row]
+
+    def is_zero(self) -> bool:
+        return not any(self._rows)
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all true ``(row, column)`` entries."""
+        for row_index, row in enumerate(self._rows):
+            remaining = row
+            while remaining:
+                low_bit = remaining & -remaining
+                yield row_index, low_bit.bit_length() - 1
+                remaining ^= low_bit
+
+    # -- algebra -------------------------------------------------------------
+
+    def __or__(self, other: "BooleanMatrix") -> "BooleanMatrix":
+        self._check_compatible(other)
+        return BooleanMatrix(self._size, [a | b for a, b in zip(self._rows, other._rows)])
+
+    def __and__(self, other: "BooleanMatrix") -> "BooleanMatrix":
+        self._check_compatible(other)
+        return BooleanMatrix(self._size, [a & b for a, b in zip(self._rows, other._rows)])
+
+    def __matmul__(self, other: "BooleanMatrix") -> "BooleanMatrix":
+        """Boolean matrix product: ``(A @ B)[i][k]`` iff exists j with
+        ``A[i][j]`` and ``B[j][k]``."""
+        self._check_compatible(other)
+        other_rows = other._rows
+        result_rows = []
+        for row in self._rows:
+            accumulator = 0
+            remaining = row
+            while remaining:
+                low_bit = remaining & -remaining
+                accumulator |= other_rows[low_bit.bit_length() - 1]
+                remaining ^= low_bit
+            result_rows.append(accumulator)
+        return BooleanMatrix(self._size, result_rows)
+
+    def power(self, exponent: int) -> "BooleanMatrix":
+        """Boolean matrix power by repeated squaring (exponent >= 0)."""
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        result = BooleanMatrix.identity(self._size)
+        base = self
+        remaining = exponent
+        while remaining:
+            if remaining & 1:
+                result = result @ base
+            base = base @ base
+            remaining >>= 1
+        return result
+
+    def transitive_closure(self) -> "BooleanMatrix":
+        """Return the transitive closure (without the reflexive part)."""
+        closure = self
+        while True:
+            expanded = closure | (closure @ closure)
+            if expanded == closure:
+                return closure
+            closure = expanded
+
+    def reflexive_transitive_closure(self) -> "BooleanMatrix":
+        """Return the reflexive-transitive closure."""
+        return self.transitive_closure() | BooleanMatrix.identity(self._size)
+
+    def transpose(self) -> "BooleanMatrix":
+        columns = [0] * self._size
+        for row_index, row in enumerate(self._rows):
+            remaining = row
+            while remaining:
+                low_bit = remaining & -remaining
+                columns[low_bit.bit_length() - 1] |= 1 << row_index
+                remaining ^= low_bit
+        return BooleanMatrix(self._size, columns)
+
+    # -- dunder plumbing -----------------------------------------------------
+
+    def _check_compatible(self, other: "BooleanMatrix") -> None:
+        if not isinstance(other, BooleanMatrix):
+            raise TypeError(f"expected BooleanMatrix, got {type(other).__name__}")
+        if self._size != other._size:
+            raise ValueError(f"size mismatch: {self._size} vs {other._size}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanMatrix):
+            return NotImplemented
+        return self._size == other._size and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._size, self._rows))
+
+    def __repr__(self) -> str:
+        body = ", ".join(format(row, f"0{self._size}b")[::-1] for row in self._rows)
+        return f"BooleanMatrix({self._size}, [{body}])"

@@ -1,0 +1,213 @@
+"""Deterministic finite automata over edge tags.
+
+A :class:`DFA` here is always *complete* over its alphabet: every state has a
+transition for every tag.  Completeness is what makes the λ matrices of the
+safety check (Section III-C of the paper) and the transition matrices of the
+query-intersected specification well defined — a path whose tags fall out of
+the query language simply drives the automaton into a dead state.
+
+The alphabet of a query automaton is the union of the tags written in the
+query and the edge tags of the workflow specification against which it is
+evaluated (wildcard transitions expand over this alphabet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.automata.boolean_matrix import BooleanMatrix
+from repro.automata.nfa import NFA, nfa_from_regex
+from repro.automata.regex import RegexNode, parse_regex, regex_alphabet
+
+__all__ = ["DFA", "dfa_from_regex", "determinize"]
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A complete deterministic finite automaton.
+
+    States are ``0 .. state_count - 1``; ``transitions[state][tag]`` is always
+    defined for every tag in :attr:`alphabet`.
+    """
+
+    state_count: int
+    alphabet: frozenset[str]
+    transitions: tuple[Mapping[str, int], ...]
+    start: int
+    accepting: frozenset[int]
+
+    def __post_init__(self) -> None:
+        for state, row in enumerate(self.transitions):
+            missing = self.alphabet - set(row)
+            if missing:
+                raise ValueError(f"state {state} lacks transitions for {sorted(missing)}")
+
+    # -- simulation ----------------------------------------------------------
+
+    def step(self, state: int, tag: str) -> int:
+        """Single transition; tags outside the alphabet go to the dead state
+        if one exists, otherwise raise ``KeyError``."""
+        row = self.transitions[state]
+        if tag in row:
+            return row[tag]
+        dead = self.dead_state()
+        if dead is not None:
+            return dead
+        raise KeyError(f"tag {tag!r} not in DFA alphabet and no dead state exists")
+
+    def run(self, state: int, tags: Iterable[str]) -> int:
+        """Extended transition function δ*."""
+        current = state
+        for tag in tags:
+            current = self.step(current, tag)
+        return current
+
+    def accepts(self, tags: Iterable[str]) -> bool:
+        return self.run(self.start, tags) in self.accepting
+
+    def is_accepting(self, state: int) -> bool:
+        return state in self.accepting
+
+    # -- structure -----------------------------------------------------------
+
+    def dead_state(self) -> int | None:
+        """Return a non-accepting state with only self-loops, if any."""
+        for state in range(self.state_count):
+            if state in self.accepting:
+                continue
+            row = self.transitions[state]
+            if all(target == state for target in row.values()):
+                return state
+        return None
+
+    def accepts_epsilon(self) -> bool:
+        return self.start in self.accepting
+
+    def transition_matrix(self, tag: str) -> BooleanMatrix:
+        """The relation ``q -> δ(q, tag)`` as a boolean matrix.
+
+        Tags outside the alphabet map every state to the dead state (the
+        empty relation when no dead state exists, meaning no path with that
+        tag can ever satisfy the query).
+        """
+        size = self.state_count
+        if tag in self.alphabet:
+            return BooleanMatrix.from_pairs(
+                size, ((state, self.transitions[state][tag]) for state in range(size))
+            )
+        dead = self.dead_state()
+        if dead is None:
+            return BooleanMatrix.zero(size)
+        return BooleanMatrix.from_pairs(size, ((state, dead) for state in range(size)))
+
+    def accepting_mask(self) -> int:
+        """Bitmask over states with accepting states set (for matrix tests)."""
+        mask = 0
+        for state in self.accepting:
+            mask |= 1 << state
+        return mask
+
+    def reachable_states(self) -> frozenset[int]:
+        seen = {self.start}
+        stack = [self.start]
+        while stack:
+            state = stack.pop()
+            for target in self.transitions[state].values():
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+    def with_alphabet(self, alphabet: Iterable[str]) -> "DFA":
+        """Return an equivalent DFA completed over a (larger) alphabet.
+
+        Tags not previously in the alphabet behave like any tag the query
+        does not mention: they lead to a dead state.
+        """
+        new_alphabet = frozenset(alphabet) | self.alphabet
+        extra = new_alphabet - self.alphabet
+        if not extra:
+            return self
+        dead = self.dead_state()
+        transitions = [dict(row) for row in self.transitions]
+        if dead is None:
+            dead = len(transitions)
+            transitions.append({})
+        for row in transitions:
+            for tag in extra:
+                row.setdefault(tag, dead)
+        for tag in new_alphabet:
+            transitions[dead][tag] = dead
+        # ensure previously-complete rows stay complete for the old alphabet
+        for row in transitions:
+            for tag in new_alphabet:
+                row.setdefault(tag, dead)
+        return DFA(
+            state_count=len(transitions),
+            alphabet=new_alphabet,
+            transitions=tuple(transitions),
+            start=self.start,
+            accepting=self.accepting,
+        )
+
+
+def determinize(nfa: NFA, alphabet: Iterable[str]) -> DFA:
+    """Subset construction over an explicit alphabet.
+
+    Wildcard (``ANY``) transitions of the NFA are expanded over ``alphabet``.
+    The result is complete: missing transitions go to a dead state, which is
+    always materialized so that downstream code can rely on totality.
+    """
+    tags = frozenset(alphabet) | nfa.alphabet()
+    start_set = nfa.epsilon_closure({nfa.start})
+    subset_index: dict[frozenset[int], int] = {start_set: 0}
+    order: list[frozenset[int]] = [start_set]
+    transitions: list[dict[str, int]] = [{}]
+    queue = [start_set]
+    while queue:
+        current = queue.pop()
+        current_id = subset_index[current]
+        for tag in tags:
+            target = nfa.epsilon_closure(nfa.move(current, tag))
+            if target not in subset_index:
+                subset_index[target] = len(order)
+                order.append(target)
+                transitions.append({})
+                queue.append(target)
+            transitions[current_id][tag] = subset_index[target]
+    # The empty subset (if produced) already acts as the dead state; if it was
+    # never produced, add one so the automaton is complete even for tags later
+    # added via ``with_alphabet``.
+    if frozenset() not in subset_index:
+        dead = len(order)
+        order.append(frozenset())
+        transitions.append({tag: dead for tag in tags})
+    accepting = frozenset(
+        index for subset, index in subset_index.items() if nfa.accept in subset
+    )
+    return DFA(
+        state_count=len(order),
+        alphabet=tags,
+        transitions=tuple(transitions),
+        start=0,
+        accepting=accepting,
+    )
+
+
+def dfa_from_regex(
+    query: str | RegexNode, alphabet: Iterable[str] = (), *, minimal: bool = True
+) -> DFA:
+    """Build a (by default minimal) complete DFA for a query.
+
+    ``alphabet`` should contain the edge tags of the workflow specification;
+    tags mentioned in the query are always included.
+    """
+    node = parse_regex(query)
+    tags = frozenset(alphabet) | regex_alphabet(node)
+    dfa = determinize(nfa_from_regex(node), tags)
+    if minimal:
+        from repro.automata.minimize import minimize_dfa
+
+        dfa = minimize_dfa(dfa)
+    return dfa

@@ -1,0 +1,26 @@
+"""Benchmark harness reproducing the paper's evaluation (Section V).
+
+Every table/figure of the paper has a corresponding experiment function in
+:mod:`repro.bench.experiments`; ``python -m repro.bench <figure>`` (or
+``repro bench <figure>`` via the CLI) runs it and prints the same series the
+paper plots.  ``pytest benchmarks/ --benchmark-only`` exercises the same
+code paths under pytest-benchmark for regression tracking.
+
+Because this reproduction runs pure Python rather than the paper's Java
+implementation, absolute times differ; the harness therefore defaults to a
+scaled-down workload (the ``small`` scale) that preserves the comparisons —
+who wins, how costs grow, where the crossovers are.  Set the environment
+variable ``REPRO_BENCH_SCALE=paper`` to run the paper-sized workloads.
+"""
+
+from repro.bench.harness import BenchScale, ExperimentResult, current_scale, format_table
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "BenchScale",
+    "ExperimentResult",
+    "current_scale",
+    "format_table",
+    "run_experiment",
+]

@@ -1,0 +1,55 @@
+"""``python -m repro.bench``: run the paper's experiments from the command line."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the evaluation figures of the paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help=f"experiment names ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["small", "paper"],
+        default=None,
+        help="workload scale (default: REPRO_BENCH_SCALE or 'small')",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = list(args.experiments)
+    if names == ["all"] or names == []:
+        names = sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; use --list to see choices")
+
+    for name in names:
+        started = time.perf_counter()
+        result = run_experiment(name, args.scale)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"(experiment wall time: {elapsed:.1f}s)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

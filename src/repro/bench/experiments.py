@@ -1,0 +1,620 @@
+"""Experiment definitions: one per table/figure of the paper's Section V.
+
+Each function takes a :class:`~repro.bench.harness.BenchScale` and returns an
+:class:`~repro.bench.harness.ExperimentResult` whose rows mirror the series
+plotted in the corresponding figure.  The module-level :data:`EXPERIMENTS`
+registry is what the CLI and the pytest benchmarks drive.
+
+Engine naming follows the paper:
+
+* ``RPL``    — regular path labels, pairwise decode / nested-loop all-pairs (S1);
+* ``optRPL`` — all-pairs with the reachability filter (S2, Algorithm 2);
+* ``G1``     — parse-tree joins baseline;
+* ``G2``     — rare-label decomposition baseline;
+* ``G3``     — edge-tag index + reachability labels baseline.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from typing import Callable
+
+from repro.baselines.g1_parse_tree_joins import g1_all_pairs
+from repro.baselines.g2_rare_labels import g2_pairwise_batch
+from repro.baselines.g3_label_index import g3_all_pairs, g3_pairwise_batch
+from repro.bench.harness import BenchScale, ExperimentResult, current_scale, time_call
+from repro.core.allpairs import AllPairsOptions, all_pairs_safe_query
+from repro.core.decomposition import evaluate_general_query, plan_decomposition
+from repro.automata.regex import parse_regex
+from repro.core.optimizer import ifq_tags
+from repro.core.pairwise import answer_pairwise_query
+from repro.core.query_index import build_query_index
+from repro.core.safety import analyze_safety, query_dfa
+from repro.datasets.index import EdgeTagIndex
+from repro.datasets.myexperiment import (
+    BIOAID_KLEENE_TAG,
+    QBLAST_KLEENE_TAG,
+    bioaid_specification,
+    fork_production_indices,
+    qblast_specification,
+)
+from repro.datasets.queries import (
+    discriminating_tags,
+    generate_ifq,
+    generate_ifq_along_path,
+    generate_query_suite,
+)
+from repro.datasets.runs import generate_fork_heavy_run, generate_run, node_lists
+from repro.datasets.synthetic import generate_synthetic_specification
+from repro.workflow.spec import Specification
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _safety_overhead_seconds(spec: Specification, query: str) -> float:
+    """The per-query overhead of the labeling approach: building the minimal
+    DFA, checking safety and assembling the query index (Fig. 13a/b)."""
+    def build() -> None:
+        dfa = query_dfa(spec, query)
+        report = analyze_safety(spec, dfa)
+        if report.is_safe:
+            build_query_index(spec, query)
+
+    elapsed, _ = time_call(build)
+    return elapsed
+
+
+def _safe_path_ifq(run, k: int, index: EdgeTagIndex, base_seed: int) -> str:
+    """A *safe* IFQ with tags sampled along a run path (retries seeds until
+    the safety check passes; the pairwise experiments of Fig. 13c/d measure
+    the safe-query engine, so unsafe candidates are skipped)."""
+    spec = run.spec
+    for attempt in range(60):
+        query = generate_ifq_along_path(run, k, seed=base_seed + attempt * 101, index=index)
+        if plan_decomposition(spec, query).is_fully_safe:
+            return query
+    return generate_ifq(spec, k, tags=[sorted(spec.tags)[0]] * k)
+
+
+def _sample_pairs(run, count: int, seed: int) -> list[tuple[str, str]]:
+    rng = random.Random(seed)
+    nodes = list(run.node_ids())
+    return [(rng.choice(nodes), rng.choice(nodes)) for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13a / 13b — overhead of the approach
+# ---------------------------------------------------------------------------
+
+
+def fig13a_overhead_grammar_size(scale: BenchScale) -> ExperimentResult:
+    result = ExperimentResult(
+        figure="fig13a",
+        title="safety-check overhead vs. grammar size (synthetic workflows, IFQ k=3)",
+        expected_shape="overhead grows with grammar size but stays far below query time",
+    )
+    for size in scale.grammar_sizes:
+        samples: list[float] = []
+        for grammar_seed in range(scale.grammars_per_size):
+            spec = generate_synthetic_specification(size, seed=grammar_seed)
+            for query_seed in range(scale.overhead_queries):
+                query = generate_ifq(spec, 3, seed=query_seed * 31 + grammar_seed)
+                samples.append(_safety_overhead_seconds(spec, query))
+        result.add(
+            grammar_size=size,
+            queries=len(samples),
+            avg_overhead_ms=1000 * statistics.fmean(samples),
+            worst_overhead_ms=1000 * max(samples),
+        )
+    return result
+
+
+def fig13b_overhead_query_size(scale: BenchScale) -> ExperimentResult:
+    result = ExperimentResult(
+        figure="fig13b",
+        title="safety-check overhead vs. query size k (BioAID and QBLast IFQs)",
+        expected_shape="overhead grows with k; both workflows stay in the same low range",
+    )
+    for name, spec in (("BioAID", bioaid_specification()), ("QBLast", qblast_specification())):
+        for k in scale.pairwise_query_sizes:
+            samples = [
+                _safety_overhead_seconds(spec, generate_ifq(spec, k, seed=seed))
+                for seed in range(scale.overhead_queries)
+            ]
+            result.add(
+                workflow=name,
+                k=k,
+                avg_overhead_ms=1000 * statistics.fmean(samples),
+                worst_overhead_ms=1000 * max(samples),
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13c / 13d — pairwise safe queries
+# ---------------------------------------------------------------------------
+
+
+def _pairwise_engines(run, index, query, pairs):
+    """Return {engine: seconds per pair} for one query over one run."""
+    spec = run.spec
+
+    def rpl() -> None:
+        query_index = build_query_index(spec, query)
+        for u, v in pairs:
+            answer_pairwise_query(query_index, run.label_of(u), run.label_of(v))
+
+    def g3() -> None:
+        g3_pairwise_batch(run, pairs, query, index=index)
+
+    def g2() -> None:
+        g2_pairwise_batch(run, pairs, query, index=index)
+
+    timings = {}
+    for name, function in (("RPL", rpl), ("G3", g3), ("G2", g2)):
+        elapsed, _ = time_call(function)
+        timings[name] = elapsed / len(pairs)
+    return timings
+
+
+def fig13c_pairwise_vs_run_size(scale: BenchScale) -> ExperimentResult:
+    result = ExperimentResult(
+        figure="fig13c",
+        title="pairwise IFQ (k=3) time per node pair vs. run size (BioAID)",
+        expected_shape="RPL stays flat as the run grows; G3 and G2 grow with run size",
+    )
+    spec = bioaid_specification()
+    for run_edges in scale.pairwise_run_sizes:
+        run = generate_run(spec, run_edges, seed=run_edges)
+        index = EdgeTagIndex.from_run(run)
+        pairs = _sample_pairs(run, scale.pairwise_pairs, seed=run_edges)
+        query = _safe_path_ifq(run, 3, index, base_seed=7)
+        timings = _pairwise_engines(run, index, query, pairs)
+        result.add(
+            run_edges=run.edge_count,
+            pairs=len(pairs),
+            rpl_us_per_pair=1e6 * timings["RPL"],
+            g3_us_per_pair=1e6 * timings["G3"],
+            g2_us_per_pair=1e6 * timings["G2"],
+        )
+    return result
+
+
+def fig13d_pairwise_vs_query_size(scale: BenchScale) -> ExperimentResult:
+    result = ExperimentResult(
+        figure="fig13d",
+        title="pairwise IFQ time per node pair vs. query size k (BioAID)",
+        expected_shape="RPL grows mildly with k and stays below G2/G3 for k >= 1",
+    )
+    spec = bioaid_specification()
+    run = generate_run(spec, scale.pairwise_run_sizes[-1] // 2, seed=3)
+    index = EdgeTagIndex.from_run(run)
+    pairs = _sample_pairs(run, scale.pairwise_pairs, seed=5)
+    for k in scale.pairwise_query_sizes:
+        query = _safe_path_ifq(run, k, index, base_seed=11 + k)
+        timings = _pairwise_engines(run, index, query, pairs)
+        result.add(
+            k=k,
+            rpl_us_per_pair=1e6 * timings["RPL"],
+            g3_us_per_pair=1e6 * timings["G3"],
+            g2_us_per_pair=1e6 * timings["G2"],
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13e / 13f — all-pairs IFQs
+# ---------------------------------------------------------------------------
+
+
+def _safe_ifq_workload(
+    spec: Specification, run, index: EdgeTagIndex, count: int
+) -> list[str]:
+    """Generate ``count`` distinct *safe* IFQs (k=3) with a spread of
+    selectivities, mirroring the workload of Fig. 13e/f (the figure's queries
+    are answered with the safe engine, so unsafe candidates are skipped)."""
+    queries: list[str] = []
+    seen: set[str] = set()
+    seed = 0
+    preferences = ("rare", "frequent", None)
+    while len(queries) < count and seed < count * 40:
+        prefer = preferences[seed % len(preferences)]
+        query = generate_ifq_along_path(run, 3, seed=seed, prefer=prefer, index=index)
+        seed += 1
+        if query in seen:
+            continue
+        seen.add(query)
+        if plan_decomposition(spec, query).is_fully_safe:
+            queries.append(query)
+    return queries
+
+
+def _allpairs_ifq(scale: BenchScale, spec: Specification, figure: str, title: str) -> ExperimentResult:
+    result = ExperimentResult(
+        figure=figure,
+        title=title,
+        expected_shape=(
+            "the G3 baseline wins on highly selective IFQs and loses badly on lowly "
+            "selective ones; optRPL <= RPL and both are insensitive to selectivity"
+        ),
+    )
+    run = generate_run(spec, scale.allpairs_run_edges, seed=1)
+    index = EdgeTagIndex.from_run(run)
+    l1, l2 = node_lists(run, limit=scale.allpairs_list_limit, seed=2)
+    queries = _safe_ifq_workload(spec, run, index, scale.allpairs_ifq_count)
+    rows = []
+    for query in queries:
+        tags = ifq_tags(parse_regex(query)) or []
+        # The baseline's pain is the size of its intermediate join chain, the
+        # quantity the paper calls query selectivity.
+        intermediate = sum(
+            index.count(left) * index.count(right) for left, right in zip(tags, tags[1:])
+        ) + sum(index.count(tag) for tag in tags)
+        baseline_time, baseline_answer = time_call(
+            lambda: g3_all_pairs(run, l1, l2, query, index=index)
+        )
+        query_index = build_query_index(spec, query)
+        rpl_time, rpl_answer = time_call(
+            lambda: all_pairs_safe_query(
+                run, l1, l2, query_index, AllPairsOptions(use_reachability_filter=False)
+            )
+        )
+        opt_time, opt_answer = time_call(lambda: all_pairs_safe_query(run, l1, l2, query_index))
+        if not (baseline_answer == rpl_answer == opt_answer):
+            result.note(f"ENGINE DISAGREEMENT for {query!r} — investigate")
+        rows.append(
+            {
+                "intermediate_pairs": intermediate,
+                "matches": len(opt_answer),
+                "baseline_g3_s": baseline_time,
+                "rpl_s": rpl_time,
+                "optrpl_s": opt_time,
+            }
+        )
+    # Split into highly / lowly selective halves by the size of the baseline's
+    # intermediate results, matching the paper's two query groups.
+    rows.sort(key=lambda row: row["intermediate_pairs"])
+    half = len(rows) // 2
+    for position, row in enumerate(rows):
+        result.add(
+            selectivity="high" if position < half else "low",
+            **row,
+        )
+    result.note(f"run: {run.edge_count} edges; lists: |l1|=|l2|={len(l1)}")
+    result.note(
+        "selectivity split by the size of the baseline's intermediate join results"
+    )
+    return result
+
+
+def fig13e_allpairs_ifq_bioaid(scale: BenchScale) -> ExperimentResult:
+    return _allpairs_ifq(
+        scale,
+        bioaid_specification(),
+        "fig13e",
+        "all-pairs IFQs (k=3) on BioAID: baseline G3 vs RPL vs optRPL",
+    )
+
+
+def fig13f_allpairs_ifq_qblast(scale: BenchScale) -> ExperimentResult:
+    return _allpairs_ifq(
+        scale,
+        qblast_specification(),
+        "fig13f",
+        "all-pairs IFQs (k=3) on QBLast: baseline G3 vs RPL vs optRPL",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13g / 13h — all-pairs Kleene star
+# ---------------------------------------------------------------------------
+
+
+def _allpairs_kleene(
+    scale: BenchScale, spec: Specification, kleene_tag: str, figure: str, title: str
+) -> ExperimentResult:
+    result = ExperimentResult(
+        figure=figure,
+        title=title,
+        expected_shape=(
+            "the G1 fixpoint baseline grows sharply with run size; RPL/optRPL grow "
+            "slowly and win by a widening margin; optRPL is close to RPL"
+        ),
+    )
+    query = f"{kleene_tag}*"
+    forks = fork_production_indices(spec, kleene_tag)
+    for run_edges in scale.kleene_run_sizes:
+        run = generate_fork_heavy_run(spec, run_edges, forks, seed=run_edges)
+        l1, l2 = node_lists(run, limit=scale.kleene_list_limit, seed=run_edges)
+        baseline_time, baseline_answer = time_call(lambda: g1_all_pairs(run, l1, l2, query))
+        query_index = build_query_index(spec, query)
+        rpl_time, rpl_answer = time_call(
+            lambda: all_pairs_safe_query(
+                run, l1, l2, query_index, AllPairsOptions(use_reachability_filter=False)
+            )
+        )
+        opt_time, opt_answer = time_call(lambda: all_pairs_safe_query(run, l1, l2, query_index))
+        if not (baseline_answer == rpl_answer == opt_answer):
+            result.note(f"ENGINE DISAGREEMENT at run size {run_edges} — investigate")
+        result.add(
+            run_edges=run.edge_count,
+            lists=len(l1),
+            matches=len(opt_answer),
+            baseline_g1_s=baseline_time,
+            rpl_s=rpl_time,
+            optrpl_s=opt_time,
+        )
+    return result
+
+
+def fig13g_allpairs_kleene_bioaid(scale: BenchScale) -> ExperimentResult:
+    return _allpairs_kleene(
+        scale,
+        bioaid_specification(),
+        BIOAID_KLEENE_TAG,
+        "fig13g",
+        "all-pairs Kleene star (a*) on fork-heavy BioAID runs: G1 vs RPL vs optRPL",
+    )
+
+
+def fig13h_allpairs_kleene_qblast(scale: BenchScale) -> ExperimentResult:
+    return _allpairs_kleene(
+        scale,
+        qblast_specification(),
+        QBLAST_KLEENE_TAG,
+        "fig13h",
+        "all-pairs Kleene star (a*) on loop-heavy QBLast runs: G1 vs RPL vs optRPL",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15 — general (unsafe) queries
+# ---------------------------------------------------------------------------
+
+
+def _general_queries(
+    scale: BenchScale, spec: Specification, figure: str, title: str
+) -> ExperimentResult:
+    result = ExperimentResult(
+        figure=figure,
+        title=title,
+        expected_shape=(
+            "for unsafe queries with lowly selective safe components the decomposition "
+            "(optRPL) improves over the G1 baseline, often by more than 40%"
+        ),
+    )
+    run = generate_run(spec, scale.general_run_edges, seed=9)
+    l1, l2 = node_lists(run, limit=scale.general_list_limit, seed=9)
+    # Bias the random queries towards tags that distinguish alternative module
+    # implementations, so a reasonable fraction of candidates is unsafe
+    # (random queries over all tags are overwhelmingly safe, as the paper
+    # also observes).
+    index = EdgeTagIndex.from_run(run)
+    frequent = [tag for tag in index.rarest_tags()[::-1][:20]]
+    pool = sorted(set(discriminating_tags(spec)) | set(frequent))
+    unsafe_queries = []
+    seed = 0
+    while len(unsafe_queries) < scale.general_query_count and seed < scale.general_query_count * 40:
+        candidates = generate_query_suite(spec, count=1, seed=seed, depth=2, tag_pool=pool)
+        seed += 1
+        query = candidates[0]
+        plan = plan_decomposition(spec, query)
+        if not plan.is_fully_safe and plan.has_safe_parts:
+            unsafe_queries.append((query, plan))
+    from repro.core.decomposition import worth_label_evaluation
+    from repro.core.optimizer import estimate_join_cost, estimate_label_all_pairs_cost
+
+    improvements = []
+    lowly_selective_improvements = []
+    for query_id, (query, plan) in enumerate(unsafe_queries):
+        routed = sum(
+            1
+            for node in plan.safe_subtrees
+            if worth_label_evaluation(node)
+            and estimate_join_cost(run, node) > estimate_label_all_pairs_cost(run.node_count)
+        )
+        baseline_time, baseline_answer = time_call(lambda: g1_all_pairs(run, l1, l2, query))
+        ours_time, ours_answer = time_call(
+            lambda: evaluate_general_query(run, query, l1, l2, plan=plan)
+        )
+        if baseline_answer != ours_answer:
+            result.note(f"ENGINE DISAGREEMENT for {query!r} — investigate")
+        improvement = 100.0 * (baseline_time - ours_time) / baseline_time if baseline_time else 0.0
+        improvements.append(improvement)
+        if routed:
+            lowly_selective_improvements.append(improvement)
+        result.add(
+            query_id=query_id,
+            lowly_selective_parts=routed,
+            matches=len(ours_answer),
+            baseline_g1_s=baseline_time,
+            optrpl_s=ours_time,
+            improvement_pct=improvement,
+        )
+    if improvements:
+        positive = [value for value in improvements if value > 0]
+        result.note(
+            f"{len(positive)}/{len(improvements)} unsafe queries improved; "
+            f"median improvement {statistics.median(improvements):.1f}%"
+        )
+    if lowly_selective_improvements:
+        result.note(
+            "queries with lowly selective safe components (the subset Fig. 15 reports): "
+            f"{len(lowly_selective_improvements)}; median improvement "
+            f"{statistics.median(lowly_selective_improvements):.1f}%"
+        )
+    else:
+        result.note(
+            "no query had a safe component expensive enough for the cost model to "
+            "route it to the labeling engine at this run size (see EXPERIMENTS.md)"
+        )
+    result.note(f"run: {run.edge_count} edges; lists: |l1|=|l2|={len(l1)}")
+    return result
+
+
+def fig15a_general_queries_bioaid(scale: BenchScale) -> ExperimentResult:
+    return _general_queries(
+        scale,
+        bioaid_specification(),
+        "fig15a",
+        "general (unsafe) queries on BioAID: improvement of the decomposition over G1",
+    )
+
+
+def fig15b_general_queries_qblast(scale: BenchScale) -> ExperimentResult:
+    return _general_queries(
+        scale,
+        qblast_specification(),
+        "fig15b",
+        "general (unsafe) queries on QBLast: improvement of the decomposition over G1",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design choices called out in the paper / DESIGN.md)
+# ---------------------------------------------------------------------------
+
+
+def ablation_s1_vs_s2(scale: BenchScale) -> ExperimentResult:
+    result = ExperimentResult(
+        figure="ablation-s1-vs-s2",
+        title="Option S1 (nested loop) vs S2 (reachability filter) across selectivities",
+        expected_shape="S2 wins when few pairs are reachable; the two converge when most are",
+    )
+    spec = bioaid_specification()
+    run = generate_run(spec, scale.allpairs_run_edges, seed=21)
+    index = EdgeTagIndex.from_run(run)
+    l1, l2 = node_lists(run, limit=scale.allpairs_list_limit, seed=21)
+    for label, query in (
+        ("reachability", "_*"),
+        ("rare ifq", generate_ifq_along_path(run, 3, seed=1, prefer="rare", index=index)),
+        ("frequent ifq", generate_ifq_along_path(run, 3, seed=1, prefer="frequent", index=index)),
+        ("kleene", f"{BIOAID_KLEENE_TAG}*"),
+    ):
+        plan = plan_decomposition(spec, query)
+        if not plan.is_fully_safe:
+            result.add(query=label, safe=False)
+            continue
+        query_index = build_query_index(spec, query)
+        s1_time, s1_answer = time_call(
+            lambda: all_pairs_safe_query(
+                run, l1, l2, query_index, AllPairsOptions(use_reachability_filter=False)
+            )
+        )
+        s2_time, s2_answer = time_call(lambda: all_pairs_safe_query(run, l1, l2, query_index))
+        assert s1_answer == s2_answer
+        result.add(
+            query=label,
+            safe=True,
+            matches=len(s2_answer),
+            s1_s=s1_time,
+            s2_s=s2_time,
+            speedup=s1_time / s2_time if s2_time else float("inf"),
+        )
+    return result
+
+
+def ablation_dfa_minimization(scale: BenchScale) -> ExperimentResult:
+    from repro.automata.dfa import dfa_from_regex
+
+    result = ExperimentResult(
+        figure="ablation-dfa-minimization",
+        title="safety check on the minimal vs the unminimized DFA (Lemma 3.2)",
+        expected_shape=(
+            "the minimal DFA is smaller and cheaper to check; per Lemma 3.2 a query is "
+            "safe iff its minimal DFA is safe, and an unminimized DFA may look unsafe "
+            "even when the query is safe — minimization is therefore required, not just "
+            "an optimization"
+        ),
+    )
+    spec = bioaid_specification()
+    for k in (1, 3, 5, 8):
+        query = generate_ifq(spec, k, seed=k)
+        minimal = dfa_from_regex(query, spec.tags, minimal=True)
+        raw = dfa_from_regex(query, spec.tags, minimal=False)
+        minimal_time, minimal_report = time_call(lambda: analyze_safety(spec, minimal))
+        raw_time, raw_report = time_call(lambda: analyze_safety(spec, raw))
+        # Lemma 3.2 direction: if any DFA of the query is safe, the minimal one is.
+        assert minimal_report.is_safe or not raw_report.is_safe
+        result.add(
+            k=k,
+            minimal_states=minimal.state_count,
+            raw_states=raw.state_count,
+            minimal_safe=minimal_report.is_safe,
+            raw_safe=raw_report.is_safe,
+            minimal_check_s=minimal_time,
+            raw_check_s=raw_time,
+        )
+    return result
+
+
+def ablation_optimizer(scale: BenchScale) -> ExperimentResult:
+    from repro.core.optimizer import CostModel
+
+    result = ExperimentResult(
+        figure="ablation-optimizer",
+        title="cost-model strategy choice vs measured best strategy (future-work extension)",
+        expected_shape="the cost model routes rare IFQs to G3 and everything else to the labels",
+    )
+    spec = bioaid_specification()
+    run = generate_run(spec, scale.allpairs_run_edges, seed=33)
+    index = EdgeTagIndex.from_run(run)
+    l1, l2 = node_lists(run, limit=scale.allpairs_list_limit, seed=33)
+    model = CostModel(spec, index)
+    for label, query in (
+        ("rare ifq", generate_ifq_along_path(run, 3, seed=3, prefer="rare", index=index)),
+        ("frequent ifq", generate_ifq_along_path(run, 3, seed=3, prefer="frequent", index=index)),
+        ("kleene", f"{BIOAID_KLEENE_TAG}*"),
+    ):
+        choice = model.choose(query, input_pairs=len(l1) * len(l2), run_edges=run.edge_count)
+        g3_time: float | None = None
+        try:
+            g3_time, _ = time_call(lambda: g3_all_pairs(run, l1, l2, query, index=index))
+        except Exception:
+            g3_time = None
+        ours_time, _ = time_call(lambda: evaluate_general_query(run, query, l1, l2))
+        measured_best = "G3" if g3_time is not None and g3_time < ours_time else "labels"
+        result.add(
+            query=label,
+            chosen=choice.strategy,
+            g3_s=g3_time if g3_time is not None else "n/a",
+            labels_s=ours_time,
+            measured_best=measured_best,
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+EXPERIMENTS: dict[str, Callable[[BenchScale], ExperimentResult]] = {
+    "fig13a": fig13a_overhead_grammar_size,
+    "fig13b": fig13b_overhead_query_size,
+    "fig13c": fig13c_pairwise_vs_run_size,
+    "fig13d": fig13d_pairwise_vs_query_size,
+    "fig13e": fig13e_allpairs_ifq_bioaid,
+    "fig13f": fig13f_allpairs_ifq_qblast,
+    "fig13g": fig13g_allpairs_kleene_bioaid,
+    "fig13h": fig13h_allpairs_kleene_qblast,
+    "fig15a": fig15a_general_queries_bioaid,
+    "fig15b": fig15b_general_queries_qblast,
+    "ablation-s1-vs-s2": ablation_s1_vs_s2,
+    "ablation-dfa-minimization": ablation_dfa_minimization,
+    "ablation-optimizer": ablation_optimizer,
+}
+
+
+def run_experiment(name: str, scale_name: str | None = None) -> ExperimentResult:
+    """Run one experiment by figure name (see :data:`EXPERIMENTS`)."""
+    try:
+        experiment = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    return experiment(current_scale(scale_name))

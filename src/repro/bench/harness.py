@@ -1,0 +1,155 @@
+"""Shared benchmarking utilities: timing, scales and table formatting."""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "BenchScale",
+    "ExperimentResult",
+    "current_scale",
+    "time_call",
+    "format_table",
+]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Workload sizes for one benchmarking scale.
+
+    ``small`` keeps every experiment to seconds of pure-Python time while
+    preserving the paper's comparisons; ``paper`` uses the sizes reported in
+    Section V (expect long runtimes).
+    """
+
+    name: str
+    grammar_sizes: tuple[int, ...]
+    grammars_per_size: int
+    overhead_queries: int
+    pairwise_run_sizes: tuple[int, ...]
+    pairwise_pairs: int
+    pairwise_query_sizes: tuple[int, ...]
+    allpairs_run_edges: int
+    allpairs_list_limit: int | None
+    allpairs_ifq_count: int
+    kleene_run_sizes: tuple[int, ...]
+    kleene_list_limit: int | None
+    general_query_count: int
+    general_run_edges: int
+    general_list_limit: int | None
+
+
+SMALL_SCALE = BenchScale(
+    name="small",
+    grammar_sizes=(200, 400, 600, 800),
+    grammars_per_size=3,
+    overhead_queries=10,
+    pairwise_run_sizes=(250, 500, 1000, 2000),
+    pairwise_pairs=1000,
+    pairwise_query_sizes=(0, 2, 4, 6, 8, 10),
+    allpairs_run_edges=1500,
+    allpairs_list_limit=220,
+    allpairs_ifq_count=8,
+    kleene_run_sizes=(1000, 2000, 4000, 8000, 16000),
+    kleene_list_limit=150,
+    general_query_count=12,
+    general_run_edges=400,
+    general_list_limit=160,
+)
+
+PAPER_SCALE = BenchScale(
+    name="paper",
+    grammar_sizes=(400, 600, 800, 1000, 1200),
+    grammars_per_size=10,
+    overhead_queries=20,
+    pairwise_run_sizes=(1000, 2000, 4000, 8000),
+    pairwise_pairs=10_000,
+    pairwise_query_sizes=(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+    allpairs_run_edges=2000,
+    allpairs_list_limit=None,
+    allpairs_ifq_count=8,
+    kleene_run_sizes=(1000, 2000, 4000, 8000, 16_000),
+    kleene_list_limit=None,
+    general_query_count=40,
+    general_run_edges=2000,
+    general_list_limit=None,
+)
+
+_SCALES = {scale.name: scale for scale in (SMALL_SCALE, PAPER_SCALE)}
+
+
+def current_scale(name: str | None = None) -> BenchScale:
+    """Resolve the benchmarking scale (argument > environment > ``small``)."""
+    chosen = name or os.environ.get("REPRO_BENCH_SCALE", "small")
+    try:
+        return _SCALES[chosen]
+    except KeyError:
+        raise ValueError(f"unknown benchmark scale {chosen!r}; choose from {sorted(_SCALES)}")
+
+
+def time_call(function: Callable[[], object]) -> tuple[float, object]:
+    """Run a callable once, returning ``(elapsed seconds, result)``."""
+    started = time.perf_counter()
+    result = function()
+    return time.perf_counter() - started, result
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment (one figure of the paper)."""
+
+    figure: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    expected_shape: str = ""
+
+    def add(self, **row) -> None:
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        lines = [f"== {self.figure}: {self.title} =="]
+        if self.expected_shape:
+            lines.append(f"expected shape (paper): {self.expected_shape}")
+        lines.append(format_table(self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.001:
+            return f"{value * 1e6:.1f}u"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Iterable[str] | None = None) -> str:
+    """Render a list of dictionaries as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    columns = list(columns)
+    table = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in table))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths)) for line in table
+    ]
+    return "\n".join([header, separator, *body])

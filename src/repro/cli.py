@@ -1,0 +1,177 @@
+"""Command-line interface: ``repro`` (or ``python -m repro``).
+
+Subcommands cover the typical workflow of the library:
+
+* ``repro spec``      — inspect a built-in or stored specification,
+* ``repro derive``    — derive a labeled run and store it as JSON,
+* ``repro safety``    — check whether a query is safe for a specification,
+* ``repro query``     — answer a pairwise or all-pairs query over a stored run,
+* ``repro bench``     — run the paper's experiments (same as ``python -m repro.bench``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.engine import ProvenanceQueryEngine
+from repro.datasets.myexperiment import bioaid_specification, qblast_specification
+from repro.datasets.paper_example import paper_specification
+from repro.datasets.synthetic import generate_synthetic_specification
+from repro.workflow.serialization import (
+    load_run,
+    load_specification,
+    save_run,
+    save_specification,
+)
+from repro.workflow.spec import Specification
+
+__all__ = ["main"]
+
+_BUILTIN_SPECS = {
+    "paper-example": paper_specification,
+    "bioaid": bioaid_specification,
+    "qblast": qblast_specification,
+}
+
+
+def _resolve_spec(name_or_path: str) -> Specification:
+    """A built-in specification name, a JSON file, or ``synthetic:<size>``."""
+    if name_or_path in _BUILTIN_SPECS:
+        return _BUILTIN_SPECS[name_or_path]()
+    if name_or_path.startswith("synthetic:"):
+        size = int(name_or_path.split(":", 1)[1])
+        return generate_synthetic_specification(size)
+    path = Path(name_or_path)
+    if path.exists():
+        return load_specification(path)
+    raise SystemExit(
+        f"unknown specification {name_or_path!r}; use one of {sorted(_BUILTIN_SPECS)}, "
+        "'synthetic:<size>', or a path to a specification JSON file"
+    )
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args.spec)
+    print(spec.describe())
+    if args.output:
+        save_specification(spec, args.output)
+        print(f"written to {args.output}")
+    return 0
+
+
+def _cmd_derive(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args.spec)
+    engine = ProvenanceQueryEngine(spec)
+    run = engine.derive(seed=args.seed, target_edges=args.edges)
+    print(run.describe())
+    if args.output:
+        save_run(run, args.output)
+        print(f"written to {args.output}")
+    return 0
+
+
+def _cmd_safety(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args.spec)
+    engine = ProvenanceQueryEngine(spec)
+    report = engine.safety_report(args.query)
+    if report.is_safe:
+        print(f"SAFE: {args.query!r} is safe for {spec.name!r}")
+        return 0
+    modules = sorted({violation.module for violation in report.violations})
+    print(f"UNSAFE: {args.query!r} is not safe for {spec.name!r}")
+    print(f"  modules with execution-dependent behaviour: {modules}")
+    plan = engine.plan(args.query)
+    print(f"  {plan.describe()}")
+    return 1
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    run = load_run(args.run)
+    engine = ProvenanceQueryEngine(run.spec)
+    if args.source and args.target:
+        answer = (
+            engine.pairwise(run, args.source, args.target, args.query)
+            if engine.is_safe(args.query)
+            else (args.source, args.target) in engine.evaluate(
+                run, args.query, [args.source], [args.target]
+            )
+        )
+        print(f"{args.source} -[{args.query}]-> {args.target} : {answer}")
+        return 0
+    l1 = args.sources.split(",") if args.sources else None
+    l2 = args.targets.split(",") if args.targets else None
+    matches = engine.evaluate(run, args.query, l1, l2)
+    if args.json:
+        print(json.dumps(sorted(matches)))
+    else:
+        print(f"{len(matches)} matching pairs")
+        for source, target in sorted(matches)[: args.limit]:
+            print(f"  {source} -> {target}")
+        if len(matches) > args.limit:
+            print(f"  ... ({len(matches) - args.limit} more; use --json for all)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    forwarded = list(args.experiments)
+    if args.scale:
+        forwarded += ["--scale", args.scale]
+    return bench_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regular path queries on workflow provenance (ICDE 2015 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    spec_parser = sub.add_parser("spec", help="inspect a specification")
+    spec_parser.add_argument("spec", help="built-in name, synthetic:<size>, or JSON path")
+    spec_parser.add_argument("--output", help="write the specification to a JSON file")
+    spec_parser.set_defaults(handler=_cmd_spec)
+
+    derive_parser = sub.add_parser("derive", help="derive a labeled run")
+    derive_parser.add_argument("spec")
+    derive_parser.add_argument("--edges", type=int, default=1000, help="target edge count")
+    derive_parser.add_argument("--seed", type=int, default=0)
+    derive_parser.add_argument("--output", help="write the run to a JSON file")
+    derive_parser.set_defaults(handler=_cmd_derive)
+
+    safety_parser = sub.add_parser("safety", help="check query safety")
+    safety_parser.add_argument("spec")
+    safety_parser.add_argument("query")
+    safety_parser.set_defaults(handler=_cmd_safety)
+
+    query_parser = sub.add_parser("query", help="answer a query over a stored run")
+    query_parser.add_argument("run", help="path to a run JSON file (see 'repro derive')")
+    query_parser.add_argument("query")
+    query_parser.add_argument("--source", help="pairwise query: source node id")
+    query_parser.add_argument("--target", help="pairwise query: target node id")
+    query_parser.add_argument("--sources", help="all-pairs: comma-separated source ids")
+    query_parser.add_argument("--targets", help="all-pairs: comma-separated target ids")
+    query_parser.add_argument("--limit", type=int, default=20, help="pairs to print")
+    query_parser.add_argument("--json", action="store_true", help="print all pairs as JSON")
+    query_parser.set_defaults(handler=_cmd_query)
+
+    bench_parser = sub.add_parser("bench", help="run the paper's experiments")
+    bench_parser.add_argument("experiments", nargs="*", default=["all"])
+    bench_parser.add_argument("--scale", choices=["small", "paper"])
+    bench_parser.set_defaults(handler=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,241 @@
+"""All-pairs safe queries (Algorithm 2 of the paper).
+
+Given two lists of run nodes ``l1`` and ``l2``, an all-pairs query asks for
+every pair ``(u, v) ∈ l1 × l2`` with ``u —R→ v``.  Two strategies are
+implemented, matching Options S1 and S2 of Section IV-A:
+
+* **S1 (nested loop / "RPL")** — run the constant-time pairwise decode on
+  every pair; Θ(|l1| · |l2|) decodes.
+* **S2 (reachability filter / "optRPL")** — represent each list as a label
+  trie (a projection of the compressed parse tree, Fig. 12), merge the two
+  tries structurally to enumerate only the *reachable* pairs, and run the
+  pairwise decode on those.  The traversal is the paper's Algorithm 2: at a
+  composite parse-tree node, children of different body positions contribute
+  all their leaves when one position reaches the other in the production
+  body; at a recursive (``R``) node, an earlier chain member contributes the
+  leaves under its "red" branches (branches that reach the recursive
+  position) against everything under later members, and symmetrically "blue"
+  branches for the other direction.
+
+:func:`all_pairs_reachability` is the special case ``R = _*`` which skips the
+per-pair decode entirely and therefore runs in time linear in the input plus
+output size (plus a polynomial in the specification size), which is the
+optimality claim of Lemma 4.1's side effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.pairwise import answer_pairwise_query
+from repro.core.query_index import QueryIndex
+from repro.errors import LabelError
+from repro.labeling.labels import ProductionStep, RecursionStep
+from repro.labeling.parse_tree import LabelTrie, TrieNode
+from repro.workflow.run import Run
+from repro.workflow.spec import Specification
+
+__all__ = [
+    "AllPairsOptions",
+    "all_pairs_safe_query",
+    "all_pairs_reachability",
+    "reachable_pair_groups",
+]
+
+PairGroup = tuple[list[str], list[str]]
+
+
+@dataclass(frozen=True)
+class AllPairsOptions:
+    """Tuning knobs for the all-pairs evaluator.
+
+    ``use_reachability_filter`` selects S2 (optRPL) over S1 (plain RPL).
+    """
+
+    use_reachability_filter: bool = True
+
+
+# ---------------------------------------------------------------------------
+# Structural traversal (the reachable-pair enumeration of Algorithm 2)
+# ---------------------------------------------------------------------------
+
+
+def _children_kind(node: TrieNode) -> str:
+    kinds = {type(step) for step in node.children}
+    if not kinds:
+        return "leaf"
+    if kinds == {ProductionStep}:
+        return "production"
+    if kinds == {RecursionStep}:
+        return "recursion"
+    raise LabelError("a parse-tree node mixes production and recursion children")
+
+
+def _is_red(spec: Specification, step: ProductionStep, recursive_position: int) -> bool:
+    """A branch is red when its position reaches the recursive position."""
+    return spec.production(step.production).body.reaches(step.position, recursive_position)
+
+
+def _is_blue(spec: Specification, step: ProductionStep, recursive_position: int) -> bool:
+    """A branch is blue when the recursive position reaches it."""
+    return spec.production(step.production).body.reaches(recursive_position, step.position)
+
+
+def reachable_pair_groups(
+    trie1: LabelTrie, trie2: LabelTrie, spec: Specification
+) -> Iterator[PairGroup]:
+    """Enumerate groups ``(U, V)`` such that every ``u ∈ U`` reaches every
+    ``v ∈ V`` in the run, and every reachable pair of leaves appears in
+    exactly one emitted group.
+
+    This is the structural join of Algorithm 2, run over the two label tries.
+    """
+
+    def visit(node1: TrieNode, node2: TrieNode) -> Iterator[PairGroup]:
+        if node1.payload and node2.payload:
+            # Identical labels: the same node appears in both lists (the empty
+            # path makes it reachable from itself).
+            yield list(node1.payload), list(node2.payload)
+
+        kind1 = _children_kind(node1)
+        kind2 = _children_kind(node2)
+        if kind1 == "leaf" or kind2 == "leaf":
+            return
+        if kind1 != kind2:
+            raise LabelError("the two label tries disagree on the parse-tree structure")
+
+        if kind1 == "production":
+            # Case 1: children belong to the same simple workflow.
+            for step1, child1 in node1.children.items():
+                for step2, child2 in node2.children.items():
+                    if step1.production != step2.production:
+                        raise LabelError(
+                            "sibling labels use different productions for the same node"
+                        )
+                    if step1.position == step2.position:
+                        yield from visit(child1, child2)
+                    elif spec.production(step1.production).body.reaches(
+                        step1.position, step2.position
+                    ):
+                        yield child1.leaves(), child2.leaves()
+            return
+
+        # Case 2: children are members of the same recursion chain.
+        cycles = spec.production_graph.cycles
+        children1 = node1.sorted_children()
+        children2 = node2.sorted_children()
+        by_ordinal2 = {step.ordinal: child for step, child in children2}
+        for step1, child1 in children1:
+            # Same ordinal: recurse into the same chain member.
+            same = by_ordinal2.get(step1.ordinal)
+            if same is not None:
+                yield from visit(child1, same)
+
+        for step1, child1 in children1:
+            # A chain member can only reach *later* members through the
+            # recursive position of its cycle production; the last member of a
+            # chain fired a different production and has no red branches.
+            cycle = cycles[step1.cycle]
+            cycle_production, recursive_position = cycle.step(
+                cycle.chain_offset(step1.start, step1.ordinal)
+            )
+            red_leaves: list[str] = []
+            for branch_step, branch in child1.children.items():
+                if (
+                    isinstance(branch_step, ProductionStep)
+                    and branch_step.production == cycle_production
+                    and _is_red(spec, branch_step, recursive_position)
+                ):
+                    red_leaves.extend(branch.leaves())
+            if not red_leaves:
+                continue
+            for step2, child2 in children2:
+                if step2.ordinal > step1.ordinal:
+                    yield red_leaves, child2.leaves()
+
+        for step2, child2 in children2:
+            cycle = cycles[step2.cycle]
+            cycle_production, recursive_position = cycle.step(
+                cycle.chain_offset(step2.start, step2.ordinal)
+            )
+            blue_leaves: list[str] = []
+            for branch_step, branch in child2.children.items():
+                if (
+                    isinstance(branch_step, ProductionStep)
+                    and branch_step.production == cycle_production
+                    and _is_blue(spec, branch_step, recursive_position)
+                ):
+                    blue_leaves.extend(branch.leaves())
+            if not blue_leaves:
+                continue
+            for step1, child1 in children1:
+                if step1.ordinal > step2.ordinal:
+                    yield child1.leaves(), blue_leaves
+
+    if trie1.is_empty() or trie2.is_empty():
+        return
+    yield from visit(trie1.root, trie2.root)
+
+
+# ---------------------------------------------------------------------------
+# Public evaluators
+# ---------------------------------------------------------------------------
+
+
+def all_pairs_reachability(
+    run: Run, l1: Sequence[str], l2: Sequence[str]
+) -> set[tuple[str, str]]:
+    """All pairs ``(u, v) ∈ l1 × l2`` with a (possibly empty) path ``u ⤳ v``.
+
+    Runs in time linear in ``|l1| + |l2| + N`` (N = number of reachable
+    pairs) plus a polynomial in the specification size; no per-pair decode is
+    needed because the structural traversal only ever emits reachable pairs.
+    """
+    trie1 = LabelTrie.from_run_nodes(run, l1)
+    trie2 = LabelTrie.from_run_nodes(run, l2)
+    results: set[tuple[str, str]] = set()
+    for group1, group2 in reachable_pair_groups(trie1, trie2, run.spec):
+        for u in group1:
+            for v in group2:
+                results.add((u, v))
+    return results
+
+
+def all_pairs_safe_query(
+    run: Run,
+    l1: Sequence[str],
+    l2: Sequence[str],
+    index: QueryIndex,
+    options: AllPairsOptions = AllPairsOptions(),
+    pair_filter: Callable[[str, str], bool] | None = None,
+) -> set[tuple[str, str]]:
+    """Answer an all-pairs safe query over ``l1 × l2``.
+
+    ``options.use_reachability_filter`` selects between:
+
+    * **S2 / optRPL** (default): enumerate reachable pairs with the structural
+      join, then apply the pairwise decode to each;
+    * **S1 / RPL**: apply the pairwise decode to every pair of the cross
+      product.
+    """
+    if pair_filter is None:
+        def pair_filter(u: str, v: str) -> bool:
+            return answer_pairwise_query(index, run.label_of(u), run.label_of(v))
+
+    results: set[tuple[str, str]] = set()
+    if not options.use_reachability_filter:
+        for u in l1:
+            for v in l2:
+                if pair_filter(u, v):
+                    results.add((u, v))
+        return results
+
+    trie1 = LabelTrie.from_run_nodes(run, l1)
+    trie2 = LabelTrie.from_run_nodes(run, l2)
+    for group1, group2 in reachable_pair_groups(trie1, trie2, run.spec):
+        for u in group1:
+            for v in group2:
+                if (u, v) not in results and pair_filter(u, v):
+                    results.add((u, v))
+    return results

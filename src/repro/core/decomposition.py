@@ -1,0 +1,171 @@
+"""General (possibly unsafe) all-pairs queries (Section IV-B, "Our approach").
+
+A general query may not be safe for the specification, so the constant-time
+label decode cannot be applied to it as a whole.  The paper's approach:
+
+1. represent the query as a parse tree,
+2. walking top-down, find the *maximal safe subtrees* — subexpressions that
+   are safe for the specification (checked with the polynomial-time safety
+   test of Section III-C),
+3. evaluate each maximal safe subtree with the all-pairs labeling engine of
+   Algorithm 2, and
+4. evaluate the remaining (unsafe) structure bottom-up with relational joins
+   (Option G1), treating the safe subtrees' results as already-materialized
+   relations.
+
+When the whole query is safe the decomposition degenerates to a single call
+to the safe engine.  Finding the *best* equivalent rewriting of the query
+with the largest safe parts is left as future work by the paper; like the
+paper we use the simple top-down heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.automata.regex import (
+    AnySymbol,
+    Epsilon,
+    Plus,
+    RegexNode,
+    Star,
+    Symbol,
+    parse_regex,
+    regex_to_string,
+)
+from repro.core.allpairs import AllPairsOptions, all_pairs_safe_query
+from repro.core.query_index import build_query_index
+from repro.core.relations import NodePairs, evaluate_regex_relation, restrict
+from repro.core.safety import is_safe_query
+from repro.workflow.run import Run
+from repro.workflow.spec import Specification
+
+__all__ = ["DecompositionPlan", "plan_decomposition", "evaluate_general_query"]
+
+
+@dataclass
+class DecompositionPlan:
+    """The result of the top-down safe-subtree search for one query."""
+
+    spec: Specification
+    root: RegexNode
+    safe_subtrees: list[RegexNode] = field(default_factory=list)
+
+    @property
+    def is_fully_safe(self) -> bool:
+        return len(self.safe_subtrees) == 1 and self.safe_subtrees[0] == self.root
+
+    @property
+    def has_safe_parts(self) -> bool:
+        return bool(self.safe_subtrees)
+
+    def describe(self) -> str:
+        parts = ", ".join(regex_to_string(node) for node in self.safe_subtrees) or "(none)"
+        return (
+            f"query {regex_to_string(self.root)!r}: "
+            f"{'safe' if self.is_fully_safe else 'unsafe'}; "
+            f"maximal safe subqueries: {parts}"
+        )
+
+
+def plan_decomposition(spec: Specification, query: str | RegexNode) -> DecompositionPlan:
+    """Find the maximal safe subtrees of a query (top-down traversal)."""
+    root = parse_regex(query)
+    plan = DecompositionPlan(spec=spec, root=root)
+    seen: set[RegexNode] = set()
+
+    def visit(node: RegexNode) -> None:
+        if node in seen:
+            return
+        if is_safe_query(spec, node):
+            seen.add(node)
+            plan.safe_subtrees.append(node)
+            return
+        for child in node.children():
+            visit(child)
+
+    visit(root)
+    return plan
+
+
+def worth_label_evaluation(node: RegexNode) -> bool:
+    """Is a safe subquery worth routing to the labeling engine?
+
+    Trivial relations — the empty string, a single tag, the wildcard and
+    pure-wildcard repetitions (plain reachability) — are exactly as cheap to
+    materialize directly from the run, so sending them through the all-pairs
+    label engine only adds overhead.  Anything larger that mentions at least
+    one concrete tag benefits from the constant-time decode because its
+    join-based evaluation would materialize intermediate results.
+    """
+    if isinstance(node, (Epsilon, Symbol, AnySymbol)):
+        return False
+    if isinstance(node, (Star, Plus)) and isinstance(node.child, AnySymbol):
+        return False
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Symbol):
+            return True
+        stack.extend(current.children())
+    return False
+
+
+def evaluate_general_query(
+    run: Run,
+    query: str | RegexNode,
+    l1: Sequence[str] | None = None,
+    l2: Sequence[str] | None = None,
+    *,
+    plan: DecompositionPlan | None = None,
+    use_reachability_filter: bool = True,
+    cost_based_routing: bool = True,
+) -> NodePairs:
+    """Answer a general all-pairs query, safe or not.
+
+    ``l1`` and ``l2`` default to all run nodes.  A precomputed ``plan`` (and
+    therefore its safety checks) may be supplied so benchmarks can separate
+    planning overhead from evaluation time.
+
+    With ``cost_based_routing`` (the default) a maximal safe subquery is only
+    sent to the labeling engine when the simple cost model of
+    :mod:`repro.core.optimizer` predicts that its join-based evaluation would
+    be more expensive — the paper's future-work remark about a cost-based
+    optimizer, which matters because routing *highly selective* safe
+    subqueries to an all-pairs label scan would be wasted work.  Disable it
+    to always use the labeling engine for safe subqueries (the paper's plain
+    heuristic).
+    """
+    spec = run.spec
+    root = parse_regex(query)
+    if plan is None:
+        plan = plan_decomposition(spec, root)
+    options = AllPairsOptions(use_reachability_filter=use_reachability_filter)
+
+    if plan.is_fully_safe:
+        index = build_query_index(spec, root)
+        universe1 = list(l1) if l1 is not None else list(run.node_ids())
+        universe2 = list(l2) if l2 is not None else list(run.node_ids())
+        return all_pairs_safe_query(run, universe1, universe2, index, options)
+
+    safe_nodes = set(plan.safe_subtrees)
+    all_nodes = list(run.node_ids())
+
+    def should_use_labels(node: RegexNode) -> bool:
+        if not worth_label_evaluation(node):
+            return False
+        if not cost_based_routing:
+            return True
+        from repro.core.optimizer import estimate_join_cost, estimate_label_all_pairs_cost
+
+        return estimate_join_cost(run, node) > estimate_label_all_pairs_cost(run.node_count)
+
+    def subquery_evaluator(node: RegexNode) -> NodePairs | None:
+        if node not in safe_nodes or not should_use_labels(node):
+            return None
+        index = build_query_index(spec, node)
+        return all_pairs_safe_query(run, all_nodes, all_nodes, index, options)
+
+    relation = evaluate_regex_relation(run, root, subquery_evaluator=subquery_evaluator)
+    return restrict(relation, l1, l2)

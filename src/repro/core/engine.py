@@ -1,0 +1,197 @@
+"""The public facade: :class:`ProvenanceQueryEngine`.
+
+One engine instance wraps one workflow specification and exposes the whole
+query pipeline of the paper:
+
+* derive labeled runs (executions) of the specification,
+* check query safety,
+* answer pairwise queries from labels alone (Algorithm 1),
+* answer all-pairs safe queries with or without the reachability filter
+  (Algorithm 2, Options S1/S2),
+* answer general queries through safe-subtree decomposition,
+* answer plain reachability queries,
+
+while caching the per-query indices (safety analysis + transition matrices),
+which is the query-time "overhead" measured in Fig. 13a/b.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.automata.regex import RegexNode, parse_regex, regex_to_string
+from repro.core.allpairs import (
+    AllPairsOptions,
+    all_pairs_reachability,
+    all_pairs_safe_query,
+)
+from repro.core.decomposition import (
+    DecompositionPlan,
+    evaluate_general_query,
+    plan_decomposition,
+)
+from repro.core.pairwise import answer_pairwise_query, pairwise_reach_matrix
+from repro.core.query_index import QueryIndex, build_query_index
+from repro.core.safety import SafetyReport, analyze_safety, query_dfa
+from repro.errors import UnsafeQueryError
+from repro.labeling.reachability import is_reachable
+from repro.workflow.derivation import derive_run
+from repro.workflow.run import Run
+from repro.workflow.spec import Specification
+
+__all__ = ["ProvenanceQueryEngine"]
+
+
+class ProvenanceQueryEngine:
+    """Regular path queries over executions of one workflow specification."""
+
+    def __init__(self, spec: Specification) -> None:
+        self._spec = spec
+        self._index_cache: dict[str, QueryIndex] = {}
+        self._safety_cache: dict[str, SafetyReport] = {}
+
+    # -- basics ----------------------------------------------------------------------
+
+    @property
+    def spec(self) -> Specification:
+        return self._spec
+
+    def derive(self, *, seed: int | None = None, target_edges: int | None = None, **kwargs) -> Run:
+        """Derive a labeled run of the specification (see :func:`derive_run`)."""
+        return derive_run(self._spec, seed=seed, target_edges=target_edges, **kwargs)
+
+    def _canonical(self, query: str | RegexNode) -> tuple[str, RegexNode]:
+        node = parse_regex(query)
+        return regex_to_string(node), node
+
+    def _check_run(self, run: Run) -> None:
+        if run.spec is not self._spec and run.spec.name != self._spec.name:
+            raise ValueError(
+                "the run was derived from a different specification than this engine's"
+            )
+
+    # -- safety ----------------------------------------------------------------------
+
+    def safety_report(self, query: str | RegexNode) -> SafetyReport:
+        """The full safety analysis of a query (cached)."""
+        text, node = self._canonical(query)
+        report = self._safety_cache.get(text)
+        if report is None:
+            report = analyze_safety(self._spec, query_dfa(self._spec, node))
+            self._safety_cache[text] = report
+        return report
+
+    def is_safe(self, query: str | RegexNode) -> bool:
+        """Is the query safe for this specification (Definition 13)?"""
+        return self.safety_report(query).is_safe
+
+    def query_index(self, query: str | RegexNode) -> QueryIndex:
+        """The cached :class:`QueryIndex` of a safe query."""
+        text, node = self._canonical(query)
+        index = self._index_cache.get(text)
+        if index is None:
+            index = build_query_index(self._spec, node)
+            self._index_cache[text] = index
+        return index
+
+    def plan(self, query: str | RegexNode) -> DecompositionPlan:
+        """The safe-subtree decomposition plan of a (possibly unsafe) query."""
+        return plan_decomposition(self._spec, parse_regex(query))
+
+    # -- pairwise queries ---------------------------------------------------------------
+
+    def reachable(self, run: Run, source: str, target: str) -> bool:
+        """Plain reachability ``u ⤳ v`` decoded from labels (prior work [4])."""
+        self._check_run(run)
+        return is_reachable(run.label_of(source), run.label_of(target), self._spec)
+
+    def pairwise(self, run: Run, source: str, target: str, query: str | RegexNode) -> bool:
+        """Algorithm 1: does a path from ``source`` to ``target`` match the query?
+
+        Requires the query to be safe; unsafe queries raise
+        :class:`~repro.errors.UnsafeQueryError` (evaluate them with
+        :meth:`evaluate` instead).
+        """
+        self._check_run(run)
+        index = self.query_index(query)
+        return answer_pairwise_query(index, run.label_of(source), run.label_of(target))
+
+    def pairwise_states(self, run: Run, source: str, target: str, query: str | RegexNode):
+        """The full DFA-state relation realized by paths from source to target."""
+        self._check_run(run)
+        index = self.query_index(query)
+        return pairwise_reach_matrix(index, run.label_of(source), run.label_of(target))
+
+    # -- all-pairs queries ----------------------------------------------------------------
+
+    def all_pairs_reachability(
+        self, run: Run, l1: Sequence[str] | None = None, l2: Sequence[str] | None = None
+    ) -> set[tuple[str, str]]:
+        """All reachable pairs of ``l1 × l2`` in input+output-linear time."""
+        self._check_run(run)
+        universe1 = list(l1) if l1 is not None else list(run.node_ids())
+        universe2 = list(l2) if l2 is not None else list(run.node_ids())
+        return all_pairs_reachability(run, universe1, universe2)
+
+    def all_pairs(
+        self,
+        run: Run,
+        query: str | RegexNode,
+        l1: Sequence[str] | None = None,
+        l2: Sequence[str] | None = None,
+        *,
+        use_reachability_filter: bool = True,
+    ) -> set[tuple[str, str]]:
+        """Algorithm 2 for a *safe* query (Option S2 by default, S1 otherwise)."""
+        self._check_run(run)
+        index = self.query_index(query)
+        universe1 = list(l1) if l1 is not None else list(run.node_ids())
+        universe2 = list(l2) if l2 is not None else list(run.node_ids())
+        return all_pairs_safe_query(
+            run,
+            universe1,
+            universe2,
+            index,
+            AllPairsOptions(use_reachability_filter=use_reachability_filter),
+        )
+
+    def evaluate(
+        self,
+        run: Run,
+        query: str | RegexNode,
+        l1: Sequence[str] | None = None,
+        l2: Sequence[str] | None = None,
+        *,
+        use_reachability_filter: bool = True,
+    ) -> set[tuple[str, str]]:
+        """Answer any all-pairs query, safe or not.
+
+        Safe queries go straight to Algorithm 2; unsafe queries are
+        decomposed into their maximal safe subqueries plus a join-based
+        remainder (Section IV-B).
+        """
+        self._check_run(run)
+        _, node = self._canonical(query)
+        try:
+            index = self.query_index(node)
+        except UnsafeQueryError:
+            return evaluate_general_query(
+                run, node, l1, l2, use_reachability_filter=use_reachability_filter
+            )
+        universe1 = list(l1) if l1 is not None else list(run.node_ids())
+        universe2 = list(l2) if l2 is not None else list(run.node_ids())
+        return all_pairs_safe_query(
+            run,
+            universe1,
+            universe2,
+            index,
+            AllPairsOptions(use_reachability_filter=use_reachability_filter),
+        )
+
+    # -- reporting -------------------------------------------------------------------------
+
+    def describe(self) -> str:
+        return (
+            f"ProvenanceQueryEngine over {self._spec.name!r} "
+            f"({len(self._index_cache)} cached query indices)"
+        )

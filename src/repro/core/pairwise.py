@@ -1,0 +1,178 @@
+"""Pairwise safe queries (Algorithm 1 of the paper).
+
+Given the labels of two run nodes and a :class:`~repro.core.query_index.QueryIndex`
+for a safe query, :func:`pairwise_reach_matrix` computes the relation
+
+    ``M[q1][q2] = 1  iff  some path from u to v drives the DFA from q1 to q2``
+
+by walking the two labels to their divergence point in the compressed parse
+tree and composing specification-level transition matrices — exactly the
+label decode of the reachability scheme, lifted from booleans to ``|Q| x |Q|``
+matrices.  :func:`answer_pairwise_query` then just checks whether the start
+state reaches an accepting state in that relation.
+
+The running time is bounded by the label length (at most the compressed
+parse-tree depth, itself bounded by the specification size) times ``|Q|^3``
+for matrix products; it does not depend on the run size.  Recursion chains of
+arbitrary length are collapsed through the cycle powers cached in the query
+index.
+"""
+
+from __future__ import annotations
+
+from repro.automata.boolean_matrix import BooleanMatrix
+from repro.core.query_index import QueryIndex
+from repro.errors import LabelError
+from repro.labeling.labels import (
+    Label,
+    LabelStep,
+    ProductionStep,
+    RecursionStep,
+    common_prefix_length,
+)
+
+__all__ = ["pairwise_reach_matrix", "answer_pairwise_query"]
+
+
+def _expect_production_step(label: Label, index: int) -> ProductionStep:
+    if index >= len(label) or not isinstance(label[index], ProductionStep):
+        raise LabelError(
+            "label ends at a recursion-chain member; only labels of run nodes "
+            "(atomic module executions) can be decoded"
+        )
+    return label[index]  # type: ignore[return-value]
+
+
+def _exit_step_matrix(index: QueryIndex, step: LabelStep) -> BooleanMatrix:
+    """Transitions from the output of the node identified by ``step`` to the
+    output of its parent context (one level of the exit walk)."""
+    if isinstance(step, ProductionStep):
+        return index.to_sink(step.production, step.position)
+    # Climbing out of a recursion chain: from the output of chain child
+    # ``ordinal`` to the output of chain child 0 (the whole chain expansion).
+    return index.ascend_chain(step.cycle, step.start, step.ordinal - 1, 0)
+
+
+def _enter_step_matrix(index: QueryIndex, step: LabelStep) -> BooleanMatrix:
+    """Transitions from the input of the parent context to the input of the
+    node identified by ``step`` (one level of the entry walk)."""
+    if isinstance(step, ProductionStep):
+        return index.from_source(step.production, step.position)
+    # Descending into a recursion chain: from the input of chain child 0 to
+    # the input of chain child ``ordinal``.
+    return index.descend_chain(step.cycle, step.start, 0, step.ordinal - 1)
+
+
+def _exit_matrix(index: QueryIndex, suffix: Label) -> BooleanMatrix:
+    """Transitions from the node labeled by the full suffix up to the output
+    of the suffix's topmost context (deepest step composed first)."""
+    result = index.identity
+    for step in reversed(suffix):
+        result = result @ _exit_step_matrix(index, step)
+        if result.is_zero():
+            return result
+    return result
+
+
+def _enter_matrix(index: QueryIndex, suffix: Label) -> BooleanMatrix:
+    """Transitions from the input of the suffix's topmost context down to the
+    node labeled by the full suffix (shallowest step composed first)."""
+    result = index.identity
+    for step in suffix:
+        result = result @ _enter_step_matrix(index, step)
+        if result.is_zero():
+            return result
+    return result
+
+
+def pairwise_reach_matrix(
+    index: QueryIndex, label_u: Label, label_v: Label
+) -> BooleanMatrix:
+    """The DFA-state relation realized by paths from ``u`` to ``v``.
+
+    Identical labels denote the same node and yield the identity relation
+    (only the empty path).  Labels that cannot belong to the same run raise
+    :class:`~repro.errors.LabelError`.
+    """
+    if label_u == label_v:
+        return index.identity
+
+    split = common_prefix_length(label_u, label_v)
+    if split == len(label_u) or split == len(label_v):
+        raise LabelError(
+            "one label is a prefix of the other; labels of run nodes can never be nested"
+        )
+    step_u = label_u[split]
+    step_v = label_v[split]
+
+    if isinstance(step_u, ProductionStep) and isinstance(step_v, ProductionStep):
+        if step_u.production != step_v.production:
+            raise LabelError(
+                "labels diverge with different productions under the same parse-tree node"
+            )
+        crossing = index.cross(step_u.production, step_u.position, step_v.position)
+        if crossing.is_zero():
+            return index.zero
+        exit_part = _exit_matrix(index, label_u[split + 1 :])
+        if exit_part.is_zero():
+            return index.zero
+        enter_part = _enter_matrix(index, label_v[split + 1 :])
+        return exit_part @ crossing @ enter_part
+
+    if isinstance(step_u, RecursionStep) and isinstance(step_v, RecursionStep):
+        if step_u.cycle != step_v.cycle or step_u.start != step_v.start:
+            raise LabelError("labels diverge with inconsistent recursion chains")
+        cycle_index, start = step_u.cycle, step_u.start
+
+        if step_u.ordinal < step_v.ordinal:
+            # u sits under an earlier chain member: cross from u's branch to
+            # the recursive position, then descend to v's chain member.
+            branch = _expect_production_step(label_u, split + 1)
+            production_index, recursive_position = index.cycle_production(
+                cycle_index, start, step_u.ordinal
+            )
+            if branch.production != production_index:
+                raise LabelError(
+                    "a non-terminal chain member did not use its cycle production"
+                )
+            crossing = index.cross(production_index, branch.position, recursive_position)
+            if crossing.is_zero():
+                return index.zero
+            exit_part = _exit_matrix(index, label_u[split + 2 :])
+            if exit_part.is_zero():
+                return index.zero
+            descent = index.descend_chain(
+                cycle_index, start, step_u.ordinal + 1, step_v.ordinal - 1
+            )
+            enter_part = _enter_matrix(index, label_v[split + 1 :])
+            return exit_part @ crossing @ descent @ enter_part
+
+        # u sits under a later (more deeply nested) chain member: climb out of
+        # the nesting to v's chain member, then cross from the recursive
+        # position to v's branch.
+        branch = _expect_production_step(label_v, split + 1)
+        production_index, recursive_position = index.cycle_production(
+            cycle_index, start, step_v.ordinal
+        )
+        if branch.production != production_index:
+            raise LabelError(
+                "a non-terminal chain member did not use its cycle production"
+            )
+        crossing = index.cross(production_index, recursive_position, branch.position)
+        if crossing.is_zero():
+            return index.zero
+        exit_part = _exit_matrix(index, label_u[split + 1 :])
+        if exit_part.is_zero():
+            return index.zero
+        ascent = index.ascend_chain(
+            cycle_index, start, step_u.ordinal - 1, step_v.ordinal + 1
+        )
+        enter_part = _enter_matrix(index, label_v[split + 2 :])
+        return exit_part @ ascent @ crossing @ enter_part
+
+    raise LabelError("labels diverge with mixed step kinds under the same parse-tree node")
+
+
+def answer_pairwise_query(index: QueryIndex, label_u: Label, label_v: Label) -> bool:
+    """Algorithm 1: does some path from ``u`` to ``v`` match the query?"""
+    return index.accepts(pairwise_reach_matrix(index, label_u, label_v))

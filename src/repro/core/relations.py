@@ -1,0 +1,174 @@
+"""Node-pair relations and the join-based regex evaluation (Option G1).
+
+A regular path query over a run can always be evaluated bottom-up over the
+query's parse tree, materializing for every subexpression the relation of
+node pairs it connects and combining child relations with joins, unions and
+fixpoints (Li & Moon [21]; Option G1 in Section IV-B).  This module holds
+that relational machinery:
+
+* it *is* the baseline G1 used in the experiments, and
+* it evaluates the unsafe remainder of a decomposed general query
+  (Section IV-B, "Our approach").
+
+Relations are plain sets of ``(source node id, target node id)`` pairs, with
+adjacency dictionaries built on the fly for joins; the transitive closure
+uses semi-naive iteration.  Following the library-wide convention, the empty
+path is admitted: ``ε`` and ``e*`` relate every node of the run to itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.automata.regex import (
+    AnySymbol,
+    Concat,
+    Epsilon,
+    Plus,
+    RegexNode,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.workflow.run import Run
+
+__all__ = [
+    "NodePairs",
+    "tag_relation",
+    "all_edge_relation",
+    "identity_relation",
+    "compose",
+    "transitive_closure",
+    "reflexive_transitive_closure",
+    "restrict",
+    "evaluate_regex_relation",
+]
+
+NodePairs = set[tuple[str, str]]
+
+
+def tag_relation(run: Run, tag: str) -> NodePairs:
+    """Pairs connected by a single edge with the given tag."""
+    return {(edge.source, edge.target) for edge in run.edges_by_tag.get(tag, ())}
+
+
+def all_edge_relation(run: Run) -> NodePairs:
+    """Pairs connected by a single edge of any tag (the wildcard ``_``)."""
+    return {(edge.source, edge.target) for edge in run.edges}
+
+
+def identity_relation(nodes: Iterable[str]) -> NodePairs:
+    """The diagonal relation over a node universe (the empty path)."""
+    return {(node, node) for node in nodes}
+
+
+def _forward_index(relation: NodePairs) -> dict[str, set[str]]:
+    index: dict[str, set[str]] = {}
+    for source, target in relation:
+        index.setdefault(source, set()).add(target)
+    return index
+
+
+def compose(left: NodePairs, right: NodePairs) -> NodePairs:
+    """Relational composition: ``{(a, c) | (a, b) ∈ left, (b, c) ∈ right}``.
+
+    The smaller side drives the join to keep intermediate work proportional
+    to the output.
+    """
+    if not left or not right:
+        return set()
+    right_index = _forward_index(right)
+    result: NodePairs = set()
+    for source, middle in left:
+        targets = right_index.get(middle)
+        if targets:
+            for target in targets:
+                result.add((source, target))
+    return result
+
+
+def transitive_closure(relation: NodePairs) -> NodePairs:
+    """``R+``: one or more steps of ``R`` (semi-naive fixpoint iteration)."""
+    closure: NodePairs = set(relation)
+    index = _forward_index(relation)
+    frontier = set(relation)
+    while frontier:
+        next_frontier: NodePairs = set()
+        for source, middle in frontier:
+            for target in index.get(middle, ()):
+                pair = (source, target)
+                if pair not in closure:
+                    closure.add(pair)
+                    next_frontier.add(pair)
+        frontier = next_frontier
+    return closure
+
+
+def reflexive_transitive_closure(relation: NodePairs, nodes: Iterable[str]) -> NodePairs:
+    """``R*``: the transitive closure plus the diagonal over the universe."""
+    return transitive_closure(relation) | identity_relation(nodes)
+
+
+def restrict(
+    relation: NodePairs, l1: Sequence[str] | None, l2: Sequence[str] | None
+) -> NodePairs:
+    """Keep only pairs with the source in ``l1`` and the target in ``l2``."""
+    if l1 is None and l2 is None:
+        return relation
+    sources = None if l1 is None else set(l1)
+    targets = None if l2 is None else set(l2)
+    return {
+        (source, target)
+        for source, target in relation
+        if (sources is None or source in sources)
+        and (targets is None or target in targets)
+    }
+
+
+def evaluate_regex_relation(
+    run: Run,
+    node: RegexNode,
+    *,
+    subquery_evaluator=None,
+) -> NodePairs:
+    """Bottom-up join-based evaluation of a query over a run (Option G1).
+
+    ``subquery_evaluator(node) -> NodePairs | None`` optionally intercepts
+    subtrees (the decomposition engine passes a hook that answers *safe*
+    subtrees with the labeling-based all-pairs algorithm and returns ``None``
+    for everything else).
+    """
+    if subquery_evaluator is not None:
+        shortcut = subquery_evaluator(node)
+        if shortcut is not None:
+            return shortcut
+    if isinstance(node, Epsilon):
+        return identity_relation(run.node_ids())
+    if isinstance(node, Symbol):
+        return tag_relation(run, node.tag)
+    if isinstance(node, AnySymbol):
+        return all_edge_relation(run)
+    if isinstance(node, Concat):
+        relation: NodePairs | None = None
+        for part in node.parts:
+            part_relation = evaluate_regex_relation(
+                run, part, subquery_evaluator=subquery_evaluator
+            )
+            relation = part_relation if relation is None else compose(relation, part_relation)
+            if not relation:
+                return set()
+        return relation if relation is not None else identity_relation(run.node_ids())
+    if isinstance(node, Union):
+        result: NodePairs = set()
+        for part in node.parts:
+            result |= evaluate_regex_relation(
+                run, part, subquery_evaluator=subquery_evaluator
+            )
+        return result
+    if isinstance(node, Star):
+        inner = evaluate_regex_relation(run, node.child, subquery_evaluator=subquery_evaluator)
+        return reflexive_transitive_closure(inner, run.node_ids())
+    if isinstance(node, Plus):
+        inner = evaluate_regex_relation(run, node.child, subquery_evaluator=subquery_evaluator)
+        return transitive_closure(inner)
+    raise TypeError(f"unknown regex node {node!r}")

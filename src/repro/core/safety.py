@@ -1,0 +1,175 @@
+"""Safe queries (Section III-C of the paper).
+
+A DFA ``M`` is *safe* with respect to a specification ``G`` when, for every
+module ``M`` of ``G`` and every pair of DFA states ``(q1, q2)``, either every
+execution of the module contains an input-to-output path whose tags drive the
+DFA from ``q1`` to ``q2`` or none does (Definition 12).  A regular path query
+is safe iff its *minimal* DFA is safe (Definition 13 together with
+Lemma 3.2).  Safety is exactly what allows the run-agnostic λ matrices to
+stand in for whatever execution the run actually chose.
+
+The check follows the algorithm sketched in the paper: λ of an atomic module
+is the identity; a production is *verifiable* once λ is defined for every
+module in its body, at which point the body's λ can be computed by a
+topological sweep; the DFA is safe iff λ ends up consistently defined for all
+composite modules.  Visiting each production at most ``|P|`` times gives the
+``O(|Q|² · |G|)``-style bound of the paper (our implementation is a simple
+worklist fixpoint with the same asymptotics up to a factor of ``|P|``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.boolean_matrix import BooleanMatrix
+from repro.automata.dfa import DFA, dfa_from_regex
+from repro.automata.regex import RegexNode, parse_regex
+from repro.workflow.simple import SimpleWorkflow
+from repro.workflow.spec import Specification
+
+__all__ = [
+    "SafetyViolation",
+    "SafetyReport",
+    "body_transition_matrix",
+    "analyze_safety",
+    "is_safe_query",
+    "query_dfa",
+]
+
+
+@dataclass(frozen=True)
+class SafetyViolation:
+    """One inconsistency found while checking safety.
+
+    ``module`` admits two derivations whose input-to-output path-transition
+    relations differ; ``production`` is the production whose recomputed λ
+    disagreed with the previously established one.
+    """
+
+    module: str
+    production: int
+    established: BooleanMatrix
+    conflicting: BooleanMatrix
+
+    def state_pairs(self) -> list[tuple[int, int]]:
+        """The unsafe DFA state pairs witnessed by this violation."""
+        differing = []
+        size = self.established.size
+        for q1 in range(size):
+            for q2 in range(size):
+                if self.established.get(q1, q2) != self.conflicting.get(q1, q2):
+                    differing.append((q1, q2))
+        return differing
+
+
+@dataclass
+class SafetyReport:
+    """Result of a safety analysis of one DFA against one specification."""
+
+    spec: Specification
+    dfa: DFA
+    lambdas: dict[str, BooleanMatrix] = field(default_factory=dict)
+    violations: list[SafetyViolation] = field(default_factory=list)
+
+    @property
+    def is_safe(self) -> bool:
+        return not self.violations
+
+    def lambda_of(self, module: str) -> BooleanMatrix:
+        """The λ matrix of a module (only meaningful when the DFA is safe)."""
+        return self.lambdas[module]
+
+
+def query_dfa(spec: Specification, query: str | RegexNode) -> DFA:
+    """The minimal complete DFA of a query over the specification's tags."""
+    return dfa_from_regex(parse_regex(query), spec.tags)
+
+
+def body_transition_matrix(
+    body: SimpleWorkflow,
+    dfa: DFA,
+    node_lambda,
+) -> BooleanMatrix:
+    """λ of one production body.
+
+    ``node_lambda(position) -> BooleanMatrix`` supplies the λ matrix of the
+    module at each body position.  The result relates DFA states at the
+    body's input (the source node's input) to DFA states at its output (the
+    sink node's output): entry ``(q1, q2)`` is set iff some source-to-sink
+    path — descending through nested modules according to their λ — drives
+    the DFA from ``q1`` to ``q2``.
+    """
+    size = dfa.state_count
+    # reach_in[p] relates states at the body input to states at node p's input.
+    reach_in: dict[int, BooleanMatrix] = {body.source: BooleanMatrix.identity(size)}
+    tag_matrix = {tag: dfa.transition_matrix(tag) for tag in body.tags()}
+    for position in body.topological_order:
+        incoming = reach_in.get(position)
+        if incoming is None or incoming.is_zero():
+            continue
+        at_output = incoming @ node_lambda(position)
+        for edge in body.edges:
+            if edge.source != position:
+                continue
+            contribution = at_output @ tag_matrix[edge.tag]
+            existing = reach_in.get(edge.target)
+            reach_in[edge.target] = contribution if existing is None else existing | contribution
+    sink_in = reach_in.get(body.sink, BooleanMatrix.zero(size))
+    return sink_in @ node_lambda(body.sink)
+
+
+def analyze_safety(spec: Specification, dfa: DFA) -> SafetyReport:
+    """Check whether a DFA is safe with respect to a specification.
+
+    Returns a :class:`SafetyReport` carrying the λ matrices (the by-product
+    the paper mentions, reused by the query index) and any violations found.
+    """
+    if not (spec.tags <= dfa.alphabet):
+        dfa = dfa.with_alphabet(spec.tags)
+    size = dfa.state_count
+    report = SafetyReport(spec=spec, dfa=dfa)
+    lambdas: dict[str, BooleanMatrix] = {
+        module: BooleanMatrix.identity(size) for module in spec.atomic_modules
+    }
+
+    pending = set(range(len(spec.productions)))
+    progress = True
+    while pending and progress:
+        progress = False
+        for index in sorted(pending):
+            production = spec.production(index)
+            body = production.body
+            if any(module not in lambdas for module in body.nodes):
+                continue
+            pending.discard(index)
+            progress = True
+            computed = body_transition_matrix(
+                body, dfa, lambda position: lambdas[body.module_at(position)]
+            )
+            established = lambdas.get(production.head)
+            if established is None:
+                lambdas[production.head] = computed
+            elif established != computed:
+                report.violations.append(
+                    SafetyViolation(
+                        module=production.head,
+                        production=index,
+                        established=established,
+                        conflicting=computed,
+                    )
+                )
+    # Specification validation guarantees productivity, so the fixpoint above
+    # always defines λ for every composite module unless a violation stopped
+    # nothing — pending productions at this point can only remain if their
+    # head already failed, which is already reported.
+    report.lambdas = lambdas
+    return report
+
+
+def is_safe_query(spec: Specification, query: str | RegexNode) -> bool:
+    """Is the regular path query safe for the specification?
+
+    Implements Definition 13 via Lemma 3.2: build the minimal DFA of the
+    query (over the specification's tag alphabet) and check its safety.
+    """
+    return analyze_safety(spec, query_dfa(spec, query)).is_safe

@@ -1,0 +1,88 @@
+"""The running example of the paper (Fig. 2).
+
+The specification has four productions:
+
+* ``W1: S -> c  A  B  b``  (a diamond: ``c`` fans out to ``A`` and ``B``,
+  both of which join into ``b``),
+* ``W2: A -> a  A  d``     (the recursive production, chain ``a → A → d``),
+* ``W3: A -> e  e``        (the terminating production, chain ``e → e``),
+* ``W4: B -> b  b``        (chain ``b → b``).
+
+Following the paper's convention, every edge is tagged with the name of the
+module it leaves.  This reconstruction reproduces the worked results of the
+paper exactly:
+
+* Example 3.1 — ``A+`` holds for ``(d:2, b:1)`` but ``A`` does not; the
+  all-pairs answers over ``l1 = {d:1, d:2, e:2}``, ``l2 = {b:1, b:2}`` are
+  ``{(d:1,b:1), (d:2,b:1), (e:2,b:1)}`` for ``A+`` and ``{(d:1,b:1)}`` for
+  ``A``;
+* Example 3.2 — ``_* e _*`` (R3) holds for ``(c:1, b:1)`` but not
+  ``(c:1, b:3)``;
+* Section III-C — R3 is safe while ``e`` (R4) and ``_* a _*`` are not.
+
+The only recursive module is ``A`` (Example 2.2).
+"""
+
+from __future__ import annotations
+
+from repro.workflow.derivation import Derivation
+from repro.workflow.run import Run
+from repro.workflow.simple import Edge, SimpleWorkflow
+from repro.workflow.spec import Production, Specification
+
+__all__ = ["paper_specification", "paper_run", "PAPER_PRODUCTIONS"]
+
+# Production indices, for readability in tests (0-based; the paper is 1-based).
+W1, W2, W3, W4 = 0, 1, 2, 3
+
+PAPER_PRODUCTIONS = {"W1": W1, "W2": W2, "W3": W3, "W4": W4}
+
+
+def paper_specification() -> Specification:
+    """Build the specification of Fig. 2a."""
+    w1 = SimpleWorkflow(
+        ["c", "A", "B", "b"],
+        [Edge(0, 1, "c"), Edge(0, 2, "c"), Edge(1, 3, "A"), Edge(2, 3, "B")],
+    )
+    w2 = SimpleWorkflow(
+        ["a", "A", "d"],
+        [Edge(0, 1, "a"), Edge(1, 2, "A")],
+    )
+    w3 = SimpleWorkflow(["e", "e"], [Edge(0, 1, "e")])
+    w4 = SimpleWorkflow(["b", "b"], [Edge(0, 1, "b")])
+    return Specification(
+        start="S",
+        productions=[
+            Production("S", w1),
+            Production("A", w2),
+            Production("A", w3),
+            Production("B", w4),
+        ],
+        name="paper-example",
+    )
+
+
+def paper_run(recursion_depth: int = 2) -> Run:
+    """Derive the run of Fig. 2b (for the default ``recursion_depth=2``).
+
+    The start module fires ``W1``; ``A`` fires its recursive production ``W2``
+    ``recursion_depth`` times and then terminates with ``W3``; ``B`` fires
+    ``W4``.  With ``recursion_depth=2`` the resulting run has the eleven
+    atomic executions of the paper's figure:
+    ``c:1, a:1, a:2, e:1, e:2, d:1, d:2, b:1, b:2, b:3`` and their edges.
+    """
+    if recursion_depth < 0:
+        raise ValueError("recursion_depth must be non-negative")
+    spec = paper_specification()
+    derivation = Derivation(spec)
+
+    # Replace S with W1.
+    (_, a_node, b_node, _) = derivation.step("S:1", W1)
+    # Unfold the recursion of A.
+    current = a_node
+    for _ in range(recursion_depth):
+        _, current, _ = derivation.step(current, W2)
+    derivation.step(current, W3)
+    # Expand B.
+    derivation.step(b_node, W4)
+    return derivation.to_run()

@@ -1,0 +1,203 @@
+"""Query workload generators.
+
+The paper evaluates two classes of queries known to be expensive
+(Section V-A):
+
+* **IFQs** ``_* a1 _* a2 ... ak _*`` — "node pairs processed by a sequence of
+  modules"; the natural workload for baseline G3.
+* **Kleene stars** ``a*`` — provenance of forks and loops; the natural
+  workload for the labeling-based approach.
+
+plus random queries obtained by combining edge tags with concatenation,
+union and Kleene star (Section V-E).  All generators are deterministic given
+a seed and only mention tags that actually occur in the specification.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.workflow.spec import Specification
+
+__all__ = [
+    "discriminating_tags",
+    "generate_ifq",
+    "generate_ifq_along_path",
+    "generate_kleene_star",
+    "generate_random_query",
+    "generate_query_suite",
+]
+
+
+def _ordered_tags(spec: Specification) -> list[str]:
+    return sorted(spec.tags)
+
+
+def generate_ifq(
+    spec: Specification,
+    k: int,
+    *,
+    seed: int = 0,
+    tags: Sequence[str] | None = None,
+) -> str:
+    """An infrequent-form query ``_* a1 _* ... ak _*`` with ``k`` tags.
+
+    ``k = 0`` degenerates to the reachability query ``_*`` exactly as in
+    Fig. 13d of the paper.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if tags is None:
+        rng = random.Random(seed)
+        pool = _ordered_tags(spec)
+        tags = [rng.choice(pool) for _ in range(k)]
+    elif len(tags) != k:
+        raise ValueError(f"expected {k} tags, got {len(tags)}")
+    parts = ["_*"]
+    for tag in tags:
+        parts.append(tag)
+        parts.append("_*")
+    return " ".join(parts)
+
+
+def generate_ifq_along_path(
+    run,
+    k: int,
+    *,
+    seed: int = 0,
+    prefer: str | None = None,
+    index=None,
+) -> str:
+    """An IFQ whose tags are sampled *in order along an actual run path*.
+
+    Queries built this way are guaranteed to have at least one match, which
+    makes them realistic workloads for the all-pairs experiments:
+
+    * ``prefer="rare"`` keeps the k rarest tags of the sampled path (highly
+      selective queries, the regime where the index baseline G3 shines);
+    * ``prefer="frequent"`` keeps the k most frequent tags (lowly selective
+      queries, the regime where intermediate results blow up);
+    * ``prefer=None`` spreads the k tags evenly along the path.
+
+    ``index`` may supply a prebuilt :class:`~repro.datasets.index.EdgeTagIndex`
+    for the frequency counts.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k == 0:
+        return "_*"
+    rng = random.Random(seed)
+    if index is None:
+        from repro.datasets.index import EdgeTagIndex
+
+        index = EdgeTagIndex.from_run(run)
+
+    # Random forward walk from a random node, collecting edge tags in order.
+    best_walk: list[str] = []
+    nodes = list(run.node_ids())
+    for _ in range(40):
+        current = rng.choice(nodes)
+        walk: list[str] = []
+        while True:
+            successors = run.successors[current]
+            if not successors:
+                break
+            current, tag = successors[rng.randrange(len(successors))]
+            walk.append(tag)
+        if len(walk) > len(best_walk):
+            best_walk = walk
+        if len(best_walk) >= 4 * k:
+            break
+    if not best_walk:
+        return generate_ifq(run.spec, k, seed=seed)
+
+    if len(best_walk) <= k:
+        chosen = list(best_walk) + [best_walk[-1]] * (k - len(best_walk))
+    elif prefer in ("rare", "frequent"):
+        ranked = sorted(
+            range(len(best_walk)),
+            key=lambda position: index.count(best_walk[position]),
+            reverse=(prefer == "frequent"),
+        )
+        keep = sorted(ranked[:k])
+        chosen = [best_walk[position] for position in keep]
+    else:
+        step = len(best_walk) / k
+        chosen = [best_walk[int(i * step)] for i in range(k)]
+    return generate_ifq(run.spec, k, tags=chosen)
+
+
+def generate_kleene_star(tag: str) -> str:
+    """The Kleene-star query ``a*`` for a single edge tag."""
+    return f"{tag}*"
+
+
+def discriminating_tags(spec: Specification) -> frozenset[str]:
+    """Tags that distinguish alternative implementations of some module.
+
+    A tag that appears in some—but not all—production bodies of a composite
+    module is the raw material of query *unsafety* (Section III-C): whether a
+    path with that tag exists can depend on which implementation ran.  The
+    Fig. 15 workload draws on these tags to obtain unsafe queries.
+    """
+    result: set[str] = set()
+    for module, production_indices in spec.productions_of.items():
+        if len(production_indices) < 2:
+            continue
+        tag_sets = [set(spec.production(index).body.tags()) for index in production_indices]
+        everywhere = set.intersection(*tag_sets)
+        somewhere = set.union(*tag_sets)
+        result |= somewhere - everywhere
+    return frozenset(result)
+
+
+def generate_random_query(
+    spec: Specification,
+    *,
+    seed: int = 0,
+    depth: int = 3,
+    tag_pool: Sequence[str] | None = None,
+) -> str:
+    """A random query combining tags with concatenation, union and star.
+
+    Mirrors Section V-E: "we generate queries by randomly combining edge tags
+    using concatenation, union, and Kleene star."  ``tag_pool`` restricts the
+    tags drawn (used to bias the Fig. 15 workload towards unsafe queries).
+    """
+    rng = random.Random(seed)
+    pool = sorted(tag_pool) if tag_pool else _ordered_tags(spec)
+
+    def build(level: int) -> str:
+        if level <= 0 or rng.random() < 0.3:
+            choice = rng.random()
+            if choice < 0.55:
+                return rng.choice(pool)
+            if choice < 0.8:
+                return "_*"
+            return f"{rng.choice(pool)}*"
+        operator = rng.choice(["concat", "union", "star"])
+        if operator == "concat":
+            parts = [build(level - 1) for _ in range(rng.randint(2, 3))]
+            return " . ".join(f"({part})" for part in parts)
+        if operator == "union":
+            parts = [build(level - 1) for _ in range(2)]
+            return f"(({parts[0]}) | ({parts[1]}))"
+        return f"({build(level - 1)})*"
+
+    return build(depth)
+
+
+def generate_query_suite(
+    spec: Specification,
+    *,
+    count: int,
+    seed: int = 0,
+    depth: int = 3,
+    tag_pool: Sequence[str] | None = None,
+) -> list[str]:
+    """A deterministic suite of random queries (Fig. 15 uses 40 of these)."""
+    return [
+        generate_random_query(spec, seed=seed * 1_000 + index, depth=depth, tag_pool=tag_pool)
+        for index in range(count)
+    ]

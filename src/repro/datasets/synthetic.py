@@ -1,0 +1,162 @@
+"""Synthetic workflow specifications.
+
+Section V-B of the paper evaluates the safety-check overhead on synthetic
+workflows of varying size.  :func:`generate_synthetic_specification` builds a
+random — but always valid — specification:
+
+* strictly linear-recursive (recursion is introduced only as self-cycles),
+* every production body is a single-entry/single-exit spanning DAG (a chain
+  with optional extra forward edges, giving "branchy" bodies),
+* every composite module is productive (recursive modules always get a
+  non-recursive terminating production),
+* every composite module is reachable from the start module, so derived runs
+  actually exercise the whole grammar,
+* a configurable fraction of composite modules has *alternative*
+  implementations (two non-recursive productions), which is the source of
+  query unsafety (Section III-C) and of derivation diversity.
+
+Edge tags are drawn from a bounded vocabulary (rather than from the module
+names) so that generated queries have meaningful, controllable selectivity.
+The ``target_size`` parameter is the paper's workflow-size measure
+(sum over productions of ``1 + |body|``); the generator gets within a few
+percent of it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workflow.simple import Edge, SimpleWorkflow
+from repro.workflow.spec import Production, Specification
+
+__all__ = ["generate_synthetic_specification"]
+
+
+def _random_body(
+    rng: random.Random,
+    modules: list[str],
+    vocabulary: list[str],
+    *,
+    extra_edge_probability: float = 0.3,
+) -> SimpleWorkflow:
+    """A random spanning DAG over the given module sequence.
+
+    The backbone is the chain ``modules[0] -> modules[1] -> ...`` which
+    guarantees a unique source, a unique sink and the spanning property;
+    random forward "shortcut" edges add branchiness.  Tags are drawn from the
+    vocabulary.
+    """
+    edges = []
+    for index in range(len(modules) - 1):
+        edges.append(Edge(index, index + 1, rng.choice(vocabulary)))
+    for source in range(len(modules) - 2):
+        for target in range(source + 2, len(modules)):
+            if rng.random() < extra_edge_probability / (target - source):
+                edges.append(Edge(source, target, rng.choice(vocabulary)))
+    return SimpleWorkflow(modules, edges)
+
+
+def generate_synthetic_specification(
+    target_size: int,
+    *,
+    seed: int = 0,
+    recursion_fraction: float = 0.3,
+    alternative_fraction: float = 0.4,
+    body_size_range: tuple[int, int] = (4, 8),
+    branchiness: float = 0.3,
+    tag_vocabulary_size: int = 20,
+    name: str | None = None,
+) -> Specification:
+    """Generate a random strictly-linear-recursive specification.
+
+    Parameters
+    ----------
+    target_size:
+        Desired workflow size (the paper varies 400–1200 in Fig. 13a).
+    recursion_fraction:
+        Fraction of composite modules (other than the start) that carry a
+        self-recursive production in addition to their terminating one.
+    alternative_fraction:
+        Fraction of composite modules with a second, alternative
+        non-recursive implementation.
+    body_size_range:
+        Inclusive range of production-body lengths.
+    branchiness:
+        Probability weight of extra forward edges inside bodies.
+    tag_vocabulary_size:
+        Number of distinct edge tags to draw from.
+    """
+    if target_size < 10:
+        raise ValueError("target_size must be at least 10")
+    rng = random.Random(seed)
+    low, high = body_size_range
+    average_body = (low + high) / 2
+    vocabulary = [f"op{i}" for i in range(max(2, tag_vocabulary_size))]
+
+    # Expected number of productions per composite and size per production.
+    productions_per_module = 1 + recursion_fraction + alternative_fraction
+    per_module = productions_per_module * (average_body + 1)
+    composite_count = max(3, int(round(target_size / per_module)))
+
+    composites = [f"C{i}" for i in range(composite_count)]
+    atom_counter = 0
+
+    def fresh_atoms(count: int) -> list[str]:
+        nonlocal atom_counter
+        names = [f"t{atom_counter + i}" for i in range(count)]
+        atom_counter += count
+        return names
+
+    def make_members(references: list[str]) -> list[str]:
+        """Body members: fresh atomic modules with composite references at
+        interior positions (the source and sink stay atomic)."""
+        body_length = rng.randint(low, high)
+        atom_count = max(2, body_length - len(references))
+        members = fresh_atoms(atom_count)
+        for reference in references:
+            members.insert(rng.randint(1, len(members) - 1), reference)
+        return members
+
+    productions: list[Production] = []
+    for index, module in enumerate(composites):
+        # Reachability: the primary production of C_i always references
+        # C_{i+1}; additional references to later composites add width.
+        references: list[str] = []
+        if index + 1 < composite_count:
+            references.append(composites[index + 1])
+        later = composites[index + 2 :]
+        if later and rng.random() < 0.6:
+            references.extend(rng.sample(later, min(len(later), rng.randint(1, 2))))
+        productions.append(
+            Production(
+                module,
+                _random_body(rng, make_members(references), vocabulary, extra_edge_probability=branchiness),
+            )
+        )
+
+        if index > 0 and rng.random() < alternative_fraction:
+            # An alternative implementation with different steps (and possibly
+            # no sub-workflow calls) — the source of query unsafety.
+            alt_references = [composites[index + 1]] if index + 1 < composite_count and rng.random() < 0.5 else []
+            productions.append(
+                Production(
+                    module,
+                    _random_body(rng, make_members(alt_references), vocabulary, extra_edge_probability=branchiness),
+                )
+            )
+
+        if index > 0 and rng.random() < recursion_fraction:
+            # Self-recursive production: the module occurs exactly once in its
+            # own body, flanked by fresh atomic modules (fork/loop pattern).
+            loop_atoms = fresh_atoms(max(2, rng.randint(low, high) - 1))
+            position = rng.randint(1, len(loop_atoms) - 1)
+            members = loop_atoms[:position] + [module] + loop_atoms[position:]
+            productions.append(
+                Production(
+                    module,
+                    _random_body(rng, members, vocabulary, extra_edge_probability=branchiness),
+                )
+            )
+
+    spec_name = name or f"synthetic-{target_size}-seed{seed}"
+    return Specification(start=composites[0], productions=productions, name=spec_name)

@@ -1,0 +1,39 @@
+"""Dynamic, derivation-based reachability labeling (paper reference [4]).
+
+This package reproduces the labeling substrate the paper builds on: every
+node of a run is labeled, *as it is derived*, with the sequence of derivation
+steps that created it (a path in the *compressed parse tree*).  Labels are
+
+* **query-agnostic** — they encode only which productions fired, and
+* **parameterized by the specification** — decoding a pair of labels consults
+  the specification (or, for regular path queries, the query-intersected
+  specification ``G^R``), never the run itself.
+
+Contents:
+
+* :mod:`repro.labeling.labels` — label step types and helpers,
+* :mod:`repro.labeling.labeler` — assigns labels during derivation, handling
+  recursion chains (the children of the parse tree's ``R`` nodes),
+* :mod:`repro.labeling.parse_tree` — the compressed parse tree / label trie
+  used by the all-pairs algorithm,
+* :mod:`repro.labeling.reachability` — the constant-time (in run size)
+  pairwise reachability decode π(ψV(u), ψV(v), G).
+"""
+
+from repro.labeling.labels import Label, ProductionStep, RecursionStep, format_label, parse_label
+from repro.labeling.labeler import ChainContext, Labeler
+from repro.labeling.parse_tree import LabelTrie, TrieNode
+from repro.labeling.reachability import is_reachable
+
+__all__ = [
+    "ChainContext",
+    "Label",
+    "LabelTrie",
+    "Labeler",
+    "ProductionStep",
+    "RecursionStep",
+    "TrieNode",
+    "format_label",
+    "is_reachable",
+    "parse_label",
+]

@@ -1,0 +1,148 @@
+"""Label assignment during derivation.
+
+The :class:`Labeler` encapsulates the rules of Section II-B for building the
+compressed parse tree *incrementally, as productions fire*:
+
+* replacing a composite node with production ``k`` gives each body position
+  ``i`` the label of the replaced node extended with ``ProductionStep(k, i)``;
+* except that a body position holding a *recursive* module starts a new
+  recursion chain: an implicit ``R`` node is created at
+  ``parent + ProductionStep(k, i)`` and the new module execution becomes its
+  first child, labeled ``... + RecursionStep(cycle, start_offset, 0)``;
+* and except that when a *chain member* fires its cycle production, the body
+  position holding the next cycle module does not descend under the chain
+  member but becomes the next child of the same ``R`` node,
+  ``r_label + RecursionStep(cycle, start_offset, ordinal + 1)``.
+
+The labeler never looks at the run graph: the information needed is carried
+in a small :class:`ChainContext` attached to each live composite node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import DerivationError
+from repro.labeling.labels import Label, ProductionStep, RecursionStep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workflow.spec import Specification
+
+__all__ = ["ChainContext", "ChildLabel", "Labeler"]
+
+
+@dataclass(frozen=True)
+class ChainContext:
+    """Recursion-chain bookkeeping for a live composite node.
+
+    ``r_label`` is the label of the chain's ``R`` parse-tree node, ``cycle``
+    and ``start`` identify the cycle and the offset at which the chain entered
+    it, and ``ordinal`` is this node's (0-based) position along the chain.
+    """
+
+    r_label: Label
+    cycle: int
+    start: int
+    ordinal: int
+
+
+@dataclass(frozen=True)
+class ChildLabel:
+    """The label and chain context computed for one body position."""
+
+    position: int
+    module: str
+    label: Label
+    chain: ChainContext | None
+
+
+class Labeler:
+    """Computes labels for the nodes created by each derivation step."""
+
+    def __init__(self, spec: "Specification") -> None:
+        self._spec = spec
+        self._graph = spec.production_graph
+
+    # -- the root -----------------------------------------------------------------
+
+    def root(self) -> tuple[Label, ChainContext | None]:
+        """Label and chain context of the initial start-module node.
+
+        If the start module is itself recursive, the root of the compressed
+        parse tree is an ``R`` node with the empty label and the start node is
+        its first chain child.
+        """
+        start = self._spec.start
+        cycle = self._graph.cycle_of(start)
+        if cycle is None:
+            return (), None
+        offset = self._graph.cycle_offset_of(start)
+        context = ChainContext(r_label=(), cycle=cycle.index, start=offset, ordinal=0)
+        return ((RecursionStep(cycle.index, offset, 0),), context)
+
+    # -- children of a replacement ---------------------------------------------------
+
+    def children(
+        self,
+        parent_label: Label,
+        parent_chain: ChainContext | None,
+        production_index: int,
+    ) -> list[ChildLabel]:
+        """Labels for every body position of the production replacing a node."""
+        production = self._spec.production(production_index)
+        body = production.body
+
+        chain_position: int | None = None
+        chain_cycle = None
+        if parent_chain is not None:
+            chain_cycle = self._graph.cycles[parent_chain.cycle]
+            chain_offset = chain_cycle.chain_offset(parent_chain.start, parent_chain.ordinal)
+            cycle_production, recursive_position = chain_cycle.step(chain_offset)
+            if production_index == cycle_production:
+                chain_position = recursive_position
+
+        children: list[ChildLabel] = []
+        for position, module in enumerate(body.nodes):
+            if chain_position is not None and position == chain_position:
+                # The next module execution of the current recursion chain.
+                assert parent_chain is not None
+                next_ordinal = parent_chain.ordinal + 1
+                step = RecursionStep(parent_chain.cycle, parent_chain.start, next_ordinal)
+                label = parent_chain.r_label + (step,)
+                context = ChainContext(
+                    r_label=parent_chain.r_label,
+                    cycle=parent_chain.cycle,
+                    start=parent_chain.start,
+                    ordinal=next_ordinal,
+                )
+                children.append(ChildLabel(position, module, label, context))
+                continue
+
+            cycle = self._graph.cycle_of(module)
+            base = parent_label + (ProductionStep(production_index, position),)
+            if cycle is None:
+                children.append(ChildLabel(position, module, base, None))
+                continue
+            # A recursive module reached from outside its cycle: start a new
+            # chain under an implicit R node located at ``base``.
+            offset = self._graph.cycle_offset_of(module)
+            step = RecursionStep(cycle.index, offset, 0)
+            context = ChainContext(r_label=base, cycle=cycle.index, start=offset, ordinal=0)
+            children.append(ChildLabel(position, module, base + (step,), context))
+        return children
+
+    # -- validation helper ------------------------------------------------------------
+
+    def check_production_applicable(
+        self, module: str, production_index: int
+    ) -> None:
+        """Raise :class:`DerivationError` when the production cannot replace a
+        node of the given module."""
+        if production_index < 0 or production_index >= len(self._spec.productions):
+            raise DerivationError(f"production index {production_index} out of range")
+        head = self._spec.production(production_index).head
+        if head != module:
+            raise DerivationError(
+                f"production {production_index} rewrites {head!r}, not {module!r}"
+            )

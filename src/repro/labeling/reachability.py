@@ -1,0 +1,118 @@
+"""Pairwise reachability decoding from labels (the π predicate of [4]).
+
+Given the labels of two run nodes and the specification the run was derived
+from, :func:`is_reachable` decides whether a path exists between the nodes in
+the run.  The decision only inspects the two labels and the specification —
+its running time is bounded by the label length (at most the depth of the
+compressed parse tree, which is bounded by the specification size) and is
+therefore independent of the run size, matching the constant-time claim of
+the paper under the word-RAM convention.
+
+The decode walks the two labels to their divergence point in the compressed
+parse tree and then reasons locally:
+
+* divergence under a *composite* parse-tree node at body positions ``i`` and
+  ``j`` of production ``k``: reachable iff position ``i`` reaches position
+  ``j`` in the body DAG;
+* divergence under a *recursive* (``R``) node at chain ordinals ``i < j``:
+  reachable iff the position of ``u``'s branch inside chain child ``i``'s
+  cycle production reaches that production's recursive position (a "red"
+  branch in the paper's Algorithm 2 terminology);
+* symmetrically for ``i > j`` with the "blue" condition.
+
+The soundness of this local reasoning relies on the structural constraints
+enforced by :class:`repro.workflow.simple.SimpleWorkflow` (single-entry /
+single-exit, spanning bodies).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import LabelError
+from repro.labeling.labels import (
+    Label,
+    ProductionStep,
+    RecursionStep,
+    common_prefix_length,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workflow.spec import Specification
+
+__all__ = ["is_reachable"]
+
+
+def _expect_production_step(label: Label, index: int, context: str) -> ProductionStep:
+    if index >= len(label) or not isinstance(label[index], ProductionStep):
+        raise LabelError(f"malformed label near {context}: expected a production step")
+    return label[index]  # type: ignore[return-value]
+
+
+def is_reachable(label_u: Label, label_v: Label, spec: "Specification") -> bool:
+    """Decide ``u ⤳ v`` (a path of length >= 0) from labels alone.
+
+    ``label_u == label_v`` is treated as reachable (the empty path), matching
+    the convention that reachability ``_*`` is reflexive.
+    """
+    if label_u == label_v:
+        return True
+
+    split = common_prefix_length(label_u, label_v)
+    if split == len(label_u) or split == len(label_v):
+        raise LabelError(
+            "one label is a prefix of the other; labels of run nodes (atomic module "
+            "executions) can never be nested"
+        )
+
+    step_u = label_u[split]
+    step_v = label_v[split]
+
+    if isinstance(step_u, ProductionStep) and isinstance(step_v, ProductionStep):
+        if step_u.production != step_v.production:
+            raise LabelError(
+                "labels diverge with different productions under the same parse-tree "
+                f"node ({step_u.production} vs {step_v.production}); the labels do not "
+                "belong to the same run"
+            )
+        body = spec.production(step_u.production).body
+        return body.reaches(step_u.position, step_v.position)
+
+    if isinstance(step_u, RecursionStep) and isinstance(step_v, RecursionStep):
+        if step_u.cycle != step_v.cycle or step_u.start != step_v.start:
+            raise LabelError(
+                "labels diverge with inconsistent recursion chains; the labels do not "
+                "belong to the same run"
+            )
+        cycle = spec.production_graph.cycles[step_u.cycle]
+        if step_u.ordinal < step_v.ordinal:
+            # u lives under an earlier chain member; it reaches v iff its branch
+            # reaches the recursive position of that member's cycle production.
+            branch = _expect_production_step(label_u, split + 1, "recursion divergence")
+            offset = cycle.chain_offset(step_u.start, step_u.ordinal)
+            cycle_production, recursive_position = cycle.step(offset)
+            if branch.production != cycle_production:
+                raise LabelError(
+                    "a non-terminal chain member did not use its cycle production; "
+                    "the labels are inconsistent with the specification"
+                )
+            body = spec.production(cycle_production).body
+            return body.reaches(branch.position, recursive_position)
+        # u lives under a later (more deeply nested) chain member than v; it
+        # reaches v iff the recursive position of v's chain member reaches v's
+        # branch position.
+        branch = _expect_production_step(label_v, split + 1, "recursion divergence")
+        offset = cycle.chain_offset(step_v.start, step_v.ordinal)
+        cycle_production, recursive_position = cycle.step(offset)
+        if branch.production != cycle_production:
+            raise LabelError(
+                "a non-terminal chain member did not use its cycle production; "
+                "the labels are inconsistent with the specification"
+            )
+        body = spec.production(cycle_production).body
+        return body.reaches(recursive_position, branch.position)
+
+    raise LabelError(
+        "labels diverge with mixed step kinds under the same parse-tree node; the "
+        "labels do not belong to the same run"
+    )

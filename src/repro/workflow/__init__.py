@@ -1,0 +1,39 @@
+"""Workflow model: context-free graph grammars and their executions.
+
+This package implements the workflow model of Section II-A of the paper
+(following Bao, Davidson & Milo and Beeri et al.):
+
+* a :class:`~repro.workflow.simple.SimpleWorkflow` is a small DAG of module
+  occurrences connected by tagged data edges,
+* a :class:`~repro.workflow.spec.Production` rewrites a composite module into
+  a simple workflow,
+* a :class:`~repro.workflow.spec.Specification` is a context-free graph
+  grammar (CFGG) whose language is the set of all possible executions,
+* the :class:`~repro.workflow.production_graph.ProductionGraph` captures
+  recursion structure and is used to validate *strict linear recursion*,
+* the derivation engine (:mod:`repro.workflow.derivation`) executes a
+  specification by repeated node replacement, producing a
+  :class:`~repro.workflow.run.Run` — the provenance graph that queries are
+  asked over — and assigning the dynamic reachability labels of
+  :mod:`repro.labeling` as nodes are created.
+"""
+
+from repro.workflow.production_graph import Cycle, ProductionGraph
+from repro.workflow.run import Run, RunEdge, RunNode
+from repro.workflow.simple import Edge, SimpleWorkflow
+from repro.workflow.spec import Production, Specification
+from repro.workflow.derivation import Derivation, derive_run
+
+__all__ = [
+    "Cycle",
+    "Derivation",
+    "Edge",
+    "Production",
+    "ProductionGraph",
+    "Run",
+    "RunEdge",
+    "RunNode",
+    "SimpleWorkflow",
+    "Specification",
+    "derive_run",
+]

@@ -1,0 +1,145 @@
+"""JSON persistence for specifications and labeled runs.
+
+The paper stores simulated runs and their inverted indices on disk as Java
+serialized objects (Section V-A); this module provides the equivalent
+capability so workloads can be generated once and reused across benchmark
+invocations, and so external tools can inspect specifications, runs and
+labels.  The format is plain JSON with a small version header.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.labeling.labels import format_label, parse_label
+from repro.workflow.run import Run, RunEdge, RunNode
+from repro.workflow.simple import Edge, SimpleWorkflow
+from repro.workflow.spec import Production, Specification
+
+__all__ = [
+    "specification_to_dict",
+    "specification_from_dict",
+    "save_specification",
+    "load_specification",
+    "run_to_dict",
+    "run_from_dict",
+    "save_run",
+    "load_run",
+]
+
+_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Specifications
+# ---------------------------------------------------------------------------
+
+
+def specification_to_dict(spec: Specification) -> dict[str, Any]:
+    """A JSON-ready representation of a specification."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "specification",
+        "name": spec.name,
+        "start": spec.start,
+        "atomic_modules": sorted(spec.atomic_modules),
+        "productions": [
+            {
+                "head": production.head,
+                "nodes": list(production.body.nodes),
+                "edges": [
+                    {"source": edge.source, "target": edge.target, "tag": edge.tag}
+                    for edge in production.body.edges
+                ],
+            }
+            for production in spec.productions
+        ],
+    }
+
+
+def specification_from_dict(payload: dict[str, Any]) -> Specification:
+    """Rebuild a specification from :func:`specification_to_dict` output."""
+    if payload.get("kind") != "specification":
+        raise ReproError("payload does not describe a specification")
+    productions = [
+        Production(
+            head=entry["head"],
+            body=SimpleWorkflow(
+                entry["nodes"],
+                [Edge(edge["source"], edge["target"], edge["tag"]) for edge in entry["edges"]],
+            ),
+        )
+        for entry in payload["productions"]
+    ]
+    return Specification(
+        start=payload["start"],
+        productions=productions,
+        atomic_modules=payload.get("atomic_modules", ()),
+        name=payload.get("name", "workflow"),
+    )
+
+
+def save_specification(spec: Specification, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(specification_to_dict(spec), indent=2))
+
+
+def load_specification(path: str | Path) -> Specification:
+    return specification_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Runs
+# ---------------------------------------------------------------------------
+
+
+def run_to_dict(run: Run) -> dict[str, Any]:
+    """A JSON-ready representation of a labeled run (includes its spec)."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "run",
+        "specification": specification_to_dict(run.spec),
+        "seed": run.seed,
+        "derivation_steps": run.derivation_steps,
+        "nodes": [
+            {"id": node.node_id, "name": node.name, "label": format_label(node.label)}
+            for node in run
+        ],
+        "edges": [
+            {"source": edge.source, "target": edge.target, "tag": edge.tag}
+            for edge in run.edges
+        ],
+    }
+
+
+def run_from_dict(payload: dict[str, Any], spec: Specification | None = None) -> Run:
+    """Rebuild a labeled run; ``spec`` overrides the embedded specification."""
+    if payload.get("kind") != "run":
+        raise ReproError("payload does not describe a run")
+    if spec is None:
+        spec = specification_from_dict(payload["specification"])
+    nodes = [
+        RunNode(node_id=entry["id"], name=entry["name"], label=parse_label(entry["label"]))
+        for entry in payload["nodes"]
+    ]
+    edges = [
+        RunEdge(source=entry["source"], target=entry["target"], tag=entry["tag"])
+        for entry in payload["edges"]
+    ]
+    return Run.from_parts(
+        spec,
+        nodes,
+        edges,
+        derivation_steps=payload.get("derivation_steps", 0),
+        seed=payload.get("seed"),
+    )
+
+
+def save_run(run: Run, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(run_to_dict(run)))
+
+
+def load_run(path: str | Path, spec: Specification | None = None) -> Run:
+    return run_from_dict(json.loads(Path(path).read_text()), spec=spec)

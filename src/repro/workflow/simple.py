@@ -1,0 +1,224 @@
+"""Simple workflows: the right-hand sides of workflow productions.
+
+A simple workflow (Definition 1 of the paper) is a small graph whose nodes
+are module occurrences and whose edges are tagged with the name of the data
+flowing over them.  In the coarse-grained model used for regular path queries
+(Section III-A) every module has a single input and a single output, so we
+additionally require production bodies to be
+
+* acyclic,
+* single-entry / single-exit (a unique source and a unique sink), and
+* *spanning*: every node lies on some path from the source to the sink.
+
+These structural constraints are what make the hierarchical reachability
+facts used by the labeling scheme and by Algorithm 2 sound: every node of the
+expansion of a composite module is reachable from the expansion's input and
+reaches the expansion's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import StructureError
+
+__all__ = ["Edge", "SimpleWorkflow"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A tagged data edge between two positions of a simple workflow.
+
+    ``source`` and ``target`` are 0-based positions into
+    :attr:`SimpleWorkflow.nodes`.  ``tag`` names the data flowing on the edge;
+    by the convention used in the paper's examples it often equals the name of
+    the module at the head of the edge, but any tag is allowed.
+    """
+
+    source: int
+    target: int
+    tag: str
+
+
+class SimpleWorkflow:
+    """An immutable simple workflow (the body ``W`` of a production ``M -> W``).
+
+    Parameters
+    ----------
+    nodes:
+        Module names in a fixed order; the position of a module in this
+        sequence is its identity within the body (the ``i`` of the edge labels
+        ``(k, i)`` of the compressed parse tree).  Multiple positions may hold
+        the same module name.
+    edges:
+        Tagged edges between positions.  Parallel edges with distinct tags are
+        allowed (Definition 1).
+    """
+
+    __slots__ = ("_nodes", "_edges", "__dict__")
+
+    def __init__(self, nodes: Sequence[str], edges: Iterable[Edge | tuple] = ()) -> None:
+        if not nodes:
+            raise StructureError("a simple workflow needs at least one node")
+        self._nodes: tuple[str, ...] = tuple(nodes)
+        normalized = []
+        for edge in edges:
+            if not isinstance(edge, Edge):
+                edge = Edge(*edge)
+            if not (0 <= edge.source < len(self._nodes)):
+                raise StructureError(f"edge source {edge.source} out of range")
+            if not (0 <= edge.target < len(self._nodes)):
+                raise StructureError(f"edge target {edge.target} out of range")
+            if edge.source == edge.target:
+                raise StructureError("self-loop edges are not allowed in simple workflows")
+            normalized.append(edge)
+        self._edges: tuple[Edge, ...] = tuple(normalized)
+        self._validate()
+
+    # -- basic accessors ------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return self._nodes
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        return self._edges
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def module_at(self, position: int) -> str:
+        return self._nodes[position]
+
+    def positions_of(self, module: str) -> tuple[int, ...]:
+        """All positions holding the given module name."""
+        return tuple(i for i, name in enumerate(self._nodes) if name == module)
+
+    @cached_property
+    def successors(self) -> tuple[tuple[int, ...], ...]:
+        out: list[list[int]] = [[] for _ in self._nodes]
+        for edge in self._edges:
+            out[edge.source].append(edge.target)
+        return tuple(tuple(sorted(set(targets))) for targets in out)
+
+    @cached_property
+    def predecessors(self) -> tuple[tuple[int, ...], ...]:
+        incoming: list[list[int]] = [[] for _ in self._nodes]
+        for edge in self._edges:
+            incoming[edge.target].append(edge.source)
+        return tuple(tuple(sorted(set(sources))) for sources in incoming)
+
+    @cached_property
+    def source(self) -> int:
+        """The unique entry position (no incoming edges)."""
+        sources = [i for i, preds in enumerate(self.predecessors) if not preds]
+        return sources[0]
+
+    @cached_property
+    def sink(self) -> int:
+        """The unique exit position (no outgoing edges)."""
+        sinks = [i for i, succs in enumerate(self.successors) if not succs]
+        return sinks[0]
+
+    @cached_property
+    def topological_order(self) -> tuple[int, ...]:
+        """Positions in a topological order of the body DAG."""
+        in_degree = [len(preds) for preds in self.predecessors]
+        ready = [i for i, degree in enumerate(in_degree) if degree == 0]
+        order: list[int] = []
+        while ready:
+            position = ready.pop()
+            order.append(position)
+            for successor in self.successors[position]:
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready.append(successor)
+        return tuple(order)
+
+    @cached_property
+    def reachability(self) -> tuple[frozenset[int], ...]:
+        """``reachability[i]`` is the set of positions reachable from ``i`` by
+        one or more edges (the strict transitive closure of the body DAG)."""
+        reach: list[set[int]] = [set() for _ in self._nodes]
+        for position in reversed(self.topological_order):
+            for successor in self.successors[position]:
+                reach[position].add(successor)
+                reach[position] |= reach[successor]
+        return tuple(frozenset(r) for r in reach)
+
+    def reaches(self, source: int, target: int) -> bool:
+        """True when ``target`` is reachable from ``source`` by >= 1 edge."""
+        return target in self.reachability[source]
+
+    def edges_between(self, source: int, target: int) -> tuple[Edge, ...]:
+        return tuple(e for e in self._edges if e.source == source and e.target == target)
+
+    def tags(self) -> frozenset[str]:
+        return frozenset(edge.tag for edge in self._edges)
+
+    def iter_positions(self) -> Iterator[tuple[int, str]]:
+        return iter(enumerate(self._nodes))
+
+    # -- validation ------------------------------------------------------------
+
+    def _validate(self) -> None:
+        if len(self._nodes) == 1:
+            if self._edges:
+                raise StructureError("a single-node body cannot have edges")
+            return
+        sources = [i for i in range(len(self._nodes)) if not any(e.target == i for e in self._edges)]
+        sinks = [i for i in range(len(self._nodes)) if not any(e.source == i for e in self._edges)]
+        if len(sources) != 1:
+            raise StructureError(
+                f"a simple workflow must have exactly one source, found {len(sources)}"
+            )
+        if len(sinks) != 1:
+            raise StructureError(
+                f"a simple workflow must have exactly one sink, found {len(sinks)}"
+            )
+        order = self.topological_order
+        if len(order) != len(self._nodes):
+            raise StructureError("simple workflows must be acyclic")
+        # Spanning property: every node reachable from the source and reaching
+        # the sink.
+        source, sink = self.source, self.sink
+        for position in range(len(self._nodes)):
+            if position != source and not self.reaches(source, position):
+                raise StructureError(
+                    f"position {position} ({self._nodes[position]!r}) is not reachable "
+                    "from the body's source"
+                )
+            if position != sink and not self.reaches(position, sink):
+                raise StructureError(
+                    f"position {position} ({self._nodes[position]!r}) cannot reach "
+                    "the body's sink"
+                )
+
+    # -- misc -------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimpleWorkflow):
+            return NotImplemented
+        return self._nodes == other._nodes and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._nodes, self._edges))
+
+    def __repr__(self) -> str:
+        return f"SimpleWorkflow(nodes={list(self._nodes)!r}, edges={len(self._edges)})"
+
+
+def chain(modules: Sequence[str], tags: Sequence[str] | None = None) -> SimpleWorkflow:
+    """Convenience constructor: a linear chain of modules.
+
+    By default each edge is tagged with the name of the module at its head,
+    matching the convention used in the paper's examples.
+    """
+    edges = []
+    for index in range(len(modules) - 1):
+        tag = tags[index] if tags is not None else modules[index + 1]
+        edges.append(Edge(index, index + 1, tag))
+    return SimpleWorkflow(modules, edges)

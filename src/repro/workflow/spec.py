@@ -1,0 +1,214 @@
+"""Workflow specifications: context-free graph grammars (CFGGs).
+
+A :class:`Specification` (Definition 3 of the paper) is ``G = (Σ, Δ, S, P)``
+where ``Σ`` is the set of modules, ``Δ ⊆ Σ`` the composite modules, ``S`` the
+start module and ``P`` a finite set of productions ``M -> W`` rewriting a
+composite module into a :class:`~repro.workflow.simple.SimpleWorkflow`.
+
+Beyond the paper's definitions, the constructor validates the assumptions the
+labeling scheme and the query engine rely on:
+
+* every composite module has at least one production and every production
+  head is composite,
+* every composite module is *productive* (can derive a graph of atomic
+  modules only) — otherwise derivations could never terminate,
+* the specification is *strictly linear-recursive* (Definition 6): all cycles
+  of the production graph are vertex-disjoint, which with multi-edges means
+  every non-trivial strongly connected component of the production graph is a
+  single elementary cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import RecursionError_, SpecificationError
+from repro.workflow.production_graph import ProductionGraph
+from repro.workflow.simple import SimpleWorkflow
+
+__all__ = ["Production", "Specification"]
+
+
+@dataclass(frozen=True)
+class Production:
+    """A workflow production ``head -> body`` (Definition 2)."""
+
+    head: str
+    body: SimpleWorkflow
+
+    def size(self) -> int:
+        """The paper's size measure: 1 + number of modules in the body."""
+        return 1 + len(self.body)
+
+
+class Specification:
+    """A workflow specification (context-free graph grammar).
+
+    Parameters
+    ----------
+    start:
+        The start module ``S``; it must be composite.
+    productions:
+        The productions, in a fixed order.  The index of a production in this
+        sequence is the ``k`` of the parse-tree edge labels ``(k, i)``.
+    atomic_modules:
+        Optionally, the full set of atomic module names.  Modules that appear
+        in production bodies but never as a production head are atomic by
+        construction; listing them explicitly is only needed for modules that
+        appear nowhere (rare) or as documentation.
+    """
+
+    def __init__(
+        self,
+        start: str,
+        productions: Sequence[Production],
+        atomic_modules: Iterable[str] = (),
+        name: str = "workflow",
+    ) -> None:
+        if not productions:
+            raise SpecificationError("a specification needs at least one production")
+        self.name = name
+        self._start = start
+        self._productions: tuple[Production, ...] = tuple(productions)
+        heads = {production.head for production in self._productions}
+        body_modules = {
+            module for production in self._productions for module in production.body.nodes
+        }
+        self._composites: frozenset[str] = frozenset(heads)
+        self._modules: frozenset[str] = frozenset(
+            heads | body_modules | set(atomic_modules) | {start}
+        )
+        explicit_atomics = set(atomic_modules)
+        overlap = explicit_atomics & heads
+        if overlap:
+            raise SpecificationError(
+                f"modules {sorted(overlap)} are declared atomic but have productions"
+            )
+        self._validate()
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def start(self) -> str:
+        return self._start
+
+    @property
+    def productions(self) -> tuple[Production, ...]:
+        return self._productions
+
+    @property
+    def modules(self) -> frozenset[str]:
+        """Σ: all module names."""
+        return self._modules
+
+    @property
+    def composite_modules(self) -> frozenset[str]:
+        """Δ: modules with at least one production."""
+        return self._composites
+
+    @property
+    def atomic_modules(self) -> frozenset[str]:
+        """Σ \\ Δ: modules without productions."""
+        return self._modules - self._composites
+
+    def is_composite(self, module: str) -> bool:
+        return module in self._composites
+
+    def production(self, index: int) -> Production:
+        return self._productions[index]
+
+    @cached_property
+    def productions_of(self) -> Mapping[str, tuple[int, ...]]:
+        """Map from composite module name to the indices of its productions."""
+        mapping: dict[str, list[int]] = {}
+        for index, production in enumerate(self._productions):
+            mapping.setdefault(production.head, []).append(index)
+        return {head: tuple(indices) for head, indices in mapping.items()}
+
+    @cached_property
+    def tags(self) -> frozenset[str]:
+        """Γ: all edge tags used in production bodies."""
+        result: set[str] = set()
+        for production in self._productions:
+            result |= production.body.tags()
+        return frozenset(result)
+
+    @cached_property
+    def production_graph(self) -> ProductionGraph:
+        """P(G): the production multigraph (Definition 5)."""
+        return ProductionGraph(self)
+
+    @cached_property
+    def recursive_modules(self) -> frozenset[str]:
+        """Modules lying on a cycle of the production graph."""
+        return self.production_graph.recursive_modules
+
+    def is_recursive(self) -> bool:
+        """True when the specification has at least one recursive module."""
+        return bool(self.recursive_modules)
+
+    def size(self) -> int:
+        """The paper's workflow-size measure: sum of production sizes."""
+        return sum(production.size() for production in self._productions)
+
+    # -- validation -------------------------------------------------------------
+
+    def _validate(self) -> None:
+        if self._start not in self._composites:
+            raise SpecificationError(
+                f"start module {self._start!r} has no production; the start module "
+                "must be composite"
+            )
+        unproductive = self._unproductive_modules()
+        if unproductive:
+            raise SpecificationError(
+                "composite modules can never terminate (no derivation reaches an "
+                f"all-atomic graph): {sorted(unproductive)}"
+            )
+        graph = self.production_graph
+        if not graph.is_strictly_linear_recursive:
+            raise RecursionError_(
+                "the specification is not strictly linear-recursive: cycles of the "
+                "production graph share modules "
+                f"(offending modules: {sorted(graph.non_linear_modules)})"
+            )
+
+    def _unproductive_modules(self) -> frozenset[str]:
+        """Composite modules that cannot derive an all-atomic graph."""
+        productive: set[str] = set(self.atomic_modules)
+        changed = True
+        while changed:
+            changed = False
+            for production in self._productions:
+                if production.head in productive:
+                    continue
+                if all(module in productive for module in production.body.nodes):
+                    productive.add(production.head)
+                    changed = True
+        return self._composites - productive
+
+    # -- misc -------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Specification(name={self.name!r}, start={self._start!r}, "
+            f"modules={len(self._modules)}, productions={len(self._productions)}, "
+            f"size={self.size()})"
+        )
+
+    def describe(self) -> str:
+        """A multi-line human-readable summary (used by the CLI)."""
+        lines = [
+            f"specification {self.name!r}",
+            f"  start module : {self._start}",
+            f"  modules      : {len(self._modules)} "
+            f"({len(self._composites)} composite, {len(self.atomic_modules)} atomic)",
+            f"  productions  : {len(self._productions)} "
+            f"({len(self.production_graph.recursive_productions)} recursive)",
+            f"  size         : {self.size()}",
+            f"  edge tags    : {len(self.tags)}",
+            f"  recursive    : {sorted(self.recursive_modules)}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,209 @@
+"""Tests for NFA construction, determinization, and DFA minimization."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import DFA, determinize, dfa_from_regex
+from repro.automata.minimize import minimize_dfa
+from repro.automata.nfa import nfa_from_regex
+from repro.automata.regex import (
+    AnySymbol,
+    Concat,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+    parse_regex,
+    regex_to_string,
+)
+
+ALPHABET = ("a", "b", "c")
+
+
+def accepts(query: str, word: str, alphabet=ALPHABET) -> bool:
+    """Helper: run the word (one tag per character) through the minimal DFA."""
+    dfa = dfa_from_regex(query, alphabet)
+    return dfa.accepts(list(word))
+
+
+class TestNFA:
+    @pytest.mark.parametrize(
+        "query, word, expected",
+        [
+            ("a", "a", True),
+            ("a", "b", False),
+            ("a b", "ab", True),
+            ("a b", "ba", False),
+            ("a | b", "b", True),
+            ("a*", "", True),
+            ("a*", "aaaa", True),
+            ("a+", "", False),
+            ("a+", "aaa", True),
+            ("_* b _*", "aaabccc", True),
+            ("_* b _*", "aaaccc", False),
+            ("~", "", True),
+            ("~", "a", False),
+            ("x.(a1|a2)+.s._*.p", "", False),
+        ],
+    )
+    def test_acceptance(self, query, word, expected):
+        nfa = nfa_from_regex(query)
+        assert nfa.accepts(list(word)) is expected
+
+    def test_multi_character_tags(self):
+        nfa = nfa_from_regex("BLAST (align | merge)* publish")
+        assert nfa.accepts(["BLAST", "align", "merge", "publish"])
+        assert not nfa.accepts(["BLAST", "publish", "align"])
+
+
+class TestDFA:
+    def test_determinize_matches_nfa(self):
+        query = "(a|b)* a b"
+        nfa = nfa_from_regex(query)
+        dfa = determinize(nfa, ALPHABET)
+        for word in ["ab", "aab", "bab", "ba", "", "abab", "abb"]:
+            assert dfa.accepts(list(word)) == nfa.accepts(list(word))
+
+    def test_dfa_is_complete(self):
+        dfa = dfa_from_regex("a b", ALPHABET)
+        for state in range(dfa.state_count):
+            assert set(dfa.transitions[state]) == set(dfa.alphabet)
+
+    def test_unknown_tag_goes_to_dead_state(self):
+        dfa = dfa_from_regex("a", ALPHABET)
+        state = dfa.step(dfa.start, "unknown-tag")
+        assert state == dfa.dead_state()
+
+    def test_transition_matrix_is_a_function(self):
+        dfa = dfa_from_regex("_* e _*", ("a", "e"))
+        matrix = dfa.transition_matrix("e")
+        for state in range(dfa.state_count):
+            assert bin(matrix.row_mask(state)).count("1") == 1
+            assert matrix.get(state, dfa.transitions[state]["e"])
+
+    def test_transition_matrix_for_unknown_tag(self):
+        dfa = dfa_from_regex("a", ALPHABET)
+        matrix = dfa.transition_matrix("zzz")
+        dead = dfa.dead_state()
+        assert all(matrix.get(state, dead) for state in range(dfa.state_count))
+
+    def test_with_alphabet_extends_and_preserves_language(self):
+        dfa = dfa_from_regex("a+", ("a",))
+        extended = dfa.with_alphabet(("a", "b", "c"))
+        assert extended.alphabet == {"a", "b", "c"}
+        assert extended.accepts(["a", "a"])
+        assert not extended.accepts(["a", "b"])
+
+    def test_accepts_epsilon(self):
+        assert dfa_from_regex("a*", ALPHABET).accepts_epsilon()
+        assert not dfa_from_regex("a+", ALPHABET).accepts_epsilon()
+
+    def test_reachable_states_cover_all_after_minimization(self):
+        dfa = dfa_from_regex("(a|b)* c", ALPHABET)
+        assert dfa.reachable_states() == frozenset(range(dfa.state_count))
+
+    def test_incomplete_transitions_rejected(self):
+        with pytest.raises(ValueError):
+            DFA(
+                state_count=1,
+                alphabet=frozenset({"a"}),
+                transitions=({},),
+                start=0,
+                accepting=frozenset(),
+            )
+
+
+class TestMinimization:
+    def test_paper_query_r3_has_two_live_states(self):
+        # R3 = _* e _* : minimal DFA has q0, qf (no dead state is reachable-
+        # useful because every string can still be extended to a match).
+        dfa = dfa_from_regex("_* e _*", ("a", "b", "c", "d", "e", "A", "B"))
+        assert dfa.state_count == 2
+
+    def test_single_symbol_query(self):
+        # R4 = e over alphabet {e, ...}: q0, qf and a dead state.
+        dfa = dfa_from_regex("e", ("a", "e"))
+        assert dfa.state_count == 3
+        assert dfa.dead_state() is not None
+
+    def test_minimization_is_idempotent(self):
+        dfa = dfa_from_regex("(a|b)+ c*", ALPHABET, minimal=True)
+        again = minimize_dfa(dfa)
+        assert again.state_count == dfa.state_count
+
+    def test_minimization_preserves_language(self):
+        query = "(a b)* (c | a a)"
+        raw = determinize(nfa_from_regex(query), ALPHABET)
+        minimal = minimize_dfa(raw)
+        assert minimal.state_count <= raw.state_count
+        for word in ["", "ab", "c", "aa", "abc", "abaa", "abab", "aab", "ba"]:
+            assert minimal.accepts(list(word)) == raw.accepts(list(word))
+
+    def test_known_minimal_size(self):
+        # Strings over {a,b} with an even number of a's: 2 states.
+        dfa = dfa_from_regex("(b* a b* a)* b*", ("a", "b"))
+        assert dfa.state_count == 2
+
+
+# ---------------------------------------------------------------------------
+# Property-based comparison against Python's re module.  Our tags are mapped
+# to single characters so the query can be translated to a standard regex.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def regex_trees(draw, depth=3):
+    if depth == 0:
+        return draw(
+            st.sampled_from([Symbol("a"), Symbol("b"), Symbol("c"), AnySymbol()])
+        )
+    choice = draw(st.integers(0, 5))
+    if choice <= 1:
+        return draw(regex_trees(depth=0))
+    if choice == 2:
+        parts = draw(st.lists(regex_trees(depth=depth - 1), min_size=2, max_size=3))
+        return Concat(tuple(parts))
+    if choice == 3:
+        parts = draw(st.lists(regex_trees(depth=depth - 1), min_size=2, max_size=3))
+        return Union(tuple(parts))
+    if choice == 4:
+        return Star(draw(regex_trees(depth=depth - 1)))
+    return Plus(draw(regex_trees(depth=depth - 1)))
+
+
+def to_python_regex(node) -> str:
+    if isinstance(node, Symbol):
+        return re.escape(node.tag)
+    if isinstance(node, AnySymbol):
+        return "[abc]"
+    if isinstance(node, Concat):
+        return "".join(f"(?:{to_python_regex(p)})" for p in node.parts)
+    if isinstance(node, Union):
+        return "|".join(f"(?:{to_python_regex(p)})" for p in node.parts)
+    if isinstance(node, Star):
+        return f"(?:{to_python_regex(node.child)})*"
+    if isinstance(node, Plus):
+        return f"(?:{to_python_regex(node.child)})+"
+    raise TypeError(node)
+
+
+class TestAgainstPythonRe:
+    @given(regex_trees(), st.text(alphabet="abc", max_size=8))
+    @settings(max_examples=150, deadline=None)
+    def test_dfa_agrees_with_re(self, tree, word):
+        dfa = dfa_from_regex(tree, ALPHABET)
+        expected = re.fullmatch(to_python_regex(tree), word) is not None
+        assert dfa.accepts(list(word)) is expected
+
+    @given(regex_trees())
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_preserves_language_on_samples(self, tree):
+        rendered = regex_to_string(tree)
+        reparsed = parse_regex(rendered)
+        dfa1 = dfa_from_regex(tree, ALPHABET)
+        dfa2 = dfa_from_regex(reparsed, ALPHABET)
+        for word in ["", "a", "b", "c", "ab", "abc", "cba", "aaa", "bcbc"]:
+            assert dfa1.accepts(list(word)) == dfa2.accepts(list(word))

@@ -1,0 +1,127 @@
+"""Tests for the bitmask-backed boolean matrices."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.boolean_matrix import BooleanMatrix
+
+
+def dense(matrix: BooleanMatrix) -> list[list[bool]]:
+    return [[matrix.get(i, j) for j in range(matrix.size)] for i in range(matrix.size)]
+
+
+def from_dense(rows: list[list[bool]]) -> BooleanMatrix:
+    size = len(rows)
+    return BooleanMatrix.from_pairs(
+        size, ((i, j) for i in range(size) for j in range(size) if rows[i][j])
+    )
+
+
+class TestConstruction:
+    def test_identity(self):
+        matrix = BooleanMatrix.identity(3)
+        assert dense(matrix) == [[True, False, False], [False, True, False], [False, False, True]]
+
+    def test_zero_and_full(self):
+        assert BooleanMatrix.zero(2).is_zero()
+        assert list(BooleanMatrix.full(2).pairs()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_from_pairs_bounds_check(self):
+        with pytest.raises(ValueError):
+            BooleanMatrix.from_pairs(2, [(0, 2)])
+
+    def test_row_length_check(self):
+        with pytest.raises(ValueError):
+            BooleanMatrix(2, [1])
+
+    def test_from_function(self):
+        matrix = BooleanMatrix.from_function(3, {0: 1, 1: 2})
+        assert matrix.get(0, 1) and matrix.get(1, 2) and not matrix.get(2, 0)
+
+
+class TestAlgebra:
+    def test_multiplication_matches_relational_composition(self):
+        a = BooleanMatrix.from_pairs(3, [(0, 1), (1, 2)])
+        b = BooleanMatrix.from_pairs(3, [(1, 0), (2, 2)])
+        product = a @ b
+        assert set(product.pairs()) == {(0, 0), (1, 2)}
+
+    def test_identity_is_neutral(self):
+        a = BooleanMatrix.from_pairs(4, [(0, 3), (2, 1), (3, 3)])
+        identity = BooleanMatrix.identity(4)
+        assert a @ identity == a
+        assert identity @ a == a
+
+    def test_or_and(self):
+        a = BooleanMatrix.from_pairs(2, [(0, 0)])
+        b = BooleanMatrix.from_pairs(2, [(0, 1)])
+        assert set((a | b).pairs()) == {(0, 0), (0, 1)}
+        assert (a & b).is_zero()
+
+    def test_power(self):
+        chain = BooleanMatrix.from_pairs(4, [(0, 1), (1, 2), (2, 3)])
+        assert set(chain.power(2).pairs()) == {(0, 2), (1, 3)}
+        assert set(chain.power(3).pairs()) == {(0, 3)}
+        assert chain.power(0) == BooleanMatrix.identity(4)
+        assert chain.power(4).is_zero()
+
+    def test_power_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BooleanMatrix.identity(2).power(-1)
+
+    def test_transitive_closure(self):
+        chain = BooleanMatrix.from_pairs(3, [(0, 1), (1, 2)])
+        assert set(chain.transitive_closure().pairs()) == {(0, 1), (1, 2), (0, 2)}
+        reflexive = chain.reflexive_transitive_closure()
+        assert all(reflexive.get(i, i) for i in range(3))
+
+    def test_transpose(self):
+        a = BooleanMatrix.from_pairs(3, [(0, 2), (1, 0)])
+        assert set(a.transpose().pairs()) == {(2, 0), (0, 1)}
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BooleanMatrix.identity(2) @ BooleanMatrix.identity(3)
+
+    def test_hashable_and_equal(self):
+        a = BooleanMatrix.from_pairs(2, [(0, 1)])
+        b = BooleanMatrix.from_pairs(2, [(0, 1)])
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+@st.composite
+def matrices(draw, size=3):
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, size - 1), st.integers(0, size - 1)),
+            max_size=size * size,
+        )
+    )
+    return BooleanMatrix.from_pairs(size, pairs)
+
+
+class TestProperties:
+    @given(matrices(), matrices(), matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_associative(self, a, b, c):
+        assert (a @ b) @ c == a @ (b @ c)
+
+    @given(matrices(), matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_agrees_with_naive(self, a, b):
+        size = a.size
+        naive = [
+            [any(a.get(i, k) and b.get(k, j) for k in range(size)) for j in range(size)]
+            for i in range(size)
+        ]
+        assert dense(a @ b) == naive
+
+    @given(matrices(), st.integers(0, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_power_agrees_with_repeated_multiplication(self, a, exponent):
+        expected = BooleanMatrix.identity(a.size)
+        for _ in range(exponent):
+            expected = expected @ a
+        assert a.power(exponent) == expected

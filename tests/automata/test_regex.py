@@ -1,0 +1,121 @@
+"""Tests for the regular path query parser and syntax tree helpers."""
+
+import pytest
+
+from repro.automata.regex import (
+    AnySymbol,
+    Concat,
+    Epsilon,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+    parse_regex,
+    regex_alphabet,
+    regex_size,
+    regex_to_string,
+    regex_uses_wildcard,
+)
+from repro.errors import QuerySyntaxError
+
+
+class TestParsing:
+    def test_single_tag(self):
+        assert parse_regex("blast") == Symbol("blast")
+
+    def test_multi_character_tags_are_single_symbols(self):
+        node = parse_regex("BLAST . align")
+        assert node == Concat((Symbol("BLAST"), Symbol("align")))
+
+    def test_whitespace_concatenation(self):
+        assert parse_regex("a b c") == Concat((Symbol("a"), Symbol("b"), Symbol("c")))
+
+    def test_dot_concatenation(self):
+        assert parse_regex("a.b.c") == Concat((Symbol("a"), Symbol("b"), Symbol("c")))
+
+    def test_alternation(self):
+        assert parse_regex("a | b") == Union((Symbol("a"), Symbol("b")))
+
+    def test_alternation_duplicates_removed(self):
+        assert parse_regex("a | b | a") == Union((Symbol("a"), Symbol("b")))
+
+    def test_star_and_plus(self):
+        assert parse_regex("a*") == Star(Symbol("a"))
+        assert parse_regex("a+") == Plus(Symbol("a"))
+
+    def test_wildcard(self):
+        assert parse_regex("_") == AnySymbol()
+        assert parse_regex("_*") == Star(AnySymbol())
+
+    def test_epsilon_forms(self):
+        assert parse_regex("~") == Epsilon()
+        assert parse_regex("eps") == Epsilon()
+        assert parse_regex("") == Epsilon()
+        assert parse_regex("   ") == Epsilon()
+
+    def test_grouping(self):
+        node = parse_regex("(a | b) c")
+        assert node == Concat((Union((Symbol("a"), Symbol("b"))), Symbol("c")))
+
+    def test_paper_intro_query(self):
+        node = parse_regex("x.(a1|a2)+.s._*.p")
+        assert node == Concat(
+            (
+                Symbol("x"),
+                Plus(Union((Symbol("a1"), Symbol("a2")))),
+                Symbol("s"),
+                Star(AnySymbol()),
+                Symbol("p"),
+            )
+        )
+
+    def test_nested_repetition(self):
+        assert parse_regex("a*+") == Plus(Star(Symbol("a")))
+
+    def test_tags_with_dash_and_colon(self):
+        assert parse_regex("fetch-data | load:db") == Union(
+            (Symbol("fetch-data"), Symbol("load:db"))
+        )
+
+    def test_parse_accepts_existing_node(self):
+        node = Star(Symbol("a"))
+        assert parse_regex(node) is node
+
+    def test_concat_flattening(self):
+        node = parse_regex("(a b) (c d)")
+        assert node == Concat(tuple(Symbol(t) for t in "abcd"))
+
+    def test_epsilon_dropped_in_concatenation(self):
+        assert parse_regex("a ~ b") == Concat((Symbol("a"), Symbol("b")))
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("bad", ["(", ")", "a)", "(a", "|", "*", "a | ", "a @ b"])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_regex(bad)
+
+
+class TestUtilities:
+    def test_round_trip_through_string(self):
+        queries = [
+            "x.(a1|a2)+.s._*.p",
+            "_* e _*",
+            "(a|b)* c",
+            "a+ (b | ~)",
+        ]
+        for query in queries:
+            node = parse_regex(query)
+            assert parse_regex(regex_to_string(node)) == node
+
+    def test_alphabet(self):
+        assert regex_alphabet(parse_regex("x.(a1|a2)+.s._*.p")) == {"x", "a1", "a2", "s", "p"}
+
+    def test_wildcard_detection(self):
+        assert regex_uses_wildcard(parse_regex("_* a"))
+        assert not regex_uses_wildcard(parse_regex("a b | c"))
+
+    def test_size_counts_nodes(self):
+        assert regex_size(parse_regex("a")) == 1
+        assert regex_size(parse_regex("a b")) == 3
+        assert regex_size(parse_regex("(a|b)*")) == 4

@@ -1,0 +1,137 @@
+"""Tests for Algorithm 2 (all-pairs safe queries) and the reachability join."""
+
+import pytest
+
+from repro.baselines.product_bfs import product_bfs_all_pairs
+from repro.core.allpairs import (
+    AllPairsOptions,
+    all_pairs_reachability,
+    all_pairs_safe_query,
+    reachable_pair_groups,
+)
+from repro.core.query_index import build_query_index
+from repro.core.safety import is_safe_query
+from repro.datasets.myexperiment import (
+    BIOAID_KLEENE_TAG,
+    bioaid_specification,
+    fork_production_indices,
+)
+from repro.datasets.paper_example import paper_run
+from repro.datasets.runs import generate_fork_heavy_run, generate_run
+from repro.datasets.synthetic import generate_synthetic_specification
+from repro.labeling.parse_tree import LabelTrie
+from repro.workflow.derivation import derive_run
+
+
+def reachability_oracle(run, l1, l2):
+    return product_bfs_all_pairs(run, l1, l2, "_*")
+
+
+class TestAllPairsReachability:
+    def test_example_31_lists(self):
+        run = paper_run()
+        l1 = ["d:1", "d:2", "e:2"]
+        l2 = ["b:1", "b:2"]
+        assert all_pairs_reachability(run, l1, l2) == {
+            ("d:1", "b:1"),
+            ("d:2", "b:1"),
+            ("e:2", "b:1"),
+        }
+
+    def test_full_cross_product_matches_oracle(self):
+        run = paper_run(recursion_depth=4)
+        nodes = list(run.node_ids())
+        assert all_pairs_reachability(run, nodes, nodes) == reachability_oracle(
+            run, nodes, nodes
+        )
+
+    def test_partial_lists_match_oracle(self):
+        run = derive_run(paper_run().spec, seed=11, target_edges=80)
+        l1 = run.node_ids()[::3]
+        l2 = run.node_ids()[1::4]
+        assert all_pairs_reachability(run, l1, l2) == reachability_oracle(run, l1, l2)
+
+    def test_empty_lists(self):
+        run = paper_run()
+        assert all_pairs_reachability(run, [], list(run.node_ids())) == set()
+        assert all_pairs_reachability(run, list(run.node_ids()), []) == set()
+
+    def test_bioaid_run_matches_oracle(self):
+        spec = bioaid_specification()
+        run = generate_run(spec, 200, seed=4)
+        l1 = run.node_ids()[::4]
+        l2 = run.node_ids()[::5]
+        assert all_pairs_reachability(run, l1, l2) == reachability_oracle(run, l1, l2)
+
+    def test_groups_only_contain_reachable_pairs(self):
+        run = paper_run(recursion_depth=5)
+        nodes = list(run.node_ids())
+        trie1 = LabelTrie.from_run_nodes(run, nodes)
+        trie2 = LabelTrie.from_run_nodes(run, nodes)
+        oracle = reachability_oracle(run, nodes, nodes)
+        seen = set()
+        for group1, group2 in reachable_pair_groups(trie1, trie2, run.spec):
+            for u in group1:
+                for v in group2:
+                    assert (u, v) in oracle
+                    assert (u, v) not in seen, "pair emitted twice"
+                    seen.add((u, v))
+        assert seen == oracle
+
+
+class TestAllPairsSafeQueries:
+    def test_example_31_a_plus(self):
+        run = paper_run()
+        index = build_query_index(run.spec, "A+")
+        l1 = ["d:1", "d:2", "e:2"]
+        l2 = ["b:1", "b:2"]
+        expected = {("d:1", "b:1"), ("d:2", "b:1"), ("e:2", "b:1")}
+        assert all_pairs_safe_query(run, l1, l2, index) == expected
+
+    def test_example_31_single_a(self):
+        run = paper_run()
+        index = build_query_index(run.spec, "A")
+        l1 = ["d:1", "d:2", "e:2"]
+        l2 = ["b:1", "b:2"]
+        assert all_pairs_safe_query(run, l1, l2, index) == {("d:1", "b:1")}
+
+    def test_s1_and_s2_agree(self):
+        run = paper_run(recursion_depth=5)
+        index = build_query_index(run.spec, "_* e _*")
+        nodes = list(run.node_ids())
+        s2 = all_pairs_safe_query(run, nodes, nodes, index)
+        s1 = all_pairs_safe_query(
+            run, nodes, nodes, index, AllPairsOptions(use_reachability_filter=False)
+        )
+        assert s1 == s2
+
+    @pytest.mark.parametrize("query", ["_* e _*", "A+", "a+", "c (a|b|A|B|e)* b"])
+    def test_oracle_agreement(self, query):
+        run = paper_run(recursion_depth=4)
+        index = build_query_index(run.spec, query)
+        nodes = list(run.node_ids())
+        expected = product_bfs_all_pairs(run, nodes, nodes, query)
+        assert all_pairs_safe_query(run, nodes, nodes, index) == expected
+
+    def test_kleene_star_on_fork_heavy_run(self):
+        spec = bioaid_specification()
+        forks = fork_production_indices(spec, BIOAID_KLEENE_TAG)
+        run = generate_fork_heavy_run(spec, 220, forks, seed=5)
+        query = f"{BIOAID_KLEENE_TAG}*"
+        index = build_query_index(spec, query)
+        l1 = run.node_ids()[::3]
+        l2 = run.node_ids()[::3]
+        expected = product_bfs_all_pairs(run, l1, l2, query)
+        assert all_pairs_safe_query(run, l1, l2, index) == expected
+
+    def test_synthetic_spec_matches_oracle(self):
+        spec = generate_synthetic_specification(200, seed=9)
+        run = derive_run(spec, seed=9, target_edges=120)
+        l1 = run.node_ids()[::4]
+        l2 = run.node_ids()[::4]
+        for query in ("_*", "_* op2 _*", "op3*"):
+            if not is_safe_query(spec, query):
+                continue
+            index = build_query_index(spec, query)
+            expected = product_bfs_all_pairs(run, l1, l2, query)
+            assert all_pairs_safe_query(run, l1, l2, index) == expected

@@ -1,0 +1,96 @@
+"""Tests for general-query decomposition (Section IV-B, "Our approach")."""
+
+import pytest
+
+from repro.automata.regex import parse_regex
+from repro.baselines.product_bfs import product_bfs_all_pairs
+from repro.core.decomposition import evaluate_general_query, plan_decomposition
+from repro.core.safety import is_safe_query
+from repro.datasets.paper_example import paper_run, paper_specification
+from repro.datasets.queries import generate_query_suite
+from repro.datasets.synthetic import generate_synthetic_specification
+from repro.workflow.derivation import derive_run
+
+
+class TestPlanning:
+    def test_fully_safe_query(self):
+        plan = plan_decomposition(paper_specification(), "_* e _*")
+        assert plan.is_fully_safe
+        assert plan.safe_subtrees == [parse_regex("_* e _*")]
+
+    def test_unsafe_query_keeps_safe_parts(self):
+        # "_* a _*" is unsafe as a whole; its subexpressions "_*" and even the
+        # bare tag "a" are safe (no execution of A provides a path that is a
+        # single a-tagged edge, so "a" is consistently unmatched inside A).
+        plan = plan_decomposition(paper_specification(), "_* a _*")
+        assert not plan.is_fully_safe
+        assert plan.has_safe_parts
+        assert parse_regex("_*") in plan.safe_subtrees
+
+    def test_plan_describe(self):
+        plan = plan_decomposition(paper_specification(), "_* a _*")
+        assert "unsafe" in plan.describe()
+
+    def test_composite_unsafe_query(self):
+        # Concatenating a safe Kleene part with an unsafe tag keeps the safe
+        # part intact in the plan.
+        spec = paper_specification()
+        plan = plan_decomposition(spec, "(A)+ . e")
+        assert not plan.is_fully_safe
+        assert parse_regex("A+") in plan.safe_subtrees
+
+
+class TestEvaluation:
+    def test_safe_query_goes_through_safe_engine(self):
+        run = paper_run()
+        result = evaluate_general_query(run, "_* e _*")
+        expected = product_bfs_all_pairs(run, None, None, "_* e _*")
+        assert result == expected
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "_* a _*",          # the paper's canonical unsafe query
+            "e",                # R4
+            "e e",              # unsafe concatenation
+            "_* a _* e _*",     # unsafe IFQ
+            "(c | e) _*",       # union with unsafe parts
+            "a* e",             # unsafe star then tag
+        ],
+    )
+    def test_unsafe_queries_match_oracle(self, query):
+        run = paper_run(recursion_depth=3)
+        assert not is_safe_query(run.spec, query)
+        result = evaluate_general_query(run, query)
+        expected = product_bfs_all_pairs(run, None, None, query)
+        assert result == expected
+
+    def test_restriction_to_lists(self):
+        run = paper_run()
+        l1 = ["c:1", "a:1"]
+        l2 = ["b:1", "b:3"]
+        result = evaluate_general_query(run, "_* a _*", l1, l2)
+        expected = product_bfs_all_pairs(run, l1, l2, "_* a _*")
+        assert result == expected
+
+    def test_cost_based_routing_does_not_change_answers(self):
+        run = paper_run(recursion_depth=3)
+        query = "(A)+ . e"
+        expected = product_bfs_all_pairs(run, None, None, query)
+        routed = evaluate_general_query(run, query, cost_based_routing=True)
+        always_labels = evaluate_general_query(run, query, cost_based_routing=False)
+        assert routed == always_labels == expected
+
+    def test_precomputed_plan_reuse(self):
+        run = paper_run()
+        plan = plan_decomposition(run.spec, "_* a _*")
+        result = evaluate_general_query(run, "_* a _*", plan=plan)
+        assert result == product_bfs_all_pairs(run, None, None, "_* a _*")
+
+    def test_random_queries_on_synthetic_spec(self):
+        spec = generate_synthetic_specification(150, seed=13)
+        run = derive_run(spec, seed=13, target_edges=100)
+        for query in generate_query_suite(spec, count=6, seed=3, depth=2):
+            result = evaluate_general_query(run, query)
+            expected = product_bfs_all_pairs(run, None, None, query)
+            assert result == expected, f"mismatch for {query!r}"

@@ -1,0 +1,86 @@
+"""Tests for the ProvenanceQueryEngine facade."""
+
+import pytest
+
+from repro import ProvenanceQueryEngine, paper_specification
+from repro.baselines.product_bfs import product_bfs_all_pairs
+from repro.datasets.paper_example import paper_run
+from repro.errors import UnsafeQueryError
+
+
+@pytest.fixture()
+def engine():
+    return ProvenanceQueryEngine(paper_specification())
+
+
+@pytest.fixture()
+def run():
+    return paper_run(recursion_depth=3)
+
+
+class TestEngineBasics:
+    def test_derive(self, engine):
+        run = engine.derive(seed=1, target_edges=60)
+        assert run.edge_count >= 60
+
+    def test_safety_methods(self, engine):
+        assert engine.is_safe("_* e _*")
+        assert not engine.is_safe("e")
+        report = engine.safety_report("e")
+        assert not report.is_safe
+
+    def test_query_index_is_cached(self, engine):
+        first = engine.query_index("_* e _*")
+        second = engine.query_index("_*  e  _*")  # same canonical form
+        assert first is second
+
+    def test_plan(self, engine):
+        assert engine.plan("_* e _*").is_fully_safe
+        assert not engine.plan("_* a _*").is_fully_safe
+
+    def test_describe(self, engine):
+        engine.query_index("_*")
+        assert "1 cached query" in engine.describe()
+
+
+class TestEngineQueries:
+    def test_reachable(self, engine, run):
+        assert engine.reachable(run, "c:1", "b:1")
+        assert not engine.reachable(run, "b:1", "c:1")
+
+    def test_pairwise(self, engine, run):
+        assert engine.pairwise(run, "c:1", "b:1", "_* e _*")
+        assert not engine.pairwise(run, "c:1", "b:3", "_* e _*")
+
+    def test_pairwise_states_relation(self, engine, run):
+        matrix = engine.pairwise_states(run, "c:1", "b:1", "_* e _*")
+        index = engine.query_index("_* e _*")
+        assert index.accepts(matrix)
+
+    def test_pairwise_unsafe_query_raises(self, engine, run):
+        with pytest.raises(UnsafeQueryError):
+            engine.pairwise(run, "c:1", "b:1", "e")
+
+    def test_all_pairs_matches_oracle(self, engine, run):
+        nodes = list(run.node_ids())
+        expected = product_bfs_all_pairs(run, nodes, nodes, "A+")
+        assert engine.all_pairs(run, "A+") == expected
+        assert engine.all_pairs(run, "A+", use_reachability_filter=False) == expected
+
+    def test_all_pairs_reachability(self, engine, run):
+        expected = product_bfs_all_pairs(run, None, None, "_*")
+        assert engine.all_pairs_reachability(run) == expected
+
+    def test_evaluate_handles_safe_and_unsafe(self, engine, run):
+        safe = engine.evaluate(run, "_* e _*")
+        assert safe == product_bfs_all_pairs(run, None, None, "_* e _*")
+        unsafe = engine.evaluate(run, "_* a _*")
+        assert unsafe == product_bfs_all_pairs(run, None, None, "_* a _*")
+
+    def test_run_from_other_spec_rejected(self, engine):
+        from repro.datasets.myexperiment import bioaid_specification
+        from repro.workflow.derivation import derive_run
+
+        foreign = derive_run(bioaid_specification(), seed=0, target_edges=50)
+        with pytest.raises(ValueError):
+            engine.reachable(foreign, foreign.node_ids()[0], foreign.node_ids()[1])

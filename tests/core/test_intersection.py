@@ -1,0 +1,66 @@
+"""Tests for the query-intersected specification and fine-grained runs."""
+
+from repro.core.intersection import FineGrainedRun, intersect_specification
+from repro.core.pairwise import answer_pairwise_query
+from repro.core.query_index import build_query_index
+from repro.core.safety import query_dfa
+from repro.datasets.paper_example import paper_run, paper_specification
+
+
+class TestIntersectSpecification:
+    def test_port_counts(self):
+        spec = paper_specification()
+        dfa = query_dfa(spec, "_* e _*")
+        fine = intersect_specification(spec, dfa)
+        assert fine.state_count == dfa.state_count
+        assert len(fine.productions) == len(spec.productions)
+        # Production order (and heads) is unchanged — the key property that
+        # lets the original labels be reused.
+        assert [p.head for p in fine.productions] == [p.head for p in spec.productions]
+
+    def test_atomic_modules_preserve_states(self):
+        spec = paper_specification()
+        dfa = query_dfa(spec, "_* e _*")
+        fine = intersect_specification(spec, dfa)
+        w3 = fine.production(2)  # A -> e e
+        # Each atomic position has an identity in->out edge per state.
+        from repro.core.intersection import Port
+
+        for state in range(dfa.state_count):
+            assert Port(0, "out", state) in w3.successors(Port(0, "in", state))
+
+    def test_tag_transitions_follow_the_dfa(self):
+        spec = paper_specification()
+        dfa = query_dfa(spec, "_* e _*")
+        fine = intersect_specification(spec, dfa)
+        w3 = fine.production(2)  # A -> e e with an e-tagged edge
+        from repro.core.intersection import Port
+
+        accepting = next(iter(dfa.accepting))
+        # Reading the e-tagged edge from the start state must reach qf.
+        assert Port(1, "in", accepting) in w3.successors(Port(0, "out", dfa.start))
+
+
+class TestFineGrainedRun:
+    """Lemma 3.1: the fine-grained run answers pairwise queries."""
+
+    def test_matches_label_decoding(self):
+        run = paper_run(recursion_depth=3)
+        spec = run.spec
+        for query in ("_* e _*", "A+", "a+"):
+            dfa = query_dfa(spec, query)
+            fine = FineGrainedRun(run, dfa)
+            index = build_query_index(spec, query)
+            for u in run.node_ids():
+                expected_targets = fine.accepting_targets(u)
+                for v in run.node_ids():
+                    assert (v in expected_targets) == answer_pairwise_query(
+                        index, run.label_of(u), run.label_of(v)
+                    )
+
+    def test_pairwise_shortcuts(self):
+        run = paper_run()
+        dfa = query_dfa(run.spec, "_* e _*")
+        fine = FineGrainedRun(run, dfa)
+        assert fine.pairwise("c:1", "b:1")
+        assert not fine.pairwise("c:1", "b:3")

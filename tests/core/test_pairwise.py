@@ -1,0 +1,126 @@
+"""Tests for Algorithm 1 (pairwise safe queries) against the product oracle."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.product_bfs import product_bfs_pairwise
+from repro.core.pairwise import answer_pairwise_query, pairwise_reach_matrix
+from repro.core.query_index import build_query_index
+from repro.datasets.myexperiment import (
+    BIOAID_KLEENE_TAG,
+    bioaid_specification,
+    fork_production_indices,
+)
+from repro.datasets.paper_example import paper_run, paper_specification
+from repro.datasets.runs import generate_fork_heavy_run
+from repro.errors import LabelError, UnsafeQueryError
+from repro.labeling.labels import ProductionStep
+from repro.workflow.derivation import derive_run
+
+
+def assert_pairwise_matches_oracle(run, query, node_ids=None):
+    index = build_query_index(run.spec, query)
+    nodes = list(node_ids or run.node_ids())
+    for u, v in itertools.product(nodes, nodes):
+        expected = product_bfs_pairwise(run, u, v, query)
+        actual = answer_pairwise_query(index, run.label_of(u), run.label_of(v))
+        assert actual == expected, f"{query!r} mismatch for ({u}, {v})"
+
+
+class TestPaperExample:
+    def test_r3_known_answers(self):
+        run = paper_run()
+        index = build_query_index(run.spec, "_* e _*")
+        assert answer_pairwise_query(index, run.label_of("c:1"), run.label_of("b:1"))
+        assert not answer_pairwise_query(index, run.label_of("c:1"), run.label_of("b:3"))
+
+    def test_example_31_pairwise(self):
+        # R1 = A+ holds for (d:2, b:1); R2 = A does not.
+        run = paper_run()
+        plus_index = build_query_index(run.spec, "A+")
+        single_index = build_query_index(run.spec, "A")
+        assert answer_pairwise_query(plus_index, run.label_of("d:2"), run.label_of("b:1"))
+        assert not answer_pairwise_query(single_index, run.label_of("d:2"), run.label_of("b:1"))
+
+    @pytest.mark.parametrize(
+        "query",
+        ["_*", "_* e _*", "A+", "A", "a+", "c _* e _*", "a* ", "(a | A)+", "~", "c (a|b|A|B|e)* b"],
+    )
+    def test_oracle_agreement_on_safe_queries(self, query):
+        run = paper_run(recursion_depth=3)
+        if not build_query_index.__module__:  # pragma: no cover - defensive
+            pytest.skip()
+        from repro.core.safety import is_safe_query
+
+        if not is_safe_query(run.spec, query):
+            pytest.skip(f"{query!r} not safe for the paper specification")
+        assert_pairwise_matches_oracle(run, query)
+
+    def test_empty_path_semantics(self):
+        run = paper_run()
+        star_index = build_query_index(run.spec, "A*")
+        plus_index = build_query_index(run.spec, "A+")
+        label = run.label_of("d:1")
+        # The empty path matches A* but not A+.
+        assert answer_pairwise_query(star_index, label, label)
+        assert not answer_pairwise_query(plus_index, label, label)
+
+    def test_reach_matrix_identity_for_same_node(self):
+        run = paper_run()
+        index = build_query_index(run.spec, "_* e _*")
+        label = run.label_of("a:1")
+        assert pairwise_reach_matrix(index, label, label) == index.identity
+
+
+class TestDeepRecursion:
+    def test_long_chain_decodes_match_oracle(self):
+        run = paper_run(recursion_depth=12)
+        # Pairs across far-apart chain members exercise the cycle powers.
+        nodes = [n for n in run.node_ids() if n.startswith(("a", "d", "e"))]
+        assert_pairwise_matches_oracle(run, "a+", nodes)
+        assert_pairwise_matches_oracle(run, "_* e _*", nodes)
+
+    def test_fork_heavy_bioaid_run(self):
+        spec = bioaid_specification()
+        forks = fork_production_indices(spec, BIOAID_KLEENE_TAG)
+        run = generate_fork_heavy_run(spec, 250, forks, seed=2)
+        query = f"{BIOAID_KLEENE_TAG}*"
+        index = build_query_index(spec, query)
+        distributors = run.nodes_named("f1_fork")
+        for u, v in itertools.product(distributors[:12], distributors[:12]):
+            expected = product_bfs_pairwise(run, u, v, query)
+            actual = answer_pairwise_query(index, run.label_of(u), run.label_of(v))
+            assert actual == expected
+
+    def test_random_synthetic_runs(self):
+        from repro.core.safety import is_safe_query
+        from repro.datasets.synthetic import generate_synthetic_specification
+
+        spec = generate_synthetic_specification(200, seed=7)
+        run = derive_run(spec, seed=7, target_edges=150)
+        sample = run.node_ids()[::5]
+        for query in ("_*", "_* op1 _*", "op1*", "(op1 | op2)+"):
+            if is_safe_query(spec, query):
+                assert_pairwise_matches_oracle(run, query, sample)
+
+
+class TestErrors:
+    def test_unsafe_query_rejected(self):
+        with pytest.raises(UnsafeQueryError):
+            build_query_index(paper_specification(), "e")
+
+    def test_prefix_label_rejected(self):
+        run = paper_run()
+        index = build_query_index(run.spec, "_*")
+        label = run.label_of("a:1")
+        with pytest.raises(LabelError):
+            answer_pairwise_query(index, label[:1], label)
+
+    def test_labels_from_different_runs_of_different_specs_rejected(self):
+        run = paper_run()
+        index = build_query_index(run.spec, "_*")
+        with pytest.raises(LabelError):
+            answer_pairwise_query(
+                index, run.label_of("c:1"), (ProductionStep(3, 0),)
+            )

@@ -1,0 +1,183 @@
+"""Tests for the workload generators (specs, runs, queries, index)."""
+
+import pytest
+
+from repro.automata.regex import parse_regex, regex_alphabet
+from repro.datasets.index import EdgeTagIndex
+from repro.datasets.myexperiment import (
+    BIOAID_KLEENE_TAG,
+    BIOAID_STATS,
+    QBLAST_KLEENE_TAG,
+    QBLAST_STATS,
+    bioaid_specification,
+    fork_production_indices,
+    qblast_specification,
+)
+from repro.datasets.paper_example import paper_run, paper_specification
+from repro.datasets.queries import (
+    generate_ifq,
+    generate_kleene_star,
+    generate_query_suite,
+    generate_random_query,
+)
+from repro.datasets.runs import generate_fork_heavy_run, generate_run, node_lists
+from repro.datasets.synthetic import generate_synthetic_specification
+
+
+class TestMyExperiment:
+    def test_bioaid_statistics_match_the_paper(self):
+        spec = bioaid_specification()
+        assert spec.size() == BIOAID_STATS["size"]
+        assert len(spec.modules) == BIOAID_STATS["modules"]
+        assert len(spec.composite_modules) == BIOAID_STATS["composite"]
+        assert len(spec.productions) == BIOAID_STATS["productions"]
+        assert len(spec.production_graph.recursive_productions) == BIOAID_STATS["recursive"]
+
+    def test_qblast_statistics_match_the_paper(self):
+        spec = qblast_specification()
+        assert spec.size() == QBLAST_STATS["size"]
+        assert len(spec.modules) == QBLAST_STATS["modules"]
+        assert len(spec.composite_modules) == QBLAST_STATS["composite"]
+        assert len(spec.productions) == QBLAST_STATS["productions"]
+        assert len(spec.production_graph.recursive_productions) == QBLAST_STATS["recursive"]
+
+    def test_both_are_strictly_linear_recursive(self):
+        assert bioaid_specification().production_graph.is_strictly_linear_recursive
+        assert qblast_specification().production_graph.is_strictly_linear_recursive
+
+    def test_kleene_tags_exist(self):
+        assert BIOAID_KLEENE_TAG in bioaid_specification().tags
+        assert QBLAST_KLEENE_TAG in qblast_specification().tags
+
+    def test_fork_production_indices(self):
+        spec = bioaid_specification()
+        indices = fork_production_indices(spec, BIOAID_KLEENE_TAG)
+        assert len(indices) == 1
+        assert spec.production(indices[0]).head.endswith("_F")
+
+    def test_qblast_has_a_two_module_cycle(self):
+        spec = qblast_specification()
+        lengths = sorted(len(cycle) for cycle in spec.production_graph.cycles)
+        assert lengths == [1, 1, 1, 2]
+
+
+class TestSynthetic:
+    @pytest.mark.parametrize("target", [100, 400, 800, 1200])
+    def test_size_is_close_to_target(self, target):
+        spec = generate_synthetic_specification(target, seed=1)
+        assert 0.6 * target <= spec.size() <= 1.6 * target
+
+    def test_deterministic_for_seed(self):
+        first = generate_synthetic_specification(300, seed=5)
+        second = generate_synthetic_specification(300, seed=5)
+        assert first.size() == second.size()
+        assert first.modules == second.modules
+
+    def test_has_recursion(self):
+        spec = generate_synthetic_specification(500, seed=2)
+        assert spec.is_recursive()
+
+    def test_runs_can_be_derived(self):
+        spec = generate_synthetic_specification(300, seed=3)
+        run = generate_run(spec, 200, seed=3)
+        assert run.edge_count >= 200
+
+    def test_rejects_tiny_target(self):
+        with pytest.raises(ValueError):
+            generate_synthetic_specification(5)
+
+
+class TestRunGeneration:
+    def test_generate_run_sizes(self):
+        spec = bioaid_specification()
+        small = generate_run(spec, 200, seed=0)
+        large = generate_run(spec, 800, seed=0)
+        assert small.edge_count >= 200
+        assert large.edge_count >= 800
+        assert large.edge_count > small.edge_count
+
+    def test_fork_heavy_runs_contain_long_chains(self):
+        spec = bioaid_specification()
+        forks = fork_production_indices(spec, BIOAID_KLEENE_TAG)
+        run = generate_fork_heavy_run(spec, 400, forks, seed=1)
+        index = EdgeTagIndex.from_run(run)
+        # The fork tag should appear many times (one edge per recursion level).
+        assert index.count(BIOAID_KLEENE_TAG) >= 10
+
+    def test_fork_heavy_requires_productions(self):
+        with pytest.raises(ValueError):
+            generate_fork_heavy_run(bioaid_specification(), 100, ())
+
+    def test_node_lists_full_and_sampled(self):
+        run = paper_run(recursion_depth=10)
+        l1, l2 = node_lists(run)
+        assert len(l1) == run.node_count and l1 == l2
+        s1, s2 = node_lists(run, limit=5, seed=1)
+        assert len(s1) == 5 and s1 == s2
+        assert set(s1) <= set(run.node_ids())
+
+
+class TestQueries:
+    def test_ifq_structure(self):
+        spec = paper_specification()
+        query = generate_ifq(spec, 3, seed=1)
+        node = parse_regex(query)
+        assert regex_alphabet(node) <= spec.tags
+        assert query.count("_*") == 4
+
+    def test_ifq_zero_is_reachability(self):
+        assert generate_ifq(paper_specification(), 0) == "_*"
+
+    def test_ifq_explicit_tags(self):
+        assert generate_ifq(paper_specification(), 2, tags=["a", "e"]) == "_* a _* e _*"
+
+    def test_ifq_tag_count_mismatch(self):
+        with pytest.raises(ValueError):
+            generate_ifq(paper_specification(), 2, tags=["a"])
+
+    def test_ifq_negative_k(self):
+        with pytest.raises(ValueError):
+            generate_ifq(paper_specification(), -1)
+
+    def test_kleene_star(self):
+        assert generate_kleene_star("f1_fork") == "f1_fork*"
+
+    def test_random_queries_parse_and_use_spec_tags(self):
+        spec = qblast_specification()
+        for seed in range(10):
+            query = generate_random_query(spec, seed=seed)
+            node = parse_regex(query)
+            assert regex_alphabet(node) <= spec.tags
+
+    def test_query_suite_is_deterministic(self):
+        spec = paper_specification()
+        assert generate_query_suite(spec, count=5, seed=3) == generate_query_suite(
+            spec, count=5, seed=3
+        )
+
+
+class TestEdgeTagIndex:
+    def test_from_run_counts(self):
+        run = paper_run()
+        index = EdgeTagIndex.from_run(run)
+        assert index.count("c") == 2
+        assert index.count("A") == 3
+        assert index.count("missing") == 0
+        assert index.total_pairs() == run.edge_count
+
+    def test_pairs(self):
+        index = EdgeTagIndex.from_run(paper_run())
+        assert ("e:1", "e:2") in index.pairs("e")
+
+    def test_rarest_tags_order(self):
+        index = EdgeTagIndex.from_run(paper_run())
+        order = index.rarest_tags()
+        assert order.index("e") < order.index("A")
+
+    def test_round_trip_persistence(self, tmp_path):
+        index = EdgeTagIndex.from_run(paper_run())
+        path = tmp_path / "index.json"
+        index.save(path)
+        loaded = EdgeTagIndex.load(path)
+        assert loaded.tags() == index.tags()
+        assert loaded.pairs("A") == index.pairs("A")

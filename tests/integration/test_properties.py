@@ -1,0 +1,130 @@
+"""Property-based end-to-end tests.
+
+Hypothesis generates random (specification, run, query) triples and checks
+that the labeling-based engines agree with the product-automaton oracle, and
+that core invariants of the labeling substrate hold on arbitrary runs.
+"""
+
+import networkx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.product_bfs import product_bfs_all_pairs, product_bfs_pairwise
+from repro.core.decomposition import evaluate_general_query
+from repro.core.engine import ProvenanceQueryEngine
+from repro.core.safety import is_safe_query
+from repro.datasets.paper_example import paper_specification
+from repro.datasets.synthetic import generate_synthetic_specification
+from repro.labeling.reachability import is_reachable
+from repro.workflow.derivation import derive_run
+
+# A small cache of specifications/runs so hypothesis examples stay fast.
+_SPECS = {
+    "paper": paper_specification(),
+    "synthetic-a": generate_synthetic_specification(120, seed=1),
+    "synthetic-b": generate_synthetic_specification(160, seed=2, recursion_fraction=0.5),
+}
+_RUNS = {
+    name: [derive_run(spec, seed=seed, target_edges=70) for seed in (0, 1)]
+    for name, spec in _SPECS.items()
+}
+
+
+def _tags(spec):
+    return sorted(spec.tags)
+
+
+@st.composite
+def spec_run_query(draw):
+    name = draw(st.sampled_from(sorted(_SPECS)))
+    spec = _SPECS[name]
+    run = draw(st.sampled_from(_RUNS[name]))
+    tags = _tags(spec)
+    # Build a small random query over the spec's tags.
+    def leaf():
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            return "_"
+        if choice == 1:
+            return "_*"
+        return draw(st.sampled_from(tags))
+
+    shape = draw(st.integers(0, 4))
+    if shape == 0:
+        query = leaf()
+    elif shape == 1:
+        query = f"{leaf()} . {leaf()}"
+    elif shape == 2:
+        query = f"({leaf()} | {leaf()})"
+    elif shape == 3:
+        query = f"({draw(st.sampled_from(tags))})*"
+    else:
+        query = f"{leaf()} . ({leaf()} | {leaf()})* . {leaf()}"
+    return spec, run, query
+
+
+class TestEngineAgainstOracle:
+    @given(spec_run_query())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.data_too_large])
+    def test_general_evaluation_matches_oracle(self, data):
+        spec, run, query = data
+        expected = product_bfs_all_pairs(run, None, None, query)
+        assert evaluate_general_query(run, query) == expected
+
+    @given(spec_run_query(), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_safe_pairwise_matches_oracle(self, data, pick):
+        spec, run, query = data
+        if not is_safe_query(spec, query):
+            return
+        engine = ProvenanceQueryEngine(spec)
+        nodes = run.node_ids()
+        source = nodes[pick % len(nodes)]
+        target = nodes[(pick * 7 + 3) % len(nodes)]
+        assert engine.pairwise(run, source, target, query) == product_bfs_pairwise(
+            run, source, target, query
+        )
+
+
+class TestLabelingInvariants:
+    @given(st.sampled_from(sorted(_SPECS)), st.integers(0, 3))
+    @settings(max_examples=12, deadline=None)
+    def test_labels_unique_and_decode_matches_graph(self, name, seed):
+        spec = _SPECS[name]
+        run = derive_run(spec, seed=100 + seed, target_edges=60)
+        labels = [node.label for node in run]
+        assert len(labels) == len(set(labels))
+
+        graph = networkx.DiGraph()
+        graph.add_nodes_from(run.node_ids())
+        graph.add_edges_from((edge.source, edge.target) for edge in run.edges)
+        nodes = list(run.node_ids())[::3]
+        for u in nodes:
+            reachable = networkx.descendants(graph, u) | {u}
+            for v in nodes:
+                assert is_reachable(run.label_of(u), run.label_of(v), spec) == (v in reachable)
+
+    @given(st.sampled_from(sorted(_SPECS)), st.integers(0, 3))
+    @settings(max_examples=12, deadline=None)
+    def test_label_depth_bounded_by_specification(self, name, seed):
+        spec = _SPECS[name]
+        run = derive_run(spec, seed=200 + seed, target_edges=80)
+        # Compressed parse-tree depth is bounded by the number of modules
+        # (each level consumes either a production or a recursion chain).
+        bound = 2 * len(spec.modules)
+        assert all(len(node.label) <= bound for node in run)
+
+
+class TestAllPairsConsistency:
+    @given(spec_run_query())
+    @settings(max_examples=25, deadline=None)
+    def test_s1_equals_s2_for_safe_queries(self, data):
+        spec, run, query = data
+        if not is_safe_query(spec, query):
+            return
+        engine = ProvenanceQueryEngine(spec)
+        l1 = run.node_ids()[::2]
+        l2 = run.node_ids()[1::2]
+        s2 = engine.all_pairs(run, query, l1, l2)
+        s1 = engine.all_pairs(run, query, l1, l2, use_reachability_filter=False)
+        assert s1 == s2

@@ -1,0 +1,92 @@
+"""Tests for label step types and helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LabelError
+from repro.labeling.labels import (
+    ProductionStep,
+    RecursionStep,
+    common_prefix_length,
+    ensure_label,
+    format_label,
+    is_strict_prefix,
+    label_sort_key,
+    parse_label,
+)
+
+
+def steps():
+    production = st.builds(
+        ProductionStep, st.integers(0, 20), st.integers(0, 20)
+    )
+    recursion = st.builds(
+        RecursionStep, st.integers(0, 5), st.integers(0, 5), st.integers(0, 50)
+    )
+    return st.one_of(production, recursion)
+
+
+labels = st.lists(steps(), max_size=8).map(tuple)
+
+
+class TestHelpers:
+    def test_common_prefix_length(self):
+        a = (ProductionStep(0, 1), RecursionStep(0, 0, 0), ProductionStep(1, 0))
+        b = (ProductionStep(0, 1), RecursionStep(0, 0, 1), ProductionStep(1, 2))
+        assert common_prefix_length(a, b) == 1
+        assert common_prefix_length(a, a) == 3
+        assert common_prefix_length((), a) == 0
+
+    def test_is_strict_prefix(self):
+        a = (ProductionStep(0, 1),)
+        b = (ProductionStep(0, 1), ProductionStep(1, 0))
+        assert is_strict_prefix(a, b)
+        assert not is_strict_prefix(b, a)
+        assert not is_strict_prefix(a, a)
+        assert is_strict_prefix((), a)
+
+    def test_sort_key_is_deterministic(self):
+        entries = [
+            (ProductionStep(0, 2),),
+            (ProductionStep(0, 1), RecursionStep(0, 0, 3)),
+            (RecursionStep(1, 0, 0),),
+        ]
+        assert sorted(entries, key=label_sort_key) == sorted(entries, key=label_sort_key)
+
+    def test_ensure_label_rejects_foreign_objects(self):
+        with pytest.raises(LabelError):
+            ensure_label([("not", "a", "step")])
+
+    def test_steps_are_ordered_and_hashable(self):
+        assert ProductionStep(0, 1) < ProductionStep(0, 2) < ProductionStep(1, 0)
+        assert RecursionStep(0, 0, 1) < RecursionStep(0, 0, 2)
+        assert len({ProductionStep(0, 1), ProductionStep(0, 1)}) == 1
+
+
+class TestTextualForm:
+    def test_format(self):
+        label = (ProductionStep(0, 1), RecursionStep(0, 0, 2), ProductionStep(2, 1))
+        assert format_label(label) == "0.1/r:0.0.2/2.1"
+
+    def test_parse(self):
+        assert parse_label("0.1/r:0.0.2/2.1") == (
+            ProductionStep(0, 1),
+            RecursionStep(0, 0, 2),
+            ProductionStep(2, 1),
+        )
+
+    def test_empty(self):
+        assert format_label(()) == ""
+        assert parse_label("") == ()
+
+    def test_malformed_rejected(self):
+        with pytest.raises(LabelError):
+            parse_label("banana")
+        with pytest.raises(LabelError):
+            parse_label("1.2.3.4")
+
+    @given(labels)
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip(self, label):
+        assert parse_label(format_label(label)) == label

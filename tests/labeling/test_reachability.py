@@ -1,0 +1,102 @@
+"""Tests for the label-based reachability decode against ground truth."""
+
+import itertools
+
+import networkx
+import pytest
+
+from repro.datasets.myexperiment import bioaid_specification, qblast_specification
+from repro.datasets.paper_example import paper_run, paper_specification
+from repro.datasets.synthetic import generate_synthetic_specification
+from repro.errors import LabelError
+from repro.labeling.labels import ProductionStep
+from repro.labeling.reachability import is_reachable
+from repro.workflow.derivation import derive_run
+
+
+def ground_truth_reachability(run):
+    graph = networkx.DiGraph()
+    graph.add_nodes_from(run.node_ids())
+    graph.add_edges_from((edge.source, edge.target) for edge in run.edges)
+    return {
+        node: networkx.descendants(graph, node) | {node} for node in graph.nodes
+    }
+
+
+def assert_decode_matches(run, node_ids=None):
+    spec = run.spec
+    truth = ground_truth_reachability(run)
+    nodes = list(node_ids or run.node_ids())
+    for u, v in itertools.product(nodes, nodes):
+        expected = v in truth[u]
+        actual = is_reachable(run.label_of(u), run.label_of(v), spec)
+        assert actual == expected, f"decode mismatch for ({u}, {v})"
+
+
+class TestPaperExample:
+    def test_all_pairs_match_ground_truth(self):
+        assert_decode_matches(paper_run())
+
+    def test_known_facts_from_the_figure(self):
+        run = paper_run()
+        spec = run.spec
+        # d:1 (inside A's expansion) reaches b:1 (the join of W1) ...
+        assert is_reachable(run.label_of("d:1"), run.label_of("b:1"), spec)
+        # ... but not b:2 (B's branch of the diamond).
+        assert not is_reachable(run.label_of("d:1"), run.label_of("b:2"), spec)
+        # a:1 reaches every node of the nested recursion.
+        for target in ("a:2", "e:1", "e:2", "d:2", "d:1"):
+            assert is_reachable(run.label_of("a:1"), run.label_of(target), spec)
+        # Deeper chain members do not reach earlier distributors.
+        assert not is_reachable(run.label_of("a:2"), run.label_of("a:1"), spec)
+        assert not is_reachable(run.label_of("d:2"), run.label_of("a:1"), spec)
+        # d:2 (level 2 of the chain) reaches d:1 (level 1 aggregator).
+        assert is_reachable(run.label_of("d:2"), run.label_of("d:1"), spec)
+
+    def test_reflexive(self):
+        run = paper_run()
+        for node in run.node_ids():
+            assert is_reachable(run.label_of(node), run.label_of(node), run.spec)
+
+    def test_deep_recursion(self):
+        assert_decode_matches(paper_run(recursion_depth=6))
+
+
+class TestErrorHandling:
+    def test_prefix_labels_rejected(self):
+        run = paper_run()
+        label = run.label_of("a:1")
+        with pytest.raises(LabelError):
+            is_reachable(label[:1], label, run.spec)
+
+    def test_inconsistent_labels_rejected(self):
+        run = paper_run()
+        spec = run.spec
+        fake = (ProductionStep(3, 0),)  # diverges from (0, 0) with a different production
+        with pytest.raises(LabelError):
+            is_reachable(run.label_of("c:1"), fake, spec)
+
+
+class TestRandomRuns:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_paper_spec_random_runs(self, seed):
+        run = derive_run(paper_specification(), seed=seed, target_edges=60)
+        assert_decode_matches(run)
+
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_synthetic_spec_random_runs(self, seed):
+        spec = generate_synthetic_specification(200, seed=seed)
+        run = derive_run(spec, seed=seed, target_edges=120)
+        assert_decode_matches(run)
+
+    def test_bioaid_run(self):
+        spec = bioaid_specification()
+        run = derive_run(spec, seed=0, target_edges=150)
+        nodes = run.node_ids()[::3]
+        assert_decode_matches(run, nodes)
+
+    def test_qblast_run(self):
+        spec = qblast_specification()
+        run = derive_run(spec, seed=0, target_edges=150)
+        nodes = run.node_ids()[::3]
+        assert_decode_matches(run, nodes)

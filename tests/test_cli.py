@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSpecCommand:
+    def test_builtin_spec(self, capsys):
+        assert main(["spec", "paper-example"]) == 0
+        out = capsys.readouterr().out
+        assert "start module : S" in out
+
+    def test_spec_export_and_reload(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        assert main(["spec", "bioaid", "--output", str(path)]) == 0
+        assert path.exists()
+        assert main(["spec", str(path)]) == 0
+
+    def test_synthetic_spec(self, capsys):
+        assert main(["spec", "synthetic:150"]) == 0
+
+    def test_unknown_spec(self):
+        with pytest.raises(SystemExit):
+            main(["spec", "does-not-exist"])
+
+
+class TestSafetyCommand:
+    def test_safe_query(self, capsys):
+        assert main(["safety", "paper-example", "_* e _*"]) == 0
+        assert "SAFE" in capsys.readouterr().out
+
+    def test_unsafe_query(self, capsys):
+        assert main(["safety", "paper-example", "e"]) == 1
+        out = capsys.readouterr().out
+        assert "UNSAFE" in out and "A" in out
+
+
+class TestDeriveAndQuery:
+    def test_derive_and_query_round_trip(self, tmp_path, capsys):
+        run_path = tmp_path / "run.json"
+        assert main(["derive", "paper-example", "--edges", "40", "--seed", "3", "--output", str(run_path)]) == 0
+        assert run_path.exists()
+
+        assert main(["query", str(run_path), "_*", "--json"]) == 0
+        pairs = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert pairs and all(len(pair) == 2 for pair in pairs)
+
+    def test_pairwise_query(self, tmp_path, capsys):
+        run_path = tmp_path / "run.json"
+        main(["derive", "paper-example", "--edges", "10", "--seed", "0", "--output", str(run_path)])
+        capsys.readouterr()
+        assert main(["query", str(run_path), "_* e _*", "--source", "c:1", "--target", "b:1"]) == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_all_pairs_with_limit(self, tmp_path, capsys):
+        run_path = tmp_path / "run.json"
+        main(["derive", "paper-example", "--edges", "60", "--seed", "1", "--output", str(run_path)])
+        capsys.readouterr()
+        assert main(["query", str(run_path), "A+", "--limit", "3"]) == 0
+        assert "matching pairs" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_single_experiment_runs(self, capsys):
+        assert main(["bench", "fig13a", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13a" in out and "grammar_size" in out

@@ -1,0 +1,68 @@
+"""Tests for JSON persistence of specifications and runs."""
+
+import pytest
+
+from repro.datasets.myexperiment import bioaid_specification
+from repro.datasets.paper_example import paper_run, paper_specification
+from repro.errors import ReproError
+from repro.workflow.serialization import (
+    load_run,
+    load_specification,
+    run_from_dict,
+    run_to_dict,
+    save_run,
+    save_specification,
+    specification_from_dict,
+    specification_to_dict,
+)
+
+
+class TestSpecificationRoundTrip:
+    def test_paper_example(self):
+        spec = paper_specification()
+        clone = specification_from_dict(specification_to_dict(spec))
+        assert clone.start == spec.start
+        assert clone.modules == spec.modules
+        assert clone.size() == spec.size()
+        assert [p.head for p in clone.productions] == [p.head for p in spec.productions]
+        assert clone.production(0).body == spec.production(0).body
+
+    def test_bioaid_through_files(self, tmp_path):
+        spec = bioaid_specification()
+        path = tmp_path / "bioaid.json"
+        save_specification(spec, path)
+        loaded = load_specification(path)
+        assert loaded.size() == spec.size()
+        assert loaded.production_graph.recursive_productions == (
+            spec.production_graph.recursive_productions
+        )
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ReproError):
+            specification_from_dict({"kind": "something-else"})
+
+
+class TestRunRoundTrip:
+    def test_labels_survive(self, tmp_path):
+        run = paper_run(recursion_depth=3)
+        path = tmp_path / "run.json"
+        save_run(run, path)
+        loaded = load_run(path)
+        assert set(loaded.node_ids()) == set(run.node_ids())
+        assert loaded.edge_count == run.edge_count
+        for node_id in run.node_ids():
+            assert loaded.label_of(node_id) == run.label_of(node_id)
+
+    def test_queries_work_on_reloaded_runs(self, tmp_path):
+        from repro.core.engine import ProvenanceQueryEngine
+
+        run = paper_run()
+        payload = run_to_dict(run)
+        reloaded = run_from_dict(payload)
+        engine = ProvenanceQueryEngine(reloaded.spec)
+        assert engine.pairwise(reloaded, "c:1", "b:1", "_* e _*")
+        assert not engine.pairwise(reloaded, "c:1", "b:3", "_* e _*")
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ReproError):
+            run_from_dict({"kind": "specification"})

@@ -1,0 +1,116 @@
+"""Tests for simple workflows (production bodies)."""
+
+import pytest
+
+from repro.errors import StructureError
+from repro.workflow.simple import Edge, SimpleWorkflow, chain
+
+
+class TestValidation:
+    def test_single_node_body(self):
+        body = SimpleWorkflow(["a"])
+        assert body.source == 0 and body.sink == 0
+        assert len(body) == 1
+
+    def test_single_node_body_rejects_edges(self):
+        with pytest.raises(StructureError):
+            SimpleWorkflow(["a"], [Edge(0, 0, "x")])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(StructureError):
+            SimpleWorkflow([])
+
+    def test_requires_single_source(self):
+        # two sources: 0 and 1 both have no incoming edges
+        with pytest.raises(StructureError, match="source"):
+            SimpleWorkflow(["a", "b", "c"], [Edge(0, 2, "c"), Edge(1, 2, "c")])
+
+    def test_requires_single_sink(self):
+        with pytest.raises(StructureError, match="sink"):
+            SimpleWorkflow(["a", "b", "c"], [Edge(0, 1, "b"), Edge(0, 2, "c")])
+
+    def test_rejects_cycles(self):
+        with pytest.raises(StructureError):
+            SimpleWorkflow(
+                ["a", "b", "c", "d"],
+                [Edge(0, 1, "b"), Edge(1, 2, "c"), Edge(2, 1, "b"), Edge(2, 3, "d")],
+            )
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(StructureError):
+            SimpleWorkflow(["a", "b"], [Edge(0, 0, "a"), Edge(0, 1, "b")])
+
+    def test_valid_bodies_are_spanning(self):
+        # With a unique source, a unique sink and acyclicity, every node lies
+        # on a source->sink path; the engine relies on this guarantee.
+        body = SimpleWorkflow(
+            ["s", "x", "y", "z", "t"],
+            [Edge(0, 1, "x"), Edge(0, 2, "y"), Edge(1, 3, "z"), Edge(2, 3, "z"), Edge(3, 4, "t")],
+        )
+        for position in range(len(body)):
+            assert position == body.source or body.reaches(body.source, position)
+            assert position == body.sink or body.reaches(position, body.sink)
+
+    def test_rejects_edge_out_of_range(self):
+        with pytest.raises(StructureError):
+            SimpleWorkflow(["a", "b"], [Edge(0, 5, "b")])
+
+    def test_diamond_is_valid(self):
+        body = SimpleWorkflow(
+            ["src", "left", "right", "snk"],
+            [Edge(0, 1, "l"), Edge(0, 2, "r"), Edge(1, 3, "s"), Edge(2, 3, "s")],
+        )
+        assert body.source == 0
+        assert body.sink == 3
+
+    def test_parallel_edges_with_different_tags(self):
+        body = SimpleWorkflow(["a", "b"], [Edge(0, 1, "x"), Edge(0, 1, "y")])
+        assert len(body.edges) == 2
+        assert {e.tag for e in body.edges_between(0, 1)} == {"x", "y"}
+
+
+class TestStructure:
+    def test_positions_of(self):
+        body = SimpleWorkflow(["e", "e"], [Edge(0, 1, "e")])
+        assert body.positions_of("e") == (0, 1)
+        assert body.positions_of("zzz") == ()
+
+    def test_reachability(self):
+        body = SimpleWorkflow(
+            ["c", "A", "B", "b"],
+            [Edge(0, 1, "c"), Edge(0, 2, "c"), Edge(1, 3, "A"), Edge(2, 3, "B")],
+        )
+        assert body.reaches(0, 3)
+        assert body.reaches(0, 1) and body.reaches(0, 2)
+        assert not body.reaches(1, 2)
+        assert not body.reaches(2, 1)
+        assert not body.reaches(3, 0)
+        assert not body.reaches(1, 1)
+
+    def test_topological_order_is_consistent(self):
+        body = SimpleWorkflow(
+            ["a", "b", "c", "d"],
+            [Edge(0, 1, "b"), Edge(0, 2, "c"), Edge(1, 3, "d"), Edge(2, 3, "d")],
+        )
+        order = body.topological_order
+        rank = {position: index for index, position in enumerate(order)}
+        for edge in body.edges:
+            assert rank[edge.source] < rank[edge.target]
+
+    def test_tags(self):
+        body = chain(["x", "y", "z"])
+        assert body.tags() == {"y", "z"}
+
+    def test_chain_helper_defaults_to_head_names(self):
+        body = chain(["a", "b", "c"])
+        assert [(e.source, e.target, e.tag) for e in body.edges] == [(0, 1, "b"), (1, 2, "c")]
+
+    def test_chain_helper_custom_tags(self):
+        body = chain(["a", "b"], tags=["data"])
+        assert body.edges[0].tag == "data"
+
+    def test_equality_and_hash(self):
+        left = chain(["a", "b"])
+        right = chain(["a", "b"])
+        assert left == right and hash(left) == hash(right)
+        assert left != chain(["a", "c"])
