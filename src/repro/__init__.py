@@ -44,6 +44,7 @@ from repro.errors import (
     UnsafeQueryError,
     UnsupportedQueryError,
 )
+from repro.service import CacheStats, IndexCache, QueryRequest, QueryResult, QueryService
 from repro.workflow.derivation import Derivation, derive_run
 from repro.workflow.run import Run
 from repro.workflow.simple import Edge, SimpleWorkflow
@@ -52,13 +53,18 @@ from repro.workflow.spec import Production, Specification
 __version__ = "1.0.0"
 
 __all__ = [
+    "CacheStats",
     "Derivation",
     "DerivationError",
     "Edge",
+    "IndexCache",
     "LabelError",
     "Production",
     "ProvenanceQueryEngine",
     "QueryIndex",
+    "QueryRequest",
+    "QueryResult",
+    "QueryService",
     "QuerySyntaxError",
     "ReproError",
     "Run",

@@ -14,7 +14,7 @@ evaluated (wildcard transitions expand over this alphabet).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 from repro.automata.boolean_matrix import BooleanMatrix
 from repro.automata.nfa import NFA, nfa_from_regex

@@ -41,6 +41,9 @@ __all__ = [
     "regex_to_string",
     "regex_alphabet",
     "regex_size",
+    "regex_is_nullable",
+    "canonicalize_regex",
+    "canonical_query_text",
 ]
 
 
@@ -344,8 +347,7 @@ def regex_to_string(node: RegexNode) -> str:
 
 def regex_alphabet(node: RegexNode) -> frozenset[str]:
     """Return the set of explicit tags mentioned in the expression."""
-    tags: set[str] = []
-    tags = set()
+    tags: set[str] = set()
     stack = [node]
     while stack:
         current = stack.pop()
@@ -375,3 +377,107 @@ def regex_size(node: RegexNode) -> int:
         count += 1
         stack.extend(current.children())
     return count
+
+
+def regex_is_nullable(node: RegexNode) -> bool:
+    """Does the expression's language contain the empty string?"""
+    if isinstance(node, Epsilon) or isinstance(node, Star):
+        return True
+    if isinstance(node, (Symbol, AnySymbol)):
+        return False
+    if isinstance(node, Concat):
+        return all(regex_is_nullable(part) for part in node.parts)
+    if isinstance(node, Union):
+        return any(regex_is_nullable(part) for part in node.parts)
+    if isinstance(node, Plus):
+        return regex_is_nullable(node.child)
+    raise TypeError(f"unknown regex node {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# Canonical normal form
+#
+# ``canonicalize_regex`` rewrites a syntax tree into a normal form such that
+# many syntactically different but language-equivalent queries become
+# *identical* trees, which is what lets a shared index cache recognise
+# ``a|b`` and ``b|a`` (or ``(a)`` and ``a``) as the same query.  Every rewrite
+# is language-preserving:
+#
+# * concatenations are flattened and epsilon factors dropped,
+# * alternations are flattened, de-duplicated and sorted (rendering order),
+# * an epsilon alternative is dropped when a sibling is already nullable,
+# * ``(e*)* -> e*``, ``(e+)* -> e*``, ``(e*)+ -> e*``, ``(e+)+ -> e+``,
+#   ``~* -> ~``, ``~+ -> ~``,
+# * ``e+`` with nullable ``e`` becomes ``e*`` (their languages coincide),
+# * under a repetition, epsilon alternatives of the child are redundant:
+#   ``(a|~)* -> a*``.
+#
+# The form is a fixpoint: canonicalizing a canonical tree returns an equal
+# tree, so canonical text is a stable cache key.
+# ---------------------------------------------------------------------------
+
+
+def _strip_epsilon_alternatives(node: RegexNode) -> RegexNode:
+    """Drop epsilon alternatives of a top-level union (valid under ``*``/``+``)."""
+    if isinstance(node, Union):
+        remaining = [part for part in node.parts if not isinstance(part, Epsilon)]
+        if len(remaining) != len(node.parts):
+            if len(remaining) == 1:
+                return remaining[0]
+            return Union(tuple(remaining))
+    return node
+
+
+def canonicalize_regex(node: RegexNode) -> RegexNode:
+    """Rewrite a query into its canonical normal form (see module notes).
+
+    The result accepts exactly the same tag sequences as the input; the
+    rewrite is idempotent, so the rendered canonical text is a stable key for
+    caching per-query work across equivalent query spellings.
+    """
+    if isinstance(node, (Epsilon, Symbol, AnySymbol)):
+        return node
+    if isinstance(node, Concat):
+        return concat([canonicalize_regex(part) for part in node.parts])
+    if isinstance(node, Union):
+        flat: list[RegexNode] = []
+        for part in node.parts:
+            candidate = canonicalize_regex(part)
+            flat.extend(candidate.parts if isinstance(candidate, Union) else (candidate,))
+        unique: list[RegexNode] = []
+        seen: set[RegexNode] = set()
+        for part in flat:
+            if part not in seen:
+                seen.add(part)
+                unique.append(part)
+        non_epsilon = [part for part in unique if not isinstance(part, Epsilon)]
+        if len(non_epsilon) < len(unique) and any(
+            regex_is_nullable(part) for part in non_epsilon
+        ):
+            unique = non_epsilon
+        if len(unique) == 1:
+            return unique[0]
+        unique.sort(key=regex_to_string)
+        return Union(tuple(unique))
+    if isinstance(node, Star):
+        child = _strip_epsilon_alternatives(canonicalize_regex(node.child))
+        if isinstance(child, Epsilon):
+            return Epsilon()
+        if isinstance(child, (Star, Plus)):
+            return canonicalize_regex(Star(child.child))
+        return Star(child)
+    if isinstance(node, Plus):
+        child = canonicalize_regex(node.child)
+        if isinstance(child, Epsilon):
+            return Epsilon()
+        if isinstance(child, Plus):
+            return canonicalize_regex(Plus(child.child))
+        if isinstance(child, Star) or regex_is_nullable(child):
+            return canonicalize_regex(Star(child))
+        return Plus(child)
+    raise TypeError(f"unknown regex node {node!r}")
+
+
+def canonical_query_text(query: str | RegexNode) -> str:
+    """Parse, canonicalize and render a query — the cross-query cache key."""
+    return regex_to_string(canonicalize_regex(parse_regex(query)))

@@ -6,7 +6,12 @@ Subcommands cover the typical workflow of the library:
 * ``repro derive``    — derive a labeled run and store it as JSON,
 * ``repro safety``    — check whether a query is safe for a specification,
 * ``repro query``     — answer a pairwise or all-pairs query over a stored run,
+* ``repro batch``     — stream a JSONL batch of queries through the query service,
 * ``repro bench``     — run the paper's experiments (same as ``python -m repro.bench``).
+
+Library errors (unsafe queries, malformed regexes, broken input files) exit
+non-zero with a one-line ``repro: error: ...`` message instead of a
+traceback, so the CLI composes cleanly in shell pipelines and CI.
 """
 
 from __future__ import annotations
@@ -16,10 +21,13 @@ import json
 import sys
 from pathlib import Path
 
+from repro import __version__
 from repro.core.engine import ProvenanceQueryEngine
 from repro.datasets.myexperiment import bioaid_specification, qblast_specification
 from repro.datasets.paper_example import paper_specification
 from repro.datasets.synthetic import generate_synthetic_specification
+from repro.errors import ReproError
+from repro.service import IndexCache, QueryService, read_requests_jsonl, result_to_dict
 from repro.workflow.serialization import (
     load_run,
     load_specification,
@@ -115,6 +123,43 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if not args.run:
+        raise SystemExit("repro batch needs at least one --run RUN.json to query against")
+    service = QueryService(
+        cache=IndexCache(max_entries=args.cache_entries), max_workers=args.workers
+    )
+    for entry in args.run:
+        run_id, _, path = entry.rpartition("=")
+        service.load_run_file(path, run_id=run_id or None)
+
+    if args.requests == "-":
+        request_lines = sys.stdin
+    else:
+        request_lines = Path(args.requests).read_text().splitlines()
+    requests = read_requests_jsonl(request_lines)
+
+    output = open(args.output, "w") if args.output else sys.stdout
+    ok_count = failed = 0
+    try:
+        for result in service.iter_batch(requests):
+            print(json.dumps(result_to_dict(result)), file=output, flush=True)
+            if result.ok:
+                ok_count += 1
+            else:
+                failed += 1
+    finally:
+        if args.output:
+            output.close()
+    stats = service.cache_stats
+    print(
+        f"repro batch: {ok_count + failed} requests ({failed} failed), "
+        f"{stats.index_builds} index builds, cache hit rate {stats.hit_rate:.1%}",
+        file=sys.stderr,
+    )
+    return 0 if failed == 0 else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -128,6 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regular path queries on workflow provenance (ICDE 2015 reproduction).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -159,6 +207,33 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--json", action="store_true", help="print all pairs as JSON")
     query_parser.set_defaults(handler=_cmd_query)
 
+    batch_parser = sub.add_parser(
+        "batch",
+        help="evaluate a JSONL batch of queries through the shared-cache service",
+        description=(
+            "Read one JSON request per line (op/run/query/source/target fields; "
+            "see repro.service.requests) and stream one JSON result per line, "
+            "in request order.  Runs are registered with --run; requests refer "
+            "to them by id (default: the file stem)."
+        ),
+    )
+    batch_parser.add_argument("requests", help="JSONL request file, or '-' for stdin")
+    batch_parser.add_argument(
+        "--run",
+        action="append",
+        default=[],
+        metavar="[ID=]PATH",
+        help="register a run JSON file under ID (repeatable)",
+    )
+    batch_parser.add_argument("--output", help="write JSONL results here instead of stdout")
+    batch_parser.add_argument(
+        "--workers", type=int, default=None, help="evaluation thread count"
+    )
+    batch_parser.add_argument(
+        "--cache-entries", type=int, default=512, help="index cache entry bound"
+    )
+    batch_parser.set_defaults(handler=_cmd_batch)
+
     bench_parser = sub.add_parser("bench", help="run the paper's experiments")
     bench_parser.add_argument("experiments", nargs="*", default=["all"])
     bench_parser.add_argument("--scale", choices=["small", "paper"])
@@ -170,7 +245,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (ReproError, OSError, ValueError) as error:
+        # ValueError covers json.JSONDecodeError plus bad CLI values that
+        # surface from the library (duplicate run ids, zero workers, ...).
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

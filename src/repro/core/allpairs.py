@@ -26,7 +26,7 @@ optimality claim of Lemma 4.1's side effect.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.core.pairwise import answer_pairwise_query
 from repro.core.query_index import QueryIndex

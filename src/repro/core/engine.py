@@ -13,13 +13,20 @@ query pipeline of the paper:
 
 while caching the per-query indices (safety analysis + transition matrices),
 which is the query-time "overhead" measured in Fig. 13a/b.
+
+Caching goes through a bounded, shared
+:class:`~repro.service.cache.IndexCache` keyed by the specification
+fingerprint and the query's canonical normal form, so ``a|b`` and ``b|a``
+share one index and several engines (or a whole
+:class:`~repro.service.service.QueryService`) can pool their per-query work
+by passing the same cache instance.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from repro.automata.regex import RegexNode, parse_regex, regex_to_string
+from repro.automata.regex import RegexNode, parse_regex
 from repro.core.allpairs import (
     AllPairsOptions,
     all_pairs_reachability,
@@ -31,24 +38,44 @@ from repro.core.decomposition import (
     plan_decomposition,
 )
 from repro.core.pairwise import answer_pairwise_query, pairwise_reach_matrix
-from repro.core.query_index import QueryIndex, build_query_index
-from repro.core.safety import SafetyReport, analyze_safety, query_dfa
+from repro.core.query_index import QueryIndex
+from repro.core.safety import SafetyReport
 from repro.errors import UnsafeQueryError
 from repro.labeling.reachability import is_reachable
 from repro.workflow.derivation import derive_run
 from repro.workflow.run import Run
 from repro.workflow.spec import Specification
 
-__all__ = ["ProvenanceQueryEngine"]
+if TYPE_CHECKING:
+    from repro.service.cache import IndexCache
+
+__all__ = ["ProvenanceQueryEngine", "DEFAULT_CACHE_ENTRIES"]
+
+DEFAULT_CACHE_ENTRIES = 128
 
 
 class ProvenanceQueryEngine:
-    """Regular path queries over executions of one workflow specification."""
+    """Regular path queries over executions of one workflow specification.
 
-    def __init__(self, spec: Specification) -> None:
+    Parameters
+    ----------
+    spec:
+        The workflow specification the engine answers queries against.
+    cache:
+        An optional shared :class:`~repro.service.cache.IndexCache`.  By
+        default each engine gets its own bounded cache
+        (``DEFAULT_CACHE_ENTRIES`` entries); passing one cache to several
+        engines lets them share per-query indexes across specifications.
+    """
+
+    def __init__(self, spec: Specification, *, cache: "IndexCache | None" = None) -> None:
+        if cache is None:
+            # Imported lazily: repro.service imports this module at load time.
+            from repro.service.cache import IndexCache
+
+            cache = IndexCache(max_entries=DEFAULT_CACHE_ENTRIES)
         self._spec = spec
-        self._index_cache: dict[str, QueryIndex] = {}
-        self._safety_cache: dict[str, SafetyReport] = {}
+        self._cache = cache
 
     # -- basics ----------------------------------------------------------------------
 
@@ -56,16 +83,19 @@ class ProvenanceQueryEngine:
     def spec(self) -> Specification:
         return self._spec
 
+    @property
+    def cache(self) -> "IndexCache":
+        """The (possibly shared) index cache backing this engine."""
+        return self._cache
+
     def derive(self, *, seed: int | None = None, target_edges: int | None = None, **kwargs) -> Run:
         """Derive a labeled run of the specification (see :func:`derive_run`)."""
         return derive_run(self._spec, seed=seed, target_edges=target_edges, **kwargs)
 
-    def _canonical(self, query: str | RegexNode) -> tuple[str, RegexNode]:
-        node = parse_regex(query)
-        return regex_to_string(node), node
-
     def _check_run(self, run: Run) -> None:
-        if run.spec is not self._spec and run.spec.name != self._spec.name:
+        # Compare grammar content, not object identity or display name: a run
+        # reloaded from JSON (or a renamed spec) must still be answerable.
+        if run.spec is not self._spec and run.spec.fingerprint != self._spec.fingerprint:
             raise ValueError(
                 "the run was derived from a different specification than this engine's"
             )
@@ -74,12 +104,7 @@ class ProvenanceQueryEngine:
 
     def safety_report(self, query: str | RegexNode) -> SafetyReport:
         """The full safety analysis of a query (cached)."""
-        text, node = self._canonical(query)
-        report = self._safety_cache.get(text)
-        if report is None:
-            report = analyze_safety(self._spec, query_dfa(self._spec, node))
-            self._safety_cache[text] = report
-        return report
+        return self._cache.safety(self._spec, query)
 
     def is_safe(self, query: str | RegexNode) -> bool:
         """Is the query safe for this specification (Definition 13)?"""
@@ -87,12 +112,7 @@ class ProvenanceQueryEngine:
 
     def query_index(self, query: str | RegexNode) -> QueryIndex:
         """The cached :class:`QueryIndex` of a safe query."""
-        text, node = self._canonical(query)
-        index = self._index_cache.get(text)
-        if index is None:
-            index = build_query_index(self._spec, node)
-            self._index_cache[text] = index
-        return index
+        return self._cache.index(self._spec, query)
 
     def plan(self, query: str | RegexNode) -> DecompositionPlan:
         """The safe-subtree decomposition plan of a (possibly unsafe) query."""
@@ -171,7 +191,7 @@ class ProvenanceQueryEngine:
         remainder (Section IV-B).
         """
         self._check_run(run)
-        _, node = self._canonical(query)
+        node = parse_regex(query)
         try:
             index = self.query_index(node)
         except UnsafeQueryError:
@@ -193,5 +213,5 @@ class ProvenanceQueryEngine:
     def describe(self) -> str:
         return (
             f"ProvenanceQueryEngine over {self._spec.name!r} "
-            f"({len(self._index_cache)} cached query indices)"
+            f"({len(self._cache)} cached query entries)"
         )

@@ -1,0 +1,250 @@
+"""A bounded, shared cache of per-query indexes.
+
+The paper's query-time cost splits into a *per-query* part (minimal DFA,
+safety analysis, transition matrices — Fig. 13a/b's "overhead") and a
+*per-pair* part that is constant once the index exists.  At service scale the
+per-query part dominates, so this module centralises it behind one
+thread-safe LRU keyed by ``(specification fingerprint, canonical query
+text)``:
+
+* the fingerprint (:attr:`~repro.workflow.spec.Specification.fingerprint`)
+  makes independently constructed but identical grammars share entries, and
+* the canonical query text (:func:`~repro.automata.regex.canonical_query_text`)
+  makes syntactically different but equivalent spellings (``a|b`` vs
+  ``b|a``, redundant parentheses, ``(e*)*``) hit the same entry.
+
+One entry stores both the :class:`~repro.core.safety.SafetyReport` and — for
+safe queries — the :class:`~repro.core.query_index.QueryIndex` built from it,
+so a safety probe followed by an index build runs the DFA pipeline once.
+Unsafe verdicts are cached too: re-asking about an unsafe query is a hit.
+
+The cache is bounded by entry count and, optionally, by total "cost" (the
+sum of ``|Q|²`` over cached DFAs — a proxy for the boolean-matrix memory an
+entry pins).  Eviction is least-recently-used.  Builds for distinct keys run
+concurrently; concurrent requests for the *same* key are deduplicated with a
+per-key build lock so the work happens once.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.automata.regex import RegexNode, canonical_query_text, parse_regex
+from repro.core.query_index import QueryIndex
+from repro.core.safety import SafetyReport, analyze_safety, query_dfa
+from repro.errors import UnsafeQueryError
+from repro.workflow.spec import Specification
+
+__all__ = ["CacheStats", "IndexCache"]
+
+CacheKey = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of cache effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    index_builds: int = 0
+    safety_checks: int = 0
+    entries: int = 0
+    total_cost: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"hit_rate={self.hit_rate:.1%}, evictions={self.evictions}, "
+            f"index_builds={self.index_builds}, entries={self.entries})"
+        )
+
+
+@dataclass
+class _Entry:
+    """One cached query: its safety report and (when safe) its index."""
+
+    report: SafetyReport
+    index: QueryIndex | None
+    cost: int
+
+
+class IndexCache:
+    """Thread-safe LRU of ``(spec fingerprint, canonical query)`` → index.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on cached queries; the least recently used entry is
+        evicted first.  Must be at least 1.
+    max_cost:
+        Optional bound on the summed ``state_count²`` of cached DFAs.  The
+        most recently inserted entry is never evicted, so a single oversized
+        query still gets cached (and evicts everything older).
+    """
+
+    def __init__(self, max_entries: int = 256, max_cost: int | None = None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        if max_cost is not None and max_cost < 1:
+            raise ValueError("max_cost must be positive (or None for unbounded)")
+        self.max_entries = max_entries
+        self.max_cost = max_cost
+        self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
+        self._total_cost = 0
+        self._lock = threading.Lock()
+        self._build_locks: dict[CacheKey, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._index_builds = 0
+        self._safety_checks = 0
+
+    # -- keys --------------------------------------------------------------------
+
+    @staticmethod
+    def key_for(spec: Specification, query: str | RegexNode) -> CacheKey:
+        """The cache key of a query against a specification."""
+        return (spec.fingerprint, canonical_query_text(query))
+
+    # -- lookups -----------------------------------------------------------------
+
+    def safety(self, spec: Specification, query: str | RegexNode) -> SafetyReport:
+        """The (cached) safety analysis of a query against a specification."""
+        return self._lookup(spec, query).report
+
+    def index(self, spec: Specification, query: str | RegexNode) -> QueryIndex:
+        """The (cached) :class:`QueryIndex` of a safe query.
+
+        Raises :class:`~repro.errors.UnsafeQueryError` for unsafe queries;
+        the unsafe verdict itself is cached, so repeated probes are cheap.
+        """
+        entry = self._lookup(spec, query)
+        if entry.index is None:
+            report = entry.report
+            raise UnsafeQueryError(
+                f"query {canonical_query_text(query)!r} is not safe for "
+                f"specification {spec.name!r}; "
+                f"{len(report.violations)} inconsistent module(s): "
+                f"{sorted({violation.module for violation in report.violations})}"
+            )
+        return entry.index
+
+    def prepare(self, spec: Specification, query: str | RegexNode) -> None:
+        """Ensure the query's entry (safety report plus, when safe, its
+        index) is cached, without raising for unsafe queries."""
+        self._lookup(spec, query)
+
+    def contains(self, spec: Specification, query: str | RegexNode) -> bool:
+        """Is the query cached (without touching recency or statistics)?"""
+        return self.contains_key(self.key_for(spec, query))
+
+    def contains_key(self, key: CacheKey) -> bool:
+        """Membership test for a precomputed key (no parsing under the lock)."""
+        with self._lock:
+            return key in self._entries
+
+    # -- internals ---------------------------------------------------------------
+
+    def _lookup(self, spec: Specification, query: str | RegexNode) -> _Entry:
+        node = parse_regex(query)
+        key = self.key_for(spec, node)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            build_lock = self._build_locks.setdefault(key, threading.Lock())
+        # Build outside the cache lock so distinct keys build in parallel;
+        # the per-key lock makes concurrent requests for one key build once.
+        with build_lock:
+            try:
+                with self._lock:
+                    entry = self._entries.get(key)
+                    if entry is not None:
+                        self._hits += 1
+                        self._entries.move_to_end(key)
+                        return entry
+                entry = self._build(spec, node, key)
+                with self._lock:
+                    self._misses += 1
+                    self._insert(key, entry)
+                return entry
+            finally:
+                with self._lock:
+                    self._build_locks.pop(key, None)
+
+    def _build(self, spec: Specification, node: RegexNode, key: CacheKey) -> _Entry:
+        dfa = query_dfa(spec, node)
+        report = analyze_safety(spec, dfa)
+        with self._lock:
+            self._safety_checks += 1
+        index: QueryIndex | None = None
+        if report.is_safe:
+            # Reuse the safety analysis instead of calling build_query_index,
+            # which would redo the DFA construction and the fixpoint.
+            index = QueryIndex(
+                spec=spec, dfa=report.dfa, lambdas=report.lambdas, query_text=key[1]
+            )
+            with self._lock:
+                self._index_builds += 1
+        return _Entry(report=report, index=index, cost=report.dfa.state_count**2)
+
+    def _insert(self, key: CacheKey, entry: _Entry) -> None:
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._total_cost -= previous.cost
+        self._entries[key] = entry
+        self._total_cost += entry.cost
+        while len(self._entries) > 1 and (
+            len(self._entries) > self.max_entries
+            or (self.max_cost is not None and self._total_cost > self.max_cost)
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._total_cost -= evicted.cost
+            self._evictions += 1
+
+    # -- management --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._total_cost = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                index_builds=self._index_builds,
+                safety_checks=self._safety_checks,
+                entries=len(self._entries),
+                total_cost=self._total_cost,
+            )
+
+    def describe(self) -> str:
+        stats = self.stats
+        bounds = f"max_entries={self.max_entries}"
+        if self.max_cost is not None:
+            bounds += f", max_cost={self.max_cost}"
+        return f"IndexCache({bounds}) {stats.describe()}"

@@ -1,0 +1,276 @@
+"""The multi-run batch query service.
+
+A :class:`QueryService` is the serving-layer counterpart of
+:class:`~repro.core.engine.ProvenanceQueryEngine`: where an engine wraps one
+specification, the service hosts *many* registered runs (typically loaded
+from the JSON files written by ``repro derive``) and answers *batches* of
+pairwise / all-pairs / reachability requests against them, all through one
+shared bounded :class:`~repro.service.cache.IndexCache`.
+
+What the service adds over bare engines:
+
+* **cross-run, cross-query index sharing** — runs of the same grammar share
+  one engine (keyed by specification fingerprint), and equivalent query
+  spellings share one cached index, so a batch that asks ``a|b`` of run 1
+  and ``b|a`` of run 2 builds a single index;
+* **batch-level build deduplication** — before evaluation, the distinct
+  ``(spec, query)`` pairs of a batch are pre-built once (concurrently), so
+  a thousand requests sharing three queries pay for three index builds;
+* **concurrent evaluation** — independent requests of a batch are evaluated
+  on a thread pool; results come back in request order, and one failing
+  request becomes an error *result* instead of aborting the batch.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.engine import ProvenanceQueryEngine
+from repro.service.cache import CacheStats, IndexCache
+from repro.service.requests import (
+    QueryRequest,
+    QueryResult,
+    request_from_dict,
+)
+from repro.workflow.run import Run
+from repro.workflow.serialization import load_run
+from repro.workflow.spec import Specification
+
+__all__ = ["QueryService"]
+
+_DEFAULT_CACHE_ENTRIES = 512
+
+
+def _default_workers() -> int:
+    return min(32, (os.cpu_count() or 1) + 4)
+
+
+class QueryService:
+    """Serve query batches over a set of registered runs (see module notes).
+
+    Parameters
+    ----------
+    cache:
+        The shared index cache; a bounded default is created when omitted.
+        Passing an explicit cache lets several services (or services plus
+        standalone engines) pool their per-query work.
+    max_workers:
+        Thread-pool width for batch evaluation and index pre-building.
+    """
+
+    def __init__(
+        self, *, cache: IndexCache | None = None, max_workers: int | None = None
+    ) -> None:
+        self._cache = cache if cache is not None else IndexCache(_DEFAULT_CACHE_ENTRIES)
+        self._max_workers = max_workers if max_workers is not None else _default_workers()
+        if self._max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self._runs: dict[str, Run] = {}
+        self._engines: dict[str, ProvenanceQueryEngine] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ------------------------------------------------------------
+
+    def register_run(self, run: Run, run_id: str | None = None) -> str:
+        """Register a run under ``run_id`` (default ``run-<n>``); returns the id."""
+        with self._lock:
+            if run_id is None:
+                run_id = f"run-{len(self._runs) + 1}"
+            if run_id in self._runs:
+                raise ValueError(f"run id {run_id!r} is already registered")
+            fingerprint = run.spec.fingerprint
+            if fingerprint not in self._engines:
+                self._engines[fingerprint] = ProvenanceQueryEngine(
+                    run.spec, cache=self._cache
+                )
+            self._runs[run_id] = run
+            return run_id
+
+    def load_run_file(self, path: str | Path, run_id: str | None = None) -> str:
+        """Load a run JSON file (see ``repro derive``) and register it.
+
+        The default id is the file stem, so ``runs/r7.json`` registers as
+        ``r7``.
+        """
+        path = Path(path)
+        return self.register_run(load_run(path), run_id=run_id or path.stem)
+
+    def run_ids(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._runs)
+
+    def get_run(self, run_id: str) -> Run:
+        with self._lock:
+            run = self._runs.get(run_id)
+        if run is None:
+            raise KeyError(
+                f"unknown run id {run_id!r}; registered runs: {sorted(self._runs)}"
+            )
+        return run
+
+    def engine_for(self, run_id: str) -> ProvenanceQueryEngine:
+        """The shared engine serving the given run's specification."""
+        run = self.get_run(run_id)
+        with self._lock:
+            return self._engines[run.spec.fingerprint]
+
+    # -- cache -------------------------------------------------------------------
+
+    @property
+    def cache(self) -> IndexCache:
+        return self._cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def warm(self, run_id: str, queries: Iterable[str]) -> None:
+        """Pre-build the indexes of the given queries for a run's grammar."""
+        spec = self.get_run(run_id).spec
+        for query in queries:
+            self._probe(spec, query)
+
+    def _probe(self, spec: Specification, query: str) -> None:
+        """Touch the cache for one query, ignoring per-query failures (they
+        resurface as error results when the query is actually evaluated)."""
+        try:
+            self._cache.prepare(spec, query)
+        except Exception:
+            pass
+
+    # -- evaluation --------------------------------------------------------------
+
+    def execute(self, request: QueryRequest | Mapping[str, Any]) -> QueryResult:
+        """Evaluate one request, returning an error result on failure."""
+        return self._execute(self._coerce(request), position=0)
+
+    def run_batch(
+        self, requests: Iterable[QueryRequest | Mapping[str, Any]]
+    ) -> list[QueryResult]:
+        """Evaluate a batch concurrently; results are in request order."""
+        return list(self.iter_batch(requests))
+
+    def iter_batch(
+        self, requests: Iterable[QueryRequest | Mapping[str, Any]]
+    ) -> Iterator[QueryResult]:
+        """Stream batch results in request order as they become available.
+
+        Unlike :meth:`run_batch` this never holds the whole result list:
+        each result is yielded as soon as it (and its predecessors) finish.
+        """
+        batch = [self._coerce(request) for request in requests]
+        if not batch:
+            return iter(())
+
+        def generate() -> Iterator[QueryResult]:
+            pool = ThreadPoolExecutor(max_workers=self._max_workers)
+            try:
+                self._prebuild(batch, pool)
+                futures = [
+                    pool.submit(self._execute, request, position)
+                    for position, request in enumerate(batch)
+                ]
+                for future in futures:
+                    yield future.result()
+            finally:
+                pool.shutdown(wait=True)
+
+        return generate()
+
+    def _coerce(self, request: QueryRequest | Mapping[str, Any]) -> QueryRequest:
+        if isinstance(request, QueryRequest):
+            return request
+        return request_from_dict(dict(request))
+
+    def _prebuild(self, batch: Sequence[QueryRequest], pool: ThreadPoolExecutor) -> None:
+        """Build each distinct ``(spec, canonical query)`` of the batch once."""
+        work: dict[tuple[str, str], tuple[Specification, str]] = {}
+        for request in batch:
+            if request.query is None:
+                continue
+            try:
+                spec = self.get_run(request.run).spec
+                key = IndexCache.key_for(spec, request.query)
+            except Exception:
+                continue  # unknown run / unparsable query: reported per request
+            if key not in work and not self._cache.contains_key(key):
+                work[key] = (spec, request.query)
+        if not work:
+            return
+        for future in [
+            pool.submit(self._probe, spec, query) for spec, query in work.values()
+        ]:
+            future.result()
+
+    def _execute(self, request: QueryRequest, position: int) -> QueryResult:
+        request_id = request.request_id if request.request_id is not None else str(position)
+        started = time.perf_counter()
+
+        def fail(message: str) -> QueryResult:
+            return QueryResult(
+                request_id=request_id,
+                op=request.op,
+                run=request.run,
+                ok=False,
+                error=message,
+                elapsed=time.perf_counter() - started,
+            )
+
+        try:
+            run = self.get_run(request.run)
+        except KeyError as error:
+            return fail(str(error).strip('"'))
+        engine = self.engine_for(request.run)
+        try:
+            answer: bool | None = None
+            pairs: tuple[tuple[str, str], ...] | None = None
+            if request.op == "reachability":
+                answer = engine.reachable(run, request.source, request.target)
+            elif request.op == "pairwise":
+                if engine.is_safe(request.query):
+                    answer = engine.pairwise(
+                        run, request.source, request.target, request.query
+                    )
+                else:
+                    answer = (request.source, request.target) in engine.evaluate(
+                        run,
+                        request.query,
+                        [request.source],
+                        [request.target],
+                        use_reachability_filter=request.use_reachability_filter,
+                    )
+            else:  # allpairs — the only remaining validated op
+                matches = engine.evaluate(
+                    run,
+                    request.query,
+                    list(request.sources) if request.sources is not None else None,
+                    list(request.targets) if request.targets is not None else None,
+                    use_reachability_filter=request.use_reachability_filter,
+                )
+                pairs = tuple(sorted(matches))
+        except Exception as error:
+            return fail(f"{type(error).__name__}: {error}")
+        return QueryResult(
+            request_id=request_id,
+            op=request.op,
+            run=request.run,
+            ok=True,
+            answer=answer,
+            pairs=pairs,
+            elapsed=time.perf_counter() - started,
+        )
+
+    # -- reporting ---------------------------------------------------------------
+
+    def describe(self) -> str:
+        with self._lock:
+            runs, engines = len(self._runs), len(self._engines)
+        return (
+            f"QueryService({runs} runs, {engines} grammars, "
+            f"workers={self._max_workers}) {self._cache.stats.describe()}"
+        )

@@ -20,6 +20,8 @@ labeling scheme and the query engine rely on:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Iterable, Mapping, Sequence
@@ -134,6 +136,35 @@ class Specification:
         for production in self._productions:
             result |= production.body.tags()
         return frozenset(result)
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """A stable content hash of the grammar (start, productions, atomics).
+
+        Two :class:`Specification` objects with the same productions share a
+        fingerprint even when constructed independently (e.g. a spec reloaded
+        from JSON), which is what lets a shared cross-engine cache key
+        per-query indexes by ``(spec fingerprint, canonical query)``.  The
+        display name is deliberately excluded: renaming a workflow does not
+        change its query semantics.
+        """
+        payload = {
+            "start": self._start,
+            "atomic": sorted(self.atomic_modules),
+            "productions": [
+                {
+                    "head": production.head,
+                    "nodes": list(production.body.nodes),
+                    "edges": [
+                        [edge.source, edge.target, edge.tag]
+                        for edge in production.body.edges
+                    ],
+                }
+                for production in self._productions
+            ],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     @cached_property
     def production_graph(self) -> ProductionGraph:

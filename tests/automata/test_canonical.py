@@ -1,0 +1,128 @@
+"""Tests for the canonical regex normal form (the cross-query cache key)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import dfa_from_regex
+from repro.automata.regex import (
+    canonical_query_text,
+    canonicalize_regex,
+    parse_regex,
+    regex_is_nullable,
+    regex_to_string,
+)
+
+ALPHABET = ("a", "b", "c")
+
+
+def _dfas_equivalent(first, second) -> bool:
+    """Language equivalence of two complete DFAs via the product automaton."""
+    alphabet = first.alphabet | second.alphabet
+    first = first.with_alphabet(alphabet)
+    second = second.with_alphabet(alphabet)
+    seen = {(first.start, second.start)}
+    queue = [(first.start, second.start)]
+    while queue:
+        state1, state2 = queue.pop()
+        if first.is_accepting(state1) != second.is_accepting(state2):
+            return False
+        for tag in alphabet:
+            pair = (first.step(state1, tag), second.step(state2, tag))
+            if pair not in seen:
+                seen.add(pair)
+                queue.append(pair)
+    return True
+
+
+class TestExplicitRewrites:
+    @pytest.mark.parametrize(
+        ("left", "right"),
+        [
+            ("a|b", "b|a"),
+            ("(a)", "a"),
+            ("a . (b | c)", "a (c|b)"),
+            ("(a|b)|c", "c | (b | a)"),
+            ("a|a|b", "b|a"),
+            ("(a*)*", "a*"),
+            ("(a+)*", "a*"),
+            ("(a*)+", "a*"),
+            ("(a+)+", "a+"),
+            ("(a|~)*", "a*"),
+            ("(a|~)+", "a*"),
+            ("~*", "~"),
+            ("~+", "~"),
+            ("a ~ b", "a . b"),
+            ("a | ~ | b*", "b* | a"),
+        ],
+    )
+    def test_equivalent_spellings_share_canonical_text(self, left, right):
+        assert canonical_query_text(left) == canonical_query_text(right)
+
+    @pytest.mark.parametrize(
+        ("left", "right"),
+        [
+            ("a|b", "a.b"),
+            ("a*", "a+"),
+            ("a", "b"),
+            ("a|~", "a"),
+            ("_", "a"),
+        ],
+    )
+    def test_distinct_languages_stay_distinct(self, left, right):
+        assert canonical_query_text(left) != canonical_query_text(right)
+
+    def test_nullability(self):
+        assert regex_is_nullable(parse_regex("a*"))
+        assert regex_is_nullable(parse_regex("~"))
+        assert regex_is_nullable(parse_regex("a* b*"))
+        assert regex_is_nullable(parse_regex("a | ~"))
+        assert not regex_is_nullable(parse_regex("a b*"))
+        assert not regex_is_nullable(parse_regex("(a|b)+"))
+
+
+# -- property tests over generated regexes -------------------------------------------
+
+
+@st.composite
+def regexes(draw, depth=3):
+    if depth == 0:
+        return draw(
+            st.sampled_from([*ALPHABET, "_", "~"]).map(parse_regex)
+        )
+    kind = draw(st.sampled_from(["leaf", "concat", "union", "star", "plus"]))
+    if kind == "leaf":
+        return draw(regexes(depth=0))
+    if kind in ("star", "plus"):
+        child = draw(regexes(depth=depth - 1))
+        text = regex_to_string(child)
+        return parse_regex(f"({text}){'*' if kind == 'star' else '+'}")
+    parts = draw(st.lists(regexes(depth=depth - 1), min_size=2, max_size=3))
+    joiner = " . " if kind == "concat" else " | "
+    return parse_regex(joiner.join(f"({regex_to_string(part)})" for part in parts))
+
+
+@settings(max_examples=150, deadline=None)
+@given(node=regexes())
+def test_canonicalization_is_idempotent(node):
+    canonical = canonicalize_regex(node)
+    assert canonicalize_regex(canonical) == canonical
+    # ... and so is the rendered round trip used as the cache key.
+    text = regex_to_string(canonical)
+    assert canonical_query_text(text) == text
+
+
+@settings(max_examples=150, deadline=None)
+@given(node=regexes())
+def test_canonicalization_preserves_language(node):
+    canonical = canonicalize_regex(node)
+    original_dfa = dfa_from_regex(node, ALPHABET)
+    canonical_dfa = dfa_from_regex(canonical, ALPHABET)
+    assert _dfas_equivalent(original_dfa, canonical_dfa)
+
+
+@settings(max_examples=100, deadline=None)
+@given(node=regexes())
+def test_canonical_text_parses_back_to_same_canonical_form(node):
+    canonical = canonicalize_regex(node)
+    assert canonicalize_regex(parse_regex(regex_to_string(canonical))) == canonical

@@ -3,7 +3,7 @@
 from repro.automata.regex import parse_regex
 from repro.core.optimizer import CostModel, ifq_tags
 from repro.datasets.index import EdgeTagIndex
-from repro.datasets.paper_example import paper_run, paper_specification
+from repro.datasets.paper_example import paper_run
 
 
 class TestIfqDetection:

@@ -1,7 +1,5 @@
 """Tests for the safe-query property (Section III-C)."""
 
-import pytest
-
 from repro.core.safety import analyze_safety, is_safe_query, query_dfa
 from repro.datasets.myexperiment import (
     BIOAID_KLEENE_TAG,

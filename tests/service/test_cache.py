@@ -1,0 +1,149 @@
+"""Tests for the shared LRU index cache (eviction, statistics, sharing)."""
+
+import threading
+
+import pytest
+
+from repro.datasets.paper_example import paper_specification
+from repro.errors import UnsafeQueryError
+from repro.service import IndexCache
+from repro.workflow.serialization import specification_from_dict, specification_to_dict
+
+SAFE_QUERIES = ["_* e _*", "_*", "A+", "_* b _*", "_* c _*"]
+
+
+@pytest.fixture()
+def spec():
+    return paper_specification()
+
+
+class TestLookups:
+    def test_equivalent_spellings_share_one_entry(self, spec):
+        cache = IndexCache()
+        first = cache.index(spec, "_*  e  _*")
+        second = cache.index(spec, "(_)* . e . (_)*")
+        assert first is second
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.index_builds) == (1, 1, 1)
+        assert stats.entries == 1
+
+    def test_safety_and_index_share_the_analysis(self, spec):
+        cache = IndexCache()
+        report = cache.safety(spec, "_* e _*")
+        index = cache.index(spec, "_* e _*")
+        assert index.dfa is report.dfa
+        assert cache.stats.safety_checks == 1
+
+    def test_unsafe_verdict_is_cached(self, spec):
+        cache = IndexCache()
+        with pytest.raises(UnsafeQueryError):
+            cache.index(spec, "e")
+        with pytest.raises(UnsafeQueryError):
+            cache.index(spec, "(e)")
+        stats = cache.stats
+        assert stats.safety_checks == 1
+        assert stats.index_builds == 0
+        assert stats.hits == 1
+        assert not cache.safety(spec, "e").is_safe
+
+    def test_identical_reconstructed_specs_share_entries(self, spec):
+        reloaded = specification_from_dict(specification_to_dict(spec))
+        assert reloaded is not spec
+        assert reloaded.fingerprint == spec.fingerprint
+        cache = IndexCache()
+        cache.index(spec, "_* e _*")
+        cache.index(reloaded, "_* e _*")
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_contains_does_not_touch_statistics(self, spec):
+        cache = IndexCache()
+        assert not cache.contains(spec, "_*")
+        cache.index(spec, "_*")
+        assert cache.contains(spec, "( _ )*")
+        assert cache.stats.lookups == 1
+
+
+class TestBounds:
+    def test_entry_bound_evicts_least_recently_used(self, spec):
+        cache = IndexCache(max_entries=2)
+        cache.index(spec, SAFE_QUERIES[0])
+        cache.index(spec, SAFE_QUERIES[1])
+        cache.index(spec, SAFE_QUERIES[0])  # touch: queries[1] is now LRU
+        cache.index(spec, SAFE_QUERIES[2])  # evicts queries[1]
+        assert len(cache) == 2
+        assert cache.contains(spec, SAFE_QUERIES[0])
+        assert not cache.contains(spec, SAFE_QUERIES[1])
+        assert cache.stats.evictions == 1
+
+    def test_evicted_entry_rebuilds_on_next_request(self, spec):
+        cache = IndexCache(max_entries=1)
+        cache.index(spec, SAFE_QUERIES[0])
+        cache.index(spec, SAFE_QUERIES[1])
+        cache.index(spec, SAFE_QUERIES[0])
+        assert cache.stats.index_builds == 3
+        assert cache.stats.misses == 3
+
+    def test_cost_bound(self, spec):
+        unbounded = IndexCache()
+        for query in SAFE_QUERIES:
+            unbounded.index(spec, query)
+        total = unbounded.stats.total_cost
+        bounded = IndexCache(max_entries=100, max_cost=total // 2)
+        for query in SAFE_QUERIES:
+            bounded.index(spec, query)
+        stats = bounded.stats
+        assert stats.total_cost <= total // 2
+        assert stats.evictions > 0
+        assert len(bounded) >= 1
+
+    def test_oversized_single_entry_is_still_cached(self, spec):
+        cache = IndexCache(max_entries=4, max_cost=1)
+        cache.index(spec, SAFE_QUERIES[0])
+        assert len(cache) == 1
+        cache.index(spec, SAFE_QUERIES[0])
+        assert cache.stats.hits == 1
+
+    def test_invalid_bounds_are_rejected(self):
+        with pytest.raises(ValueError):
+            IndexCache(max_entries=0)
+        with pytest.raises(ValueError):
+            IndexCache(max_cost=0)
+
+    def test_clear_keeps_statistics(self, spec):
+        cache = IndexCache()
+        cache.index(spec, "_*")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+        assert cache.stats.total_cost == 0
+
+
+class TestStats:
+    def test_hit_rate(self, spec):
+        cache = IndexCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.index(spec, "_*")
+        cache.index(spec, "_*")
+        cache.index(spec, "_*")
+        stats = cache.stats
+        assert stats.hit_rate == pytest.approx(2 / 3)
+        assert "hit_rate" in stats.describe()
+        assert "IndexCache" in cache.describe()
+
+    def test_concurrent_requests_build_once(self, spec):
+        cache = IndexCache()
+        barrier = threading.Barrier(8)
+        results = []
+
+        def worker():
+            barrier.wait()
+            results.append(cache.index(spec, "_* e _*"))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(index) for index in results}) == 1
+        assert cache.stats.index_builds == 1

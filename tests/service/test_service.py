@@ -1,0 +1,264 @@
+"""Tests for the batched multi-run query service."""
+
+import json
+
+import pytest
+
+from repro.core.engine import ProvenanceQueryEngine
+from repro.datasets.paper_example import paper_specification
+from repro.service import (
+    BatchFormatError,
+    IndexCache,
+    QueryRequest,
+    QueryService,
+    read_requests_jsonl,
+    request_from_dict,
+    request_to_dict,
+    result_to_dict,
+)
+from repro.workflow.derivation import derive_run
+from repro.workflow.serialization import save_run
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return paper_specification()
+
+
+@pytest.fixture(scope="module")
+def run(spec):
+    return derive_run(spec, seed=0, target_edges=40)
+
+
+@pytest.fixture()
+def service(run):
+    service = QueryService(max_workers=4)
+    service.register_run(run, "r1")
+    return service
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, run):
+        service = QueryService()
+        assert service.register_run(run) == "run-1"
+        assert service.run_ids() == ("run-1",)
+        assert service.get_run("run-1") is run
+
+    def test_duplicate_id_rejected(self, run):
+        service = QueryService()
+        service.register_run(run, "r")
+        with pytest.raises(ValueError):
+            service.register_run(run, "r")
+
+    def test_unknown_run_id(self, service):
+        with pytest.raises(KeyError):
+            service.get_run("nope")
+
+    def test_load_run_file_defaults_to_stem(self, run, tmp_path):
+        path = tmp_path / "myrun.json"
+        save_run(run, path)
+        service = QueryService()
+        assert service.load_run_file(path) == "myrun"
+        assert service.get_run("myrun").node_count == run.node_count
+
+    def test_runs_of_same_grammar_share_one_engine(self, spec, run, tmp_path):
+        path = tmp_path / "copy.json"
+        save_run(run, path)
+        service = QueryService()
+        service.register_run(run, "a")
+        service.load_run_file(path, run_id="b")
+        assert service.engine_for("a") is service.engine_for("b")
+
+    def test_renamed_grammar_still_served_by_shared_engine(self, spec, run):
+        """Engines are shared by grammar *content*; the display name of a
+        run's specification must not matter (regression test)."""
+        from repro.workflow.serialization import run_to_dict, run_from_dict
+
+        payload = run_to_dict(run)
+        payload["specification"]["name"] = "renamed"
+        renamed_run = run_from_dict(payload)
+        service = QueryService()
+        service.register_run(run, "original")
+        service.register_run(renamed_run, "renamed")
+        assert service.engine_for("original") is service.engine_for("renamed")
+        source = renamed_run.node_ids()[0]
+        result = service.execute(
+            {"op": "reachability", "run": "renamed", "source": source, "target": source}
+        )
+        assert result.ok and result.answer is True
+
+
+class TestBatchEvaluation:
+    def test_results_match_direct_engine(self, spec, run, service):
+        engine = ProvenanceQueryEngine(spec)
+        source = run.nodes_named("c")[0]
+        target = run.nodes_named("b")[0]
+        requests = [
+            {"op": "pairwise", "run": "r1", "query": "_* e _*",
+             "source": source, "target": target},
+            {"op": "reachability", "run": "r1", "source": source, "target": target},
+            {"op": "allpairs", "run": "r1", "query": "A+", "id": "all"},
+        ]
+        results = service.run_batch(requests)
+        assert [result.ok for result in results] == [True, True, True]
+        assert results[0].answer == engine.pairwise(run, source, target, "_* e _*")
+        assert results[1].answer == engine.reachable(run, source, target)
+        assert set(results[2].pairs) == engine.evaluate(run, "A+")
+
+    def test_unsafe_pairwise_falls_back_to_decomposition(self, spec, run, service):
+        engine = ProvenanceQueryEngine(spec)
+        pairs = engine.evaluate(run, "e")
+        assert pairs  # the run realizes at least one 'e' edge
+        source, target = sorted(pairs)[0]
+        [result] = service.run_batch(
+            [{"op": "pairwise", "run": "r1", "query": "e",
+              "source": source, "target": target}]
+        )
+        assert result.ok and result.answer is True
+
+    def test_results_keep_request_order_and_ids(self, run, service):
+        source = run.node_ids()[0]
+        requests = [
+            QueryRequest(op="reachability", run="r1", source=source, target=target,
+                         request_id=f"req-{position}")
+            for position, target in enumerate(run.node_ids()[:10])
+        ]
+        results = service.run_batch(requests)
+        assert [result.request_id for result in results] == [
+            f"req-{position}" for position in range(10)
+        ]
+
+    def test_failures_become_error_results(self, run, service):
+        source = run.node_ids()[0]
+        requests = [
+            {"op": "pairwise", "run": "missing", "query": "_*",
+             "source": source, "target": source},
+            {"op": "pairwise", "run": "r1", "query": "((broken",
+             "source": source, "target": source},
+            {"op": "reachability", "run": "r1", "source": "no-such-node",
+             "target": source},
+            {"op": "reachability", "run": "r1", "source": source, "target": source},
+        ]
+        results = service.run_batch(requests)
+        assert [result.ok for result in results] == [False, False, False, True]
+        assert "unknown run id" in results[0].error
+        assert "broken" in results[1].error
+        assert results[3].answer is True
+
+    def test_empty_batch(self, service):
+        assert service.run_batch([]) == []
+
+    def test_execute_single_request(self, run, service):
+        source = run.node_ids()[0]
+        result = service.execute(
+            {"op": "reachability", "run": "r1", "source": source, "target": source}
+        )
+        assert result.ok and result.answer is True
+
+    def test_warm_prebuilds_indexes(self, service):
+        service.warm("r1", ["_* e _*", "A+"])
+        stats = service.cache_stats
+        assert stats.index_builds == 2
+        service.warm("r1", ["(_* e _*)", "A+"])
+        assert service.cache_stats.index_builds == 2
+
+    def test_describe(self, service):
+        text = service.describe()
+        assert "1 runs" in text and "CacheStats" in text
+
+
+class TestCacheEffectiveness:
+    def test_warm_batch_beats_bare_engines_by_5x(self, spec, run):
+        """The acceptance criterion: a repeated-query batch through a warm
+        service costs >= 5x fewer index builds than bare per-request engines."""
+        source = run.nodes_named("c")[0]
+        target = run.nodes_named("b")[0]
+        # 30 requests cycling through equivalent spellings of two queries.
+        spellings = ["_* e _*", "(_* e _*)", "_*  e  _*", "A+", "(A)+", "A+ | A+"]
+        requests = [
+            QueryRequest(op="pairwise", run="r1", query=spellings[position % 6],
+                         source=source, target=target)
+            for position in range(30)
+        ]
+
+        # The pre-service behaviour: one fresh engine per request.
+        bare_builds = 0
+        for request in requests:
+            engine = ProvenanceQueryEngine(spec)
+            engine.pairwise(run, request.source, request.target, request.query)
+            bare_builds += engine.cache.stats.index_builds
+        assert bare_builds == 30
+
+        service = QueryService(cache=IndexCache(max_entries=64), max_workers=4)
+        service.register_run(run, "r1")
+        service.run_batch(requests)  # cold pass warms the cache
+        warm_start = service.cache_stats.index_builds
+        results = service.run_batch(requests)  # the measured warm batch
+        warm_builds = service.cache_stats.index_builds - warm_start
+
+        assert all(result.ok for result in results)
+        assert warm_builds == 0
+        # Even counting the cold pass, the whole double batch built 5x fewer
+        # indexes than bare engines needed for a single pass.
+        assert service.cache_stats.index_builds * 5 <= bare_builds
+
+    def test_batch_deduplicates_builds_even_when_cold(self, run):
+        service = QueryService(max_workers=4)
+        service.register_run(run, "r1")
+        source = run.nodes_named("c")[0]
+        target = run.nodes_named("b")[0]
+        requests = [
+            {"op": "pairwise", "run": "r1", "query": query,
+             "source": source, "target": target}
+            for query in ["_* e _*", "(_* e _*)", "_*  e  _*"] * 5
+        ]
+        results = service.run_batch(requests)
+        assert all(result.ok for result in results)
+        assert service.cache_stats.index_builds == 1
+
+
+class TestWireFormat:
+    def test_request_round_trip(self):
+        request = QueryRequest(
+            op="allpairs", run="r1", query="A+", sources=("x",), targets=("y", "z"),
+            use_reachability_filter=False, request_id="q9",
+        )
+        assert request_from_dict(request_to_dict(request)) == request
+
+    def test_read_requests_jsonl_skips_blanks_and_comments(self):
+        lines = [
+            "",
+            "# a comment",
+            json.dumps({"op": "reachability", "run": "r", "source": "a", "target": "b"}),
+        ]
+        requests = list(read_requests_jsonl(lines))
+        assert len(requests) == 1 and requests[0].op == "reachability"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"op": "bogus", "run": "r"},
+            {"op": "pairwise", "run": "r"},  # missing query/source/target
+            {"op": "allpairs", "run": "r"},  # missing query
+            {"op": "reachability", "run": "r", "source": "a"},  # missing target
+            {"op": "pairwise"},  # missing run
+            {"op": "allpairs", "run": "r", "query": "a", "sources": "not-a-list"},
+            {"op": "allpairs", "run": "r", "query": "a", "surprise": 1},
+        ],
+    )
+    def test_malformed_requests_rejected(self, payload):
+        with pytest.raises(BatchFormatError):
+            request_from_dict(payload)
+
+    def test_malformed_jsonl_line_reports_line_number(self):
+        with pytest.raises(BatchFormatError, match="line 2"):
+            list(read_requests_jsonl(['{"op": "reachability", "run": "r", "source": "a", "target": "b"}', "{oops"]))
+
+    def test_result_to_dict_shapes(self, run, service):
+        source = run.node_ids()[0]
+        record = result_to_dict(
+            service.execute({"op": "reachability", "run": "r1",
+                             "source": source, "target": source})
+        )
+        assert record["ok"] is True and record["answer"] is True
+        assert "elapsed_ms" in record and "pairs" not in record

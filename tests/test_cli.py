@@ -68,3 +68,100 @@ class TestBenchCommand:
         assert main(["bench", "fig13a", "--scale", "small"]) == 0
         out = capsys.readouterr().out
         assert "fig13a" in out and "grammar_size" in out
+
+
+class TestVersionFlag:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestCleanErrors:
+    """Library failures exit non-zero with one-line errors, not tracebacks."""
+
+    def test_malformed_regex_in_safety(self, capsys):
+        assert main(["safety", "paper-example", "a |"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and err.count("\n") == 1
+
+    def test_malformed_regex_in_query(self, tmp_path, capsys):
+        run_path = tmp_path / "run.json"
+        main(["derive", "paper-example", "--edges", "10", "--output", str(run_path)])
+        capsys.readouterr()
+        assert main(["query", str(run_path), "((b"]) == 2
+        err = capsys.readouterr().err
+        assert "missing ')'" in err and err.count("\n") == 1
+
+    def test_missing_run_file(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "none.json"), "a"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_corrupt_run_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["query", str(bad), "a"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    @pytest.fixture()
+    def run_path(self, tmp_path, capsys):
+        path = tmp_path / "r1.json"
+        main(["derive", "paper-example", "--edges", "40", "--seed", "3",
+              "--output", str(path)])
+        capsys.readouterr()
+        return path
+
+    def _write_requests(self, tmp_path, records):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(json.dumps(record) for record in records) + "\n")
+        return path
+
+    def test_batch_streams_results_in_order(self, tmp_path, run_path, capsys):
+        requests = self._write_requests(
+            tmp_path,
+            [
+                {"op": "allpairs", "run": "r1", "query": "A+", "id": "first"},
+                {"op": "allpairs", "run": "r1", "query": "_* e _*", "id": "second"},
+            ],
+        )
+        assert main(["batch", str(requests), "--run", str(run_path)]) == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert [line["id"] for line in lines] == ["first", "second"]
+        assert all(line["ok"] for line in lines)
+        assert "index builds" in captured.err
+
+    def test_batch_run_id_syntax_and_output_file(self, tmp_path, run_path, capsys):
+        requests = self._write_requests(
+            tmp_path, [{"op": "allpairs", "run": "mine", "query": "A+"}]
+        )
+        out_path = tmp_path / "results.jsonl"
+        assert main(["batch", str(requests), "--run", f"mine={run_path}",
+                     "--output", str(out_path)]) == 0
+        [record] = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert record["ok"] and record["run"] == "mine"
+
+    def test_batch_with_failing_request_exits_nonzero(self, tmp_path, run_path, capsys):
+        requests = self._write_requests(
+            tmp_path,
+            [
+                {"op": "allpairs", "run": "r1", "query": "A+"},
+                {"op": "allpairs", "run": "absent", "query": "A+"},
+            ],
+        )
+        assert main(["batch", str(requests), "--run", str(run_path)]) == 1
+        lines = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+        assert [line["ok"] for line in lines] == [True, False]
+
+    def test_batch_malformed_request_is_clean_error(self, tmp_path, run_path, capsys):
+        requests = self._write_requests(tmp_path, [{"op": "bogus"}])
+        assert main(["batch", str(requests), "--run", str(run_path)]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_batch_requires_a_run(self, tmp_path):
+        requests = self._write_requests(tmp_path, [])
+        with pytest.raises(SystemExit):
+            main(["batch", str(requests)])

@@ -4,7 +4,8 @@ import pytest
 
 from repro.datasets.paper_example import paper_specification
 from repro.errors import RecursionError_, SpecificationError
-from repro.workflow.simple import Edge, SimpleWorkflow, chain
+from repro.workflow.serialization import specification_from_dict, specification_to_dict
+from repro.workflow.simple import chain
 from repro.workflow.spec import Production, Specification
 
 
@@ -173,3 +174,28 @@ class TestCycleHelpers:
         assert cycle.module_at(cycle.chain_offset(start, 1)) == "B"
         assert cycle.module_at(cycle.chain_offset(start, 2)) == "A"
         assert cycle.module_at(cycle.chain_offset(start, 5)) == "B"
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert paper_specification().fingerprint == paper_specification().fingerprint
+
+    def test_survives_serialization_round_trip(self):
+        spec = paper_specification()
+        reloaded = specification_from_dict(specification_to_dict(spec))
+        assert reloaded.fingerprint == spec.fingerprint
+
+    def test_name_does_not_affect_fingerprint(self):
+        spec = paper_specification()
+        renamed = Specification(
+            start=spec.start,
+            productions=spec.productions,
+            atomic_modules=spec.atomic_modules,
+            name="renamed",
+        )
+        assert renamed.fingerprint == spec.fingerprint
+
+    def test_different_grammars_differ(self):
+        first = Specification(start="S", productions=[Production("S", chain(["a", "b"]))])
+        second = Specification(start="S", productions=[Production("S", chain(["a", "c"]))])
+        assert first.fingerprint != second.fingerprint
