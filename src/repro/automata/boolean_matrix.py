@@ -94,6 +94,41 @@ class BooleanMatrix:
     def is_zero(self) -> bool:
         return not any(self._rows)
 
+    # -- state-vector products ----------------------------------------------------
+    #
+    # State vectors are plain integer bitmasks (bit ``i`` = state ``i``), so
+    # the group-at-a-time decoder can move single DFA-state *sets* through a
+    # relation in O(|Q|) integer operations instead of paying for a full
+    # |Q| x |Q| matrix product per node pair.
+
+    def propagate_row(self, mask: int) -> int:
+        """Row-vector product ``v @ M`` for the row vector ``mask``.
+
+        Returns the bitmask of columns reachable from any row in ``mask``.
+        Bits of ``mask`` outside the matrix are ignored.
+        """
+        remaining = mask & ((1 << self._size) - 1)
+        result = 0
+        rows = self._rows
+        while remaining:
+            low_bit = remaining & -remaining
+            result |= rows[low_bit.bit_length() - 1]
+            remaining ^= low_bit
+        return result
+
+    def propagate_column(self, mask: int) -> int:
+        """Column-vector product ``M @ v`` for the column vector ``mask``.
+
+        Returns the bitmask of rows whose successors intersect ``mask``.
+        """
+        result = 0
+        bit = 1
+        for row in self._rows:
+            if row & mask:
+                result |= bit
+            bit <<= 1
+        return result
+
     def pairs(self) -> Iterator[tuple[int, int]]:
         """Iterate over all true ``(row, column)`` entries."""
         for row_index, row in enumerate(self._rows):

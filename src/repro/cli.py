@@ -97,9 +97,20 @@ def _cmd_safety(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if (args.source is None) != (args.target is None):
+        given, missing = ("--source", "--target") if args.target is None else ("--target", "--source")
+        raise SystemExit(
+            f"repro query: {given} also needs {missing} (a pairwise query names both "
+            "endpoints; use --sources/--targets for one-sided all-pairs lists)"
+        )
     run = load_run(args.run)
     engine = ProvenanceQueryEngine(run.spec)
-    if args.source and args.target:
+    if args.source is not None:
+        if args.stream:
+            raise SystemExit(
+                "repro query: --stream only applies to all-pairs queries, not "
+                "--source/--target pairwise queries"
+            )
         answer = (
             engine.pairwise(run, args.source, args.target, args.query)
             if engine.is_safe(args.query)
@@ -111,6 +122,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 0
     l1 = args.sources.split(",") if args.sources else None
     l2 = args.targets.split(",") if args.targets else None
+    if args.stream:
+        # Pairs go to stdout as the evaluator finds them (unsorted); the
+        # count goes to stderr so piped output stays pure.
+        count = 0
+        for source, target in engine.evaluate_iter(run, args.query, l1, l2):
+            print(
+                json.dumps([source, target]) if args.json else f"{source} -> {target}",
+                flush=True,
+            )
+            count += 1
+        print(f"{count} matching pairs", file=sys.stderr)
+        return 0
     matches = engine.evaluate(run, args.query, l1, l2)
     if args.json:
         print(json.dumps(sorted(matches)))
@@ -123,6 +146,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_run_entry(entry: str) -> tuple[str | None, str]:
+    """Split one ``--run [ID=]PATH`` flag into ``(run id, path)``.
+
+    A bare path wins even when the file name itself contains ``=``
+    (``runs/a=b.json`` is a path, not id ``runs/a`` + file ``b.json``);
+    otherwise everything before the *first* ``=`` is the id, so an explicit
+    id still composes with ``=`` in the file name (``mine=runs/a=b.json``).
+    """
+    if "=" not in entry or Path(entry).exists():
+        return None, entry
+    run_id, _, path = entry.partition("=")
+    return run_id or None, path
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     if not args.run:
         raise SystemExit("repro batch needs at least one --run RUN.json to query against")
@@ -130,14 +167,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache=IndexCache(max_entries=args.cache_entries), max_workers=args.workers
     )
     for entry in args.run:
-        run_id, _, path = entry.rpartition("=")
-        service.load_run_file(path, run_id=run_id or None)
+        run_id, path = _parse_run_entry(entry)
+        service.load_run_file(path, run_id=run_id)
 
-    if args.requests == "-":
-        request_lines = sys.stdin
-    else:
-        request_lines = Path(args.requests).read_text().splitlines()
-    requests = read_requests_jsonl(request_lines)
+    # Both sources hand raw lines (trailing newlines and all) to
+    # read_requests_jsonl, which normalizes whitespace and skips blanks —
+    # stdin and file input see identical parsing, and files stream instead
+    # of being read whole.
+    request_source = sys.stdin if args.requests == "-" else Path(args.requests).open()
+    requests = read_requests_jsonl(request_source)
 
     output = open(args.output, "w") if args.output else sys.stdout
     ok_count = failed = 0
@@ -151,6 +189,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     finally:
         if args.output:
             output.close()
+        if request_source is not sys.stdin:
+            request_source.close()
     stats = service.cache_stats
     print(
         f"repro batch: {ok_count + failed} requests ({failed} failed), "
@@ -205,6 +245,14 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--targets", help="all-pairs: comma-separated target ids")
     query_parser.add_argument("--limit", type=int, default=20, help="pairs to print")
     query_parser.add_argument("--json", action="store_true", help="print all pairs as JSON")
+    query_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "all-pairs only: print pairs as they are found (one per line, "
+            "unsorted, no limit) instead of materializing the result set"
+        ),
+    )
     query_parser.set_defaults(handler=_cmd_query)
 
     batch_parser = sub.add_parser(
@@ -223,7 +271,10 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=[],
         metavar="[ID=]PATH",
-        help="register a run JSON file under ID (repeatable)",
+        help=(
+            "register a run JSON file under ID (repeatable; default ID is the "
+            "file stem, and an existing path containing '=' is taken as-is)"
+        ),
     )
     batch_parser.add_argument("--output", help="write JSONL results here instead of stdout")
     batch_parser.add_argument(

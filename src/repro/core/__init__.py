@@ -15,8 +15,8 @@ This package contains the query-time machinery of the paper:
 * :mod:`repro.core.pairwise` — Algorithm 1: answer ``u —R→ v`` from the two
   node labels in time independent of the run size.
 * :mod:`repro.core.allpairs` — Algorithm 2: all-pairs safe queries over label
-  tries, with nested-loop (S1) and reachability-filtered (S2 / optRPL)
-  strategies.
+  tries, with nested-loop (S1), reachability-filtered (S2 / optRPL) and
+  group-at-a-time vectorized (optRPL-G, streaming) strategies.
 * :mod:`repro.core.decomposition` — general (possibly unsafe) queries: find
   the largest safe subqueries of the parse tree, evaluate them with the safe
   engine, and compose the remainder with relational joins.
@@ -26,7 +26,12 @@ This package contains the query-time machinery of the paper:
   everything together.
 """
 
-from repro.core.allpairs import AllPairsOptions, all_pairs_reachability, all_pairs_safe_query
+from repro.core.allpairs import (
+    AllPairsOptions,
+    all_pairs_iter,
+    all_pairs_reachability,
+    all_pairs_safe_query,
+)
 from repro.core.decomposition import evaluate_general_query
 from repro.core.engine import ProvenanceQueryEngine
 from repro.core.intersection import intersect_specification
@@ -39,6 +44,7 @@ __all__ = [
     "ProvenanceQueryEngine",
     "QueryIndex",
     "SafetyReport",
+    "all_pairs_iter",
     "all_pairs_reachability",
     "all_pairs_safe_query",
     "analyze_safety",

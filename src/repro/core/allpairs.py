@@ -1,8 +1,8 @@
-"""All-pairs safe queries (Algorithm 2 of the paper).
+"""All-pairs safe queries (Algorithm 2 of the paper), with vectorized decoding.
 
 Given two lists of run nodes ``l1`` and ``l2``, an all-pairs query asks for
-every pair ``(u, v) ∈ l1 × l2`` with ``u —R→ v``.  Two strategies are
-implemented, matching Options S1 and S2 of Section IV-A:
+every pair ``(u, v) ∈ l1 × l2`` with ``u —R→ v``.  Three strategies are
+implemented; the first two match Options S1 and S2 of Section IV-A:
 
 * **S1 (nested loop / "RPL")** — run the constant-time pairwise decode on
   every pair; Θ(|l1| · |l2|) decodes.
@@ -16,11 +16,30 @@ implemented, matching Options S1 and S2 of Section IV-A:
   leaves under its "red" branches (branches that reach the recursive
   position) against everything under later members, and symmetrically "blue"
   branches for the other direction.
+* **vectorized S2 ("optRPL-G", the default)** — exploit that all members of a
+  group ``(U, V)`` emitted by the structural join share the same *crossing
+  context*: the Algorithm-1 decode of any ``(u, v)`` in the group factors as
+
+      ``exit(u → U's trie node) @ context @ enter(V's trie node → v)``
+
+  where ``context`` (a crossing matrix, possibly composed with a chain
+  descent/ascent) is constant across the group.  Instead of |U| · |V| full
+  matrix chains, the evaluator memoizes per-trie-node *state vectors*: for
+  every leaf ``u`` the row vector ``start-state @ exit(...)`` and for every
+  leaf ``v`` the column vector ``enter(...) @ accepting-states``, each built
+  bottom-up with one matrix-vector product per (leaf, ancestor) and shared by
+  every group that touches the node.  A group then costs one matrix-vector
+  product per member (pushing the row vectors through ``context``) plus a
+  single bitmask intersection per pair.
 
 :func:`all_pairs_reachability` is the special case ``R = _*`` which skips the
 per-pair decode entirely and therefore runs in time linear in the input plus
 output size (plus a polynomial in the specification size), which is the
 optimality claim of Lemma 4.1's side effect.
+
+The structural join deduplicates the input lists, and its groups partition
+the reachable pairs, so every pair is decoded (or emitted) exactly once —
+including pairs that *fail* the query filter.
 """
 
 from __future__ import annotations
@@ -28,7 +47,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
-from repro.core.pairwise import answer_pairwise_query
+from repro.automata.boolean_matrix import BooleanMatrix
+from repro.core.pairwise import (
+    answer_pairwise_query,
+    enter_step_matrix,
+    exit_step_matrix,
+)
 from repro.core.query_index import QueryIndex
 from repro.errors import LabelError
 from repro.labeling.labels import ProductionStep, RecursionStep
@@ -38,9 +62,12 @@ from repro.workflow.spec import Specification
 
 __all__ = [
     "AllPairsOptions",
+    "StructuralGroup",
     "all_pairs_safe_query",
+    "all_pairs_iter",
     "all_pairs_reachability",
     "reachable_pair_groups",
+    "structural_join",
 ]
 
 PairGroup = tuple[list[str], list[str]]
@@ -50,15 +77,41 @@ PairGroup = tuple[list[str], list[str]]
 class AllPairsOptions:
     """Tuning knobs for the all-pairs evaluator.
 
-    ``use_reachability_filter`` selects S2 (optRPL) over S1 (plain RPL).
+    ``use_reachability_filter`` selects S2 (optRPL) over S1 (plain RPL);
+    ``vectorized`` selects the group-at-a-time state-vector decode over the
+    per-pair Algorithm-1 decode (only meaningful under S2).
     """
 
     use_reachability_filter: bool = True
+    vectorized: bool = True
 
 
 # ---------------------------------------------------------------------------
 # Structural traversal (the reachable-pair enumeration of Algorithm 2)
 # ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StructuralGroup:
+    """One group of the structural join: every leaf under ``source`` reaches
+    every leaf under ``target`` (payloads *at* the nodes for identity
+    groups, which pair a label with itself).
+
+    ``context`` builds the group's crossing-context matrix for a query index
+    (the constant middle factor of every member pair's Algorithm-1 decode);
+    ``None`` stands for the identity relation (the empty path).
+    """
+
+    source: TrieNode
+    target: TrieNode
+    payload_only: bool = False
+    context: Callable[[QueryIndex], BooleanMatrix] | None = None
+
+    def source_ids(self) -> list[str]:
+        return list(self.source.payload) if self.payload_only else self.source.leaves()
+
+    def target_ids(self) -> list[str]:
+        return list(self.target.payload) if self.payload_only else self.target.leaves()
 
 
 def _children_kind(node: TrieNode) -> str:
@@ -82,21 +135,51 @@ def _is_blue(spec: Specification, step: ProductionStep, recursive_position: int)
     return spec.production(step.production).body.reaches(recursive_position, step.position)
 
 
-def reachable_pair_groups(
+def structural_join(
     trie1: LabelTrie, trie2: LabelTrie, spec: Specification
-) -> Iterator[PairGroup]:
-    """Enumerate groups ``(U, V)`` such that every ``u ∈ U`` reaches every
-    ``v ∈ V`` in the run, and every reachable pair of leaves appears in
-    exactly one emitted group.
+) -> Iterator[StructuralGroup]:
+    """Enumerate the groups of Algorithm 2's structural join.
 
-    This is the structural join of Algorithm 2, run over the two label tries.
+    Every ``u`` under a group's source node reaches every ``v`` under its
+    target node, and — provided the tries hold each leaf identifier once —
+    every reachable pair of leaves is covered by exactly one group.
     """
 
-    def visit(node1: TrieNode, node2: TrieNode) -> Iterator[PairGroup]:
+    def cross_context(production: int, source: int, target: int):
+        def build(index: QueryIndex) -> BooleanMatrix:
+            return index.cross(production, source, target)
+
+        return build
+
+    def red_context(production: int, position: int, recursive_position: int,
+                    cycle: int, start: int, first: int, last: int):
+        # Crossing out of a red branch, then descending the recursion chain
+        # to the later member (Algorithm 1's decode for diverging ordinals).
+        def build(index: QueryIndex) -> BooleanMatrix:
+            crossing = index.cross(production, position, recursive_position)
+            if crossing.is_zero():
+                return crossing
+            return crossing @ index.descend_chain(cycle, start, first, last)
+
+        return build
+
+    def blue_context(production: int, position: int, recursive_position: int,
+                     cycle: int, start: int, first: int, last: int):
+        # Climbing out of the nesting to the earlier member, then crossing
+        # from the recursive position into a blue branch.
+        def build(index: QueryIndex) -> BooleanMatrix:
+            crossing = index.cross(production, recursive_position, position)
+            if crossing.is_zero():
+                return crossing
+            return index.ascend_chain(cycle, start, first, last) @ crossing
+
+        return build
+
+    def visit(node1: TrieNode, node2: TrieNode) -> Iterator[StructuralGroup]:
         if node1.payload and node2.payload:
             # Identical labels: the same node appears in both lists (the empty
             # path makes it reachable from itself).
-            yield list(node1.payload), list(node2.payload)
+            yield StructuralGroup(node1, node2, payload_only=True)
 
         kind1 = _children_kind(node1)
         kind2 = _children_kind(node2)
@@ -118,7 +201,13 @@ def reachable_pair_groups(
                     elif spec.production(step1.production).body.reaches(
                         step1.position, step2.position
                     ):
-                        yield child1.leaves(), child2.leaves()
+                        yield StructuralGroup(
+                            child1,
+                            child2,
+                            context=cross_context(
+                                step1.production, step1.position, step2.position
+                            ),
+                        )
             return
 
         # Case 2: children are members of the same recursion chain.
@@ -140,47 +229,174 @@ def reachable_pair_groups(
             cycle_production, recursive_position = cycle.step(
                 cycle.chain_offset(step1.start, step1.ordinal)
             )
-            red_leaves: list[str] = []
-            for branch_step, branch in child1.children.items():
-                if (
-                    isinstance(branch_step, ProductionStep)
-                    and branch_step.production == cycle_production
-                    and _is_red(spec, branch_step, recursive_position)
-                ):
-                    red_leaves.extend(branch.leaves())
-            if not red_leaves:
+            red_branches = [
+                (branch_step, branch)
+                for branch_step, branch in child1.children.items()
+                if isinstance(branch_step, ProductionStep)
+                and branch_step.production == cycle_production
+                and _is_red(spec, branch_step, recursive_position)
+            ]
+            if not red_branches:
                 continue
             for step2, child2 in children2:
-                if step2.ordinal > step1.ordinal:
-                    yield red_leaves, child2.leaves()
+                if step2.ordinal <= step1.ordinal:
+                    continue
+                for branch_step, branch in red_branches:
+                    yield StructuralGroup(
+                        branch,
+                        child2,
+                        context=red_context(
+                            cycle_production,
+                            branch_step.position,
+                            recursive_position,
+                            step1.cycle,
+                            step1.start,
+                            step1.ordinal + 1,
+                            step2.ordinal - 1,
+                        ),
+                    )
 
         for step2, child2 in children2:
             cycle = cycles[step2.cycle]
             cycle_production, recursive_position = cycle.step(
                 cycle.chain_offset(step2.start, step2.ordinal)
             )
-            blue_leaves: list[str] = []
-            for branch_step, branch in child2.children.items():
-                if (
-                    isinstance(branch_step, ProductionStep)
-                    and branch_step.production == cycle_production
-                    and _is_blue(spec, branch_step, recursive_position)
-                ):
-                    blue_leaves.extend(branch.leaves())
-            if not blue_leaves:
+            blue_branches = [
+                (branch_step, branch)
+                for branch_step, branch in child2.children.items()
+                if isinstance(branch_step, ProductionStep)
+                and branch_step.production == cycle_production
+                and _is_blue(spec, branch_step, recursive_position)
+            ]
+            if not blue_branches:
                 continue
             for step1, child1 in children1:
-                if step1.ordinal > step2.ordinal:
-                    yield child1.leaves(), blue_leaves
+                if step1.ordinal <= step2.ordinal:
+                    continue
+                for branch_step, branch in blue_branches:
+                    yield StructuralGroup(
+                        child1,
+                        branch,
+                        context=blue_context(
+                            cycle_production,
+                            branch_step.position,
+                            recursive_position,
+                            step2.cycle,
+                            step2.start,
+                            step1.ordinal - 1,
+                            step2.ordinal + 1,
+                        ),
+                    )
 
     if trie1.is_empty() or trie2.is_empty():
         return
     yield from visit(trie1.root, trie2.root)
 
 
+def reachable_pair_groups(
+    trie1: LabelTrie, trie2: LabelTrie, spec: Specification
+) -> Iterator[PairGroup]:
+    """Enumerate groups ``(U, V)`` such that every ``u ∈ U`` reaches every
+    ``v ∈ V`` in the run, and — provided the tries hold each leaf identifier
+    once — every reachable pair of leaves appears in exactly one emitted
+    group.
+
+    This is the leaf-list view of :func:`structural_join` (red branches are
+    emitted as separate groups, which keeps the partition disjoint).
+    """
+    for group in structural_join(trie1, trie2, spec):
+        yield group.source_ids(), group.target_ids()
+
+
+# ---------------------------------------------------------------------------
+# Group-at-a-time vectorized decoding (optRPL-G)
+# ---------------------------------------------------------------------------
+
+
+class _VectorTables:
+    """Per-trie-node state-vector tables for one query index.
+
+    ``alphas(node)`` lists ``(leaf id, row vector)`` for every leaf under the
+    node, where the vector is the DFA start state pushed through the exit
+    walk from the leaf up to the node.  ``betas(node)`` lists ``(leaf id,
+    column vector)``: the accepting states pulled through the entry walk from
+    the node down to the leaf.  A pair ``(u, v)`` of a group with context
+    matrix ``C`` matches the query iff ``(alpha_u @ C) & beta_v`` is
+    non-empty — exactly Algorithm 1's ``exit @ C @ enter`` relation probed at
+    (start, accepting).
+
+    Tables are memoized on :attr:`TrieNode.memo` keyed by the index object,
+    so each is computed once per trie node per query even when the node is
+    shared by many groups (or by both sides of the join when ``l1 == l2``).
+    """
+
+    def __init__(self, index: QueryIndex) -> None:
+        self._index = index
+        self._alpha_key = ("vector-alphas", index)
+        self._beta_key = ("vector-betas", index)
+
+    def alphas(self, node: TrieNode) -> list[tuple[str, int]]:
+        cached = node.memo.get(self._alpha_key)
+        if cached is None:
+            cached = [(leaf, self._index.start_mask) for leaf in node.payload]
+            for step, child in node.children.items():
+                matrix = exit_step_matrix(self._index, step)
+                cached.extend(
+                    (leaf, matrix.propagate_row(vector))
+                    for leaf, vector in self.alphas(child)
+                )
+            node.memo[self._alpha_key] = cached
+        return cached
+
+    def betas(self, node: TrieNode) -> list[tuple[str, int]]:
+        cached = node.memo.get(self._beta_key)
+        if cached is None:
+            cached = [(leaf, self._index.accepting_mask) for leaf in node.payload]
+            for step, child in node.children.items():
+                matrix = enter_step_matrix(self._index, step)
+                cached.extend(
+                    (leaf, matrix.propagate_column(vector))
+                    for leaf, vector in self.betas(child)
+                )
+            node.memo[self._beta_key] = cached
+        return cached
+
+
+def _decode_group_vectorized(
+    group: StructuralGroup, index: QueryIndex, tables: _VectorTables
+) -> Iterator[tuple[str, str]]:
+    """Yield the matching pairs of one structural-join group."""
+    if group.payload_only:
+        # Identical labels: the pair relation is the identity (empty path).
+        if index.accepts(index.identity):
+            for u in group.source.payload:
+                for v in group.target.payload:
+                    yield u, v
+        return
+    context = group.context(index)
+    if context.is_zero():
+        return
+    betas = [(v, beta) for v, beta in tables.betas(group.target) if beta]
+    if not betas:
+        return
+    for u, alpha in tables.alphas(group.source):
+        reached = context.propagate_row(alpha)
+        if not reached:
+            continue
+        for v, beta in betas:
+            if reached & beta:
+                yield u, v
+
+
 # ---------------------------------------------------------------------------
 # Public evaluators
 # ---------------------------------------------------------------------------
+
+
+def _unique(ids: Sequence[str]) -> list[str]:
+    """Input order preserved, duplicates dropped (keeps the structural join's
+    groups a disjoint partition of the pairs)."""
+    return list(dict.fromkeys(ids))
 
 
 def all_pairs_reachability(
@@ -192,14 +408,56 @@ def all_pairs_reachability(
     pairs) plus a polynomial in the specification size; no per-pair decode is
     needed because the structural traversal only ever emits reachable pairs.
     """
-    trie1 = LabelTrie.from_run_nodes(run, l1)
-    trie2 = LabelTrie.from_run_nodes(run, l2)
+    trie1 = LabelTrie.from_run_nodes(run, _unique(l1))
+    trie2 = LabelTrie.from_run_nodes(run, _unique(l2))
     results: set[tuple[str, str]] = set()
-    for group1, group2 in reachable_pair_groups(trie1, trie2, run.spec):
-        for u in group1:
-            for v in group2:
+    for group in structural_join(trie1, trie2, run.spec):
+        for u in group.source_ids():
+            for v in group.target_ids():
                 results.add((u, v))
     return results
+
+
+def all_pairs_iter(
+    run: Run,
+    l1: Sequence[str],
+    l2: Sequence[str],
+    index: QueryIndex,
+    options: AllPairsOptions = AllPairsOptions(),
+    pair_filter: Callable[[str, str], bool] | None = None,
+) -> Iterator[tuple[str, str]]:
+    """Stream the answers of an all-pairs safe query over ``l1 × l2``.
+
+    Pairs are yielded as they are found, without materializing the result
+    set; each matching pair is yielded exactly once.  ``options`` selects the
+    strategy (see :class:`AllPairsOptions`); a custom ``pair_filter``
+    replaces the Algorithm-1 decode and forces the per-pair strategies.
+    """
+    unique1, unique2 = _unique(l1), _unique(l2)
+    use_decode = pair_filter is None
+    if pair_filter is None:
+        def pair_filter(u: str, v: str) -> bool:
+            return answer_pairwise_query(index, run.label_of(u), run.label_of(v))
+
+    if not options.use_reachability_filter:
+        for u in unique1:
+            for v in unique2:
+                if pair_filter(u, v):
+                    yield u, v
+        return
+
+    trie1 = LabelTrie.from_run_nodes(run, unique1)
+    trie2 = trie1 if unique1 == unique2 else LabelTrie.from_run_nodes(run, unique2)
+    if options.vectorized and use_decode:
+        tables = _VectorTables(index)
+        for group in structural_join(trie1, trie2, run.spec):
+            yield from _decode_group_vectorized(group, index, tables)
+        return
+    for group in structural_join(trie1, trie2, run.spec):
+        for u in group.source_ids():
+            for v in group.target_ids():
+                if pair_filter(u, v):
+                    yield u, v
 
 
 def all_pairs_safe_query(
@@ -212,30 +470,14 @@ def all_pairs_safe_query(
 ) -> set[tuple[str, str]]:
     """Answer an all-pairs safe query over ``l1 × l2``.
 
-    ``options.use_reachability_filter`` selects between:
+    ``options`` selects between:
 
-    * **S2 / optRPL** (default): enumerate reachable pairs with the structural
-      join, then apply the pairwise decode to each;
-    * **S1 / RPL**: apply the pairwise decode to every pair of the cross
-      product.
+    * **vectorized S2 / optRPL-G** (default): enumerate reachable groups with
+      the structural join and decode each group at a time with state-vector
+      operations;
+    * **S2 / optRPL** (``vectorized=False``): same enumeration, but the full
+      pairwise decode on every surviving pair;
+    * **S1 / RPL** (``use_reachability_filter=False``): the pairwise decode
+      on every pair of the cross product.
     """
-    if pair_filter is None:
-        def pair_filter(u: str, v: str) -> bool:
-            return answer_pairwise_query(index, run.label_of(u), run.label_of(v))
-
-    results: set[tuple[str, str]] = set()
-    if not options.use_reachability_filter:
-        for u in l1:
-            for v in l2:
-                if pair_filter(u, v):
-                    results.add((u, v))
-        return results
-
-    trie1 = LabelTrie.from_run_nodes(run, l1)
-    trie2 = LabelTrie.from_run_nodes(run, l2)
-    for group1, group2 in reachable_pair_groups(trie1, trie2, run.spec):
-        for u in group1:
-            for v in group2:
-                if (u, v) not in results and pair_filter(u, v):
-                    results.add((u, v))
-    return results
+    return set(all_pairs_iter(run, l1, l2, index, options, pair_filter))

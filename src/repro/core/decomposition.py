@@ -120,13 +120,16 @@ def evaluate_general_query(
     *,
     plan: DecompositionPlan | None = None,
     use_reachability_filter: bool = True,
+    vectorized: bool = True,
     cost_based_routing: bool = True,
 ) -> NodePairs:
     """Answer a general all-pairs query, safe or not.
 
     ``l1`` and ``l2`` default to all run nodes.  A precomputed ``plan`` (and
     therefore its safety checks) may be supplied so benchmarks can separate
-    planning overhead from evaluation time.
+    planning overhead from evaluation time.  ``vectorized`` toggles the
+    group-at-a-time state-vector decode of safe (sub)queries (see
+    :class:`~repro.core.allpairs.AllPairsOptions`).
 
     With ``cost_based_routing`` (the default) a maximal safe subquery is only
     sent to the labeling engine when the simple cost model of
@@ -141,7 +144,9 @@ def evaluate_general_query(
     root = parse_regex(query)
     if plan is None:
         plan = plan_decomposition(spec, root)
-    options = AllPairsOptions(use_reachability_filter=use_reachability_filter)
+    options = AllPairsOptions(
+        use_reachability_filter=use_reachability_filter, vectorized=vectorized
+    )
 
     if plan.is_fully_safe:
         index = build_query_index(spec, root)

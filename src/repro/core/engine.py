@@ -24,13 +24,13 @@ by passing the same cache instance.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.automata.regex import RegexNode, parse_regex
 from repro.core.allpairs import (
     AllPairsOptions,
+    all_pairs_iter,
     all_pairs_reachability,
-    all_pairs_safe_query,
 )
 from repro.core.decomposition import (
     DecompositionPlan,
@@ -161,18 +161,52 @@ class ProvenanceQueryEngine:
         l2: Sequence[str] | None = None,
         *,
         use_reachability_filter: bool = True,
+        vectorized: bool = True,
     ) -> set[tuple[str, str]]:
-        """Algorithm 2 for a *safe* query (Option S2 by default, S1 otherwise)."""
+        """Algorithm 2 for a *safe* query (vectorized S2 by default; see
+        :class:`~repro.core.allpairs.AllPairsOptions`)."""
+        return set(
+            self.all_pairs_iter(
+                run,
+                query,
+                l1,
+                l2,
+                use_reachability_filter=use_reachability_filter,
+                vectorized=vectorized,
+            )
+        )
+
+    def all_pairs_iter(
+        self,
+        run: Run,
+        query: str | RegexNode,
+        l1: Sequence[str] | None = None,
+        l2: Sequence[str] | None = None,
+        *,
+        use_reachability_filter: bool = True,
+        vectorized: bool = True,
+    ) -> Iterator[tuple[str, str]]:
+        """Stream the matching pairs of a *safe* all-pairs query.
+
+        Pairs are yielded as they are found (each exactly once, in no
+        particular order) without ever materializing the result set, so a
+        consumer can stop early or process millions of pairs in constant
+        memory.  Unsafe queries raise
+        :class:`~repro.errors.UnsafeQueryError`; use :meth:`evaluate_iter`
+        for those.
+        """
         self._check_run(run)
         index = self.query_index(query)
         universe1 = list(l1) if l1 is not None else list(run.node_ids())
         universe2 = list(l2) if l2 is not None else list(run.node_ids())
-        return all_pairs_safe_query(
+        return all_pairs_iter(
             run,
             universe1,
             universe2,
             index,
-            AllPairsOptions(use_reachability_filter=use_reachability_filter),
+            AllPairsOptions(
+                use_reachability_filter=use_reachability_filter, vectorized=vectorized
+            ),
         )
 
     def evaluate(
@@ -183,6 +217,7 @@ class ProvenanceQueryEngine:
         l2: Sequence[str] | None = None,
         *,
         use_reachability_filter: bool = True,
+        vectorized: bool = True,
     ) -> set[tuple[str, str]]:
         """Answer any all-pairs query, safe or not.
 
@@ -190,28 +225,66 @@ class ProvenanceQueryEngine:
         decomposed into their maximal safe subqueries plus a join-based
         remainder (Section IV-B).
         """
+        return set(
+            self.evaluate_iter(
+                run,
+                query,
+                l1,
+                l2,
+                use_reachability_filter=use_reachability_filter,
+                vectorized=vectorized,
+            )
+        )
+
+    def evaluate_iter(
+        self,
+        run: Run,
+        query: str | RegexNode,
+        l1: Sequence[str] | None = None,
+        l2: Sequence[str] | None = None,
+        *,
+        use_reachability_filter: bool = True,
+        vectorized: bool = True,
+    ) -> Iterator[tuple[str, str]]:
+        """Stream the answers of any all-pairs query, safe or not.
+
+        Safe queries stream straight out of the group-at-a-time evaluator
+        (constant memory); unsafe queries fall back to the decomposition
+        engine, whose join-based remainder materializes the result before
+        iteration starts.  Validation (run/spec match, parsing, safety) runs
+        eagerly, before the iterator is returned.
+        """
         self._check_run(run)
         node = parse_regex(query)
         try:
-            index = self.query_index(node)
+            self.query_index(node)
         except UnsafeQueryError:
-            return evaluate_general_query(
-                run, node, l1, l2, use_reachability_filter=use_reachability_filter
+            return iter(
+                evaluate_general_query(
+                    run,
+                    node,
+                    l1,
+                    l2,
+                    use_reachability_filter=use_reachability_filter,
+                    vectorized=vectorized,
+                )
             )
-        universe1 = list(l1) if l1 is not None else list(run.node_ids())
-        universe2 = list(l2) if l2 is not None else list(run.node_ids())
-        return all_pairs_safe_query(
+        return self.all_pairs_iter(
             run,
-            universe1,
-            universe2,
-            index,
-            AllPairsOptions(use_reachability_filter=use_reachability_filter),
+            node,
+            l1,
+            l2,
+            use_reachability_filter=use_reachability_filter,
+            vectorized=vectorized,
         )
 
     # -- reporting -------------------------------------------------------------------------
 
     def describe(self) -> str:
+        # Count only this specification's entries: the cache may be shared
+        # with other engines (or a whole QueryService) serving other specs.
+        entries = self._cache.entry_count_for(self._spec.fingerprint)
         return (
             f"ProvenanceQueryEngine over {self._spec.name!r} "
-            f"({len(self._cache)} cached query entries)"
+            f"({entries} cached query entries)"
         )

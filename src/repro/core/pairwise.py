@@ -31,7 +31,12 @@ from repro.labeling.labels import (
     common_prefix_length,
 )
 
-__all__ = ["pairwise_reach_matrix", "answer_pairwise_query"]
+__all__ = [
+    "pairwise_reach_matrix",
+    "answer_pairwise_query",
+    "exit_step_matrix",
+    "enter_step_matrix",
+]
 
 
 def _expect_production_step(label: Label, index: int) -> ProductionStep:
@@ -43,9 +48,13 @@ def _expect_production_step(label: Label, index: int) -> ProductionStep:
     return label[index]  # type: ignore[return-value]
 
 
-def _exit_step_matrix(index: QueryIndex, step: LabelStep) -> BooleanMatrix:
+def exit_step_matrix(index: QueryIndex, step: LabelStep) -> BooleanMatrix:
     """Transitions from the output of the node identified by ``step`` to the
-    output of its parent context (one level of the exit walk)."""
+    output of its parent context (one level of the exit walk).
+
+    Public so the group-at-a-time decoder of :mod:`repro.core.allpairs` can
+    accumulate the same walk as per-trie-node state vectors.
+    """
     if isinstance(step, ProductionStep):
         return index.to_sink(step.production, step.position)
     # Climbing out of a recursion chain: from the output of chain child
@@ -53,9 +62,12 @@ def _exit_step_matrix(index: QueryIndex, step: LabelStep) -> BooleanMatrix:
     return index.ascend_chain(step.cycle, step.start, step.ordinal - 1, 0)
 
 
-def _enter_step_matrix(index: QueryIndex, step: LabelStep) -> BooleanMatrix:
+def enter_step_matrix(index: QueryIndex, step: LabelStep) -> BooleanMatrix:
     """Transitions from the input of the parent context to the input of the
-    node identified by ``step`` (one level of the entry walk)."""
+    node identified by ``step`` (one level of the entry walk).
+
+    Public for the same reason as :func:`exit_step_matrix`.
+    """
     if isinstance(step, ProductionStep):
         return index.from_source(step.production, step.position)
     # Descending into a recursion chain: from the input of chain child 0 to
@@ -68,7 +80,7 @@ def _exit_matrix(index: QueryIndex, suffix: Label) -> BooleanMatrix:
     of the suffix's topmost context (deepest step composed first)."""
     result = index.identity
     for step in reversed(suffix):
-        result = result @ _exit_step_matrix(index, step)
+        result = result @ exit_step_matrix(index, step)
         if result.is_zero():
             return result
     return result
@@ -79,7 +91,7 @@ def _enter_matrix(index: QueryIndex, suffix: Label) -> BooleanMatrix:
     node labeled by the full suffix (shallowest step composed first)."""
     result = index.identity
     for step in suffix:
-        result = result @ _enter_step_matrix(index, step)
+        result = result @ enter_step_matrix(index, step)
         if result.is_zero():
             return result
     return result

@@ -72,6 +72,8 @@ class QueryIndex:
         self.state_count = dfa.state_count
         self._identity = BooleanMatrix.identity(self.state_count)
         self._zero = BooleanMatrix.zero(self.state_count)
+        self._start_mask = 1 << dfa.start
+        self._accepting_mask = dfa.accepting_mask()
         self._tag_matrices = {tag: dfa.transition_matrix(tag) for tag in spec.tags}
         self._cross: list[dict[tuple[int, int], BooleanMatrix]] = []
         self._to_sink: list[list[BooleanMatrix]] = []
@@ -158,10 +160,20 @@ class QueryIndex:
     def zero(self) -> BooleanMatrix:
         return self._zero
 
+    @property
+    def start_mask(self) -> int:
+        """The DFA start state as a one-bit state vector."""
+        return self._start_mask
+
+    @property
+    def accepting_mask(self) -> int:
+        """The DFA accepting states as a state-vector bitmask."""
+        return self._accepting_mask
+
     def accepts(self, matrix: BooleanMatrix) -> bool:
         """Does the relation contain a transition from the DFA start state to
         an accepting state?"""
-        return bool(matrix.row_mask(self.dfa.start) & self.dfa.accepting_mask())
+        return bool(matrix.row_mask(self.dfa.start) & self._accepting_mask)
 
     def tag_matrix(self, tag: str) -> BooleanMatrix:
         matrix = self._tag_matrices.get(tag)

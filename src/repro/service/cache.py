@@ -156,6 +156,13 @@ class IndexCache:
         with self._lock:
             return key in self._entries
 
+    def entry_count_for(self, fingerprint: str) -> int:
+        """Number of cached entries belonging to one specification
+        fingerprint (what an engine sharing this cache should report as its
+        own, rather than the whole cache's entry count)."""
+        with self._lock:
+            return sum(1 for spec_print, _ in self._entries if spec_print == fingerprint)
+
     # -- internals ---------------------------------------------------------------
 
     def _lookup(self, spec: Specification, query: str | RegexNode) -> _Entry:

@@ -168,9 +168,15 @@ def result_to_dict(result: QueryResult) -> dict[str, Any]:
 
 
 def read_requests_jsonl(lines: Iterable[str]) -> Iterator[QueryRequest]:
-    """Parse a JSONL stream into requests; blank lines and ``#`` comments are
-    skipped, malformed lines raise :class:`BatchFormatError` with the line
-    number."""
+    """Parse a JSONL stream into requests.
+
+    ``lines`` may come from any source — an open file handle, ``sys.stdin``,
+    or a pre-split list; every line is normalized here (trailing newlines,
+    ``\\r\\n`` endings and surrounding whitespace are stripped), so all
+    sources parse identically.  Blank/whitespace-only lines and ``#``
+    comments are skipped; malformed lines raise :class:`BatchFormatError`
+    with the line number.
+    """
     for line_number, line in enumerate(lines, start=1):
         text = line.strip()
         if not text or text.startswith("#"):

@@ -33,6 +33,7 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 from repro.core.engine import ProvenanceQueryEngine
 from repro.service.cache import CacheStats, IndexCache
 from repro.service.requests import (
+    BatchFormatError,
     QueryRequest,
     QueryResult,
     request_from_dict,
@@ -182,6 +183,34 @@ class QueryService:
 
         return generate()
 
+    def stream_pairs(
+        self, request: QueryRequest | Mapping[str, Any]
+    ) -> Iterator[tuple[str, str]]:
+        """Stream the matching pairs of one ``allpairs`` request.
+
+        Unlike :meth:`execute`, the pairs are yielded as the evaluator finds
+        them (unsorted, each exactly once) without materializing the result
+        set, so callers can cap, paginate or pipe arbitrarily large answers.
+        Failures raise instead of becoming error results, since there is no
+        result record to carry them; request validation, run lookup, query
+        parsing and the safety check all happen eagerly, before the first
+        pair is drawn.
+        """
+        request = self._coerce(request)
+        if request.op != "allpairs":
+            raise BatchFormatError(
+                f"stream_pairs only supports op 'allpairs', got {request.op!r}"
+            )
+        run = self.get_run(request.run)
+        engine = self.engine_for(request.run)
+        return engine.evaluate_iter(
+            run,
+            request.query,
+            list(request.sources) if request.sources is not None else None,
+            list(request.targets) if request.targets is not None else None,
+            use_reachability_filter=request.use_reachability_filter,
+        )
+
     def _coerce(self, request: QueryRequest | Mapping[str, Any]) -> QueryRequest:
         if isinstance(request, QueryRequest):
             return request
@@ -245,7 +274,7 @@ class QueryService:
                         use_reachability_filter=request.use_reachability_filter,
                     )
             else:  # allpairs — the only remaining validated op
-                matches = engine.evaluate(
+                matches = engine.evaluate_iter(
                     run,
                     request.query,
                     list(request.sources) if request.sources is not None else None,

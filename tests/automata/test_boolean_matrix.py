@@ -90,6 +90,20 @@ class TestAlgebra:
         assert a == b and hash(a) == hash(b)
         assert len({a, b}) == 1
 
+    def test_propagate_row(self):
+        a = BooleanMatrix.from_pairs(3, [(0, 1), (1, 2), (2, 0)])
+        assert a.propagate_row(0b001) == 0b010  # row 0 -> column 1
+        assert a.propagate_row(0b011) == 0b110  # rows {0, 1} -> columns {1, 2}
+        assert a.propagate_row(0) == 0
+        # Stray bits beyond the matrix size are ignored.
+        assert a.propagate_row(0b1000) == 0
+
+    def test_propagate_column(self):
+        a = BooleanMatrix.from_pairs(3, [(0, 1), (1, 2), (2, 0)])
+        assert a.propagate_column(0b010) == 0b001  # column 1 <- row 0
+        assert a.propagate_column(0b101) == 0b110  # columns {0, 2} <- rows {1, 2}
+        assert a.propagate_column(0) == 0
+
 
 @st.composite
 def matrices(draw, size=3):
@@ -125,3 +139,17 @@ class TestProperties:
         for _ in range(exponent):
             expected = expected @ a
         assert a.power(exponent) == expected
+
+    @given(matrices(), st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_propagate_row_agrees_with_row_selection(self, a, mask):
+        expected = 0
+        for row in range(a.size):
+            if mask >> row & 1:
+                expected |= a.row_mask(row)
+        assert a.propagate_row(mask) == expected
+
+    @given(matrices(), st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_propagate_column_is_transposed_row_propagation(self, a, mask):
+        assert a.propagate_column(mask) == a.transpose().propagate_row(mask)

@@ -1,14 +1,18 @@
 """Tests for Algorithm 2 (all-pairs safe queries) and the reachability join."""
 
+from collections import Counter
+
 import pytest
 
 from repro.baselines.product_bfs import product_bfs_all_pairs
 from repro.core.allpairs import (
     AllPairsOptions,
+    all_pairs_iter,
     all_pairs_reachability,
     all_pairs_safe_query,
     reachable_pair_groups,
 )
+from repro.core.pairwise import answer_pairwise_query
 from repro.core.query_index import build_query_index
 from repro.core.safety import is_safe_query
 from repro.datasets.myexperiment import (
@@ -135,3 +139,98 @@ class TestAllPairsSafeQueries:
             index = build_query_index(spec, query)
             expected = product_bfs_all_pairs(run, l1, l2, query)
             assert all_pairs_safe_query(run, l1, l2, index) == expected
+
+
+class TestVectorizedDecoding:
+    """The group-at-a-time state-vector decode (optRPL-G) and streaming."""
+
+    PER_PAIR_S2 = AllPairsOptions(vectorized=False)
+
+    @pytest.mark.parametrize("query", ["_* e _*", "A+", "a+", "c (a|b|A|B|e)* b", "A"])
+    def test_agrees_with_per_pair_and_oracle(self, query):
+        run = paper_run(recursion_depth=5)
+        index = build_query_index(run.spec, query)
+        nodes = list(run.node_ids())
+        expected = product_bfs_all_pairs(run, nodes, nodes, query)
+        assert all_pairs_safe_query(run, nodes, nodes, index) == expected
+        assert (
+            all_pairs_safe_query(run, nodes, nodes, index, self.PER_PAIR_S2) == expected
+        )
+
+    def test_agrees_on_fork_heavy_run(self):
+        spec = bioaid_specification()
+        forks = fork_production_indices(spec, BIOAID_KLEENE_TAG)
+        run = generate_fork_heavy_run(spec, 220, forks, seed=5)
+        query = f"{BIOAID_KLEENE_TAG}*"
+        index = build_query_index(spec, query)
+        l1 = run.node_ids()[::3]
+        l2 = run.node_ids()[::2]
+        expected = product_bfs_all_pairs(run, l1, l2, query)
+        assert all_pairs_safe_query(run, l1, l2, index) == expected
+
+    def test_streaming_yields_each_pair_once(self):
+        run = paper_run(recursion_depth=5)
+        index = build_query_index(run.spec, "A+")
+        nodes = list(run.node_ids())
+        streamed = list(all_pairs_iter(run, nodes, nodes, index))
+        assert len(streamed) == len(set(streamed))
+        assert set(streamed) == all_pairs_safe_query(run, nodes, nodes, index)
+
+    def test_streaming_is_lazy(self):
+        run = paper_run(recursion_depth=5)
+        index = build_query_index(run.spec, "_* e _*")
+        nodes = list(run.node_ids())
+        iterator = all_pairs_iter(run, nodes, nodes, index)
+        first = next(iterator)
+        assert first in all_pairs_safe_query(run, nodes, nodes, index)
+
+    def test_partial_lists_against_per_pair(self):
+        spec = generate_synthetic_specification(150, seed=3, recursion_fraction=0.6)
+        run = derive_run(spec, seed=3, target_edges=130)
+        l1 = run.node_ids()[::2]
+        l2 = run.node_ids()[1::3]
+        for query in ("_*", "op1* op2*", "op3*"):
+            if not is_safe_query(spec, query):
+                continue
+            index = build_query_index(spec, query)
+            assert all_pairs_safe_query(run, l1, l2, index) == all_pairs_safe_query(
+                run, l1, l2, index, self.PER_PAIR_S2
+            )
+
+
+class TestDisjointDecoding:
+    """Regression for the 'every reachable pair decoded exactly once'
+    contract: duplicated input entries used to re-emit their pairs, which
+    re-ran the pairwise decode on pairs that had already *failed* the filter
+    (the results-set guard only skipped accepted pairs)."""
+
+    def test_no_pair_decoded_twice_on_recursion_heavy_run(self):
+        run = paper_run(recursion_depth=6)
+        nodes = list(run.node_ids())
+        l1 = nodes + nodes[:5]  # duplicated entries, as a caller may pass
+        index = build_query_index(run.spec, "A")
+
+        calls = Counter()
+
+        def counting_filter(u, v):
+            calls[(u, v)] += 1
+            return answer_pairwise_query(index, run.label_of(u), run.label_of(v))
+
+        result = all_pairs_safe_query(run, l1, nodes, index, pair_filter=counting_filter)
+        assert result == all_pairs_safe_query(run, nodes, nodes, index)
+        assert calls and max(calls.values()) == 1, "a pair was decoded more than once"
+
+    def test_duplicated_inputs_do_not_change_answers(self):
+        spec = generate_synthetic_specification(150, seed=5, recursion_fraction=0.6)
+        run = derive_run(spec, seed=5, target_edges=120)
+        nodes = run.node_ids()
+        index = build_query_index(spec, "_*")
+        expected = all_pairs_safe_query(run, nodes, nodes, index)
+        doubled = list(nodes) * 2
+        assert all_pairs_safe_query(run, doubled, doubled, index) == expected
+        streamed = list(all_pairs_iter(run, doubled, doubled, index))
+        assert len(streamed) == len(set(streamed))
+        assert set(streamed) == expected
+        assert all_pairs_reachability(run, doubled, doubled) == all_pairs_reachability(
+            run, nodes, nodes
+        )

@@ -42,6 +42,16 @@ class TestEngineBasics:
         engine.query_index("_*")
         assert "1 cached query" in engine.describe()
 
+    def test_describe_counts_only_own_spec_on_a_shared_cache(self, engine):
+        from repro.datasets.myexperiment import bioaid_specification
+
+        other = ProvenanceQueryEngine(bioaid_specification(), cache=engine.cache)
+        engine.query_index("_*")
+        engine.query_index("_* e _*")
+        other.query_index("_*")
+        assert "2 cached query" in engine.describe()
+        assert "1 cached query" in other.describe()
+
 
 class TestEngineQueries:
     def test_reachable(self, engine, run):
@@ -76,6 +86,42 @@ class TestEngineQueries:
         assert safe == product_bfs_all_pairs(run, None, None, "_* e _*")
         unsafe = engine.evaluate(run, "_* a _*")
         assert unsafe == product_bfs_all_pairs(run, None, None, "_* a _*")
+
+    def test_all_pairs_vectorized_toggle(self, engine, run):
+        expected = engine.all_pairs(run, "A+")
+        assert engine.all_pairs(run, "A+", vectorized=False) == expected
+
+    def test_all_pairs_iter_streams_each_pair_once(self, engine, run):
+        streamed = list(engine.all_pairs_iter(run, "A+"))
+        assert len(streamed) == len(set(streamed))
+        assert set(streamed) == engine.all_pairs(run, "A+")
+
+    def test_all_pairs_iter_unsafe_query_raises(self, engine, run):
+        with pytest.raises(UnsafeQueryError):
+            engine.all_pairs_iter(run, "e")
+
+    def test_evaluate_iter_handles_safe_and_unsafe(self, engine, run):
+        assert set(engine.evaluate_iter(run, "_* e _*")) == engine.evaluate(
+            run, "_* e _*"
+        )
+        assert set(engine.evaluate_iter(run, "_* a _*")) == engine.evaluate(
+            run, "_* a _*"
+        )
+
+    def test_evaluate_iter_is_lazy_for_safe_queries(self, engine, run):
+        iterator = engine.evaluate_iter(run, "_* e _*")
+        assert next(iterator) in engine.evaluate(run, "_* e _*")
+
+    def test_evaluate_iter_validates_eagerly(self, engine, run):
+        from repro.datasets.myexperiment import bioaid_specification
+        from repro.errors import QuerySyntaxError
+        from repro.workflow.derivation import derive_run
+
+        with pytest.raises(QuerySyntaxError):
+            engine.evaluate_iter(run, "((b")
+        foreign = derive_run(bioaid_specification(), seed=0, target_edges=50)
+        with pytest.raises(ValueError):
+            engine.evaluate_iter(foreign, "_*")
 
     def test_run_from_other_spec_rejected(self, engine):
         from repro.datasets.myexperiment import bioaid_specification

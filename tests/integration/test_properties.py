@@ -128,3 +128,30 @@ class TestAllPairsConsistency:
         s2 = engine.all_pairs(run, query, l1, l2)
         s1 = engine.all_pairs(run, query, l1, l2, use_reachability_filter=False)
         assert s1 == s2
+
+    @given(spec_run_query())
+    @settings(max_examples=25, deadline=None)
+    def test_all_four_evaluation_paths_agree(self, data):
+        """Per-pair S1 ≡ per-pair S2 ≡ vectorized S2 ≡ streamed results on
+        random specifications, runs and safe queries."""
+        spec, run, query = data
+        if not is_safe_query(spec, query):
+            return
+        engine = ProvenanceQueryEngine(spec)
+        l1 = run.node_ids()[::2]
+        l2 = run.node_ids()[1::2]
+        per_pair_s1 = engine.all_pairs(
+            run, query, l1, l2, use_reachability_filter=False
+        )
+        per_pair_s2 = engine.all_pairs(run, query, l1, l2, vectorized=False)
+        vectorized = engine.all_pairs(run, query, l1, l2)
+        streamed = list(engine.all_pairs_iter(run, query, l1, l2))
+        assert len(streamed) == len(set(streamed))
+        assert per_pair_s1 == per_pair_s2 == vectorized == set(streamed)
+
+    @given(spec_run_query())
+    @settings(max_examples=15, deadline=None)
+    def test_evaluate_iter_agrees_with_evaluate(self, data):
+        spec, run, query = data
+        engine = ProvenanceQueryEngine(spec)
+        assert set(engine.evaluate_iter(run, query)) == engine.evaluate(run, query)

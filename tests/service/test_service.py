@@ -155,6 +155,29 @@ class TestBatchEvaluation:
         )
         assert result.ok and result.answer is True
 
+    def test_stream_pairs_matches_execute(self, run, service):
+        request = {"op": "allpairs", "run": "r1", "query": "A+"}
+        streamed = list(service.stream_pairs(request))
+        assert len(streamed) == len(set(streamed))
+        result = service.execute(request)
+        assert result.ok and set(streamed) == set(result.pairs)
+
+    def test_stream_pairs_handles_unsafe_queries(self, run, service):
+        request = {"op": "allpairs", "run": "r1", "query": "_* a _*"}
+        result = service.execute(request)
+        assert set(service.stream_pairs(request)) == set(result.pairs)
+
+    def test_stream_pairs_rejects_other_ops(self, run, service):
+        source = run.node_ids()[0]
+        with pytest.raises(BatchFormatError):
+            service.stream_pairs(
+                {"op": "reachability", "run": "r1", "source": source, "target": source}
+            )
+
+    def test_stream_pairs_unknown_run_raises_eagerly(self, service):
+        with pytest.raises(KeyError):
+            service.stream_pairs({"op": "allpairs", "run": "nope", "query": "A+"})
+
     def test_warm_prebuilds_indexes(self, service):
         service.warm("r1", ["_* e _*", "A+"])
         stats = service.cache_stats

@@ -62,6 +62,45 @@ class TestDeriveAndQuery:
         assert main(["query", str(run_path), "A+", "--limit", "3"]) == 0
         assert "matching pairs" in capsys.readouterr().out
 
+    def test_lone_source_or_target_is_an_error(self, tmp_path, capsys):
+        run_path = tmp_path / "run.json"
+        main(["derive", "paper-example", "--edges", "10", "--output", str(run_path)])
+        capsys.readouterr()
+        for flag in (["--source", "c:1"], ["--target", "b:1"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["query", str(run_path), "_*", *flag])
+            assert "--source" in str(excinfo.value) and "--target" in str(excinfo.value)
+
+    def test_stream_matches_materialized_output(self, tmp_path, capsys):
+        run_path = tmp_path / "run.json"
+        main(["derive", "paper-example", "--edges", "40", "--seed", "3", "--output", str(run_path)])
+        capsys.readouterr()
+        assert main(["query", str(run_path), "A+", "--json"]) == 0
+        expected = json.loads(capsys.readouterr().out.strip())
+
+        assert main(["query", str(run_path), "A+", "--stream", "--json"]) == 0
+        captured = capsys.readouterr()
+        streamed = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert sorted(streamed) == sorted(expected)
+        assert f"{len(streamed)} matching pairs" in captured.err
+
+    def test_stream_plain_text(self, tmp_path, capsys):
+        run_path = tmp_path / "run.json"
+        main(["derive", "paper-example", "--edges", "40", "--seed", "3", "--output", str(run_path)])
+        capsys.readouterr()
+        assert main(["query", str(run_path), "A+", "--stream"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out and all(" -> " in line for line in out.splitlines())
+
+    def test_stream_rejected_for_pairwise(self, tmp_path, capsys):
+        run_path = tmp_path / "run.json"
+        main(["derive", "paper-example", "--edges", "10", "--output", str(run_path)])
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", str(run_path), "_*", "--source", "c:1", "--target", "b:1",
+                  "--stream"])
+        assert "--stream" in str(excinfo.value)
+
 
 class TestBenchCommand:
     def test_single_experiment_runs(self, capsys):
@@ -165,3 +204,54 @@ class TestBatchCommand:
         requests = self._write_requests(tmp_path, [])
         with pytest.raises(SystemExit):
             main(["batch", str(requests)])
+
+    def test_batch_run_path_containing_equals_sign(self, tmp_path, run_path, capsys):
+        """A bare --run path whose file name contains '=' must register under
+        its stem, not be split at the '=' (rpartition used to eat it)."""
+        odd_path = tmp_path / "scale=big.json"
+        odd_path.write_bytes(run_path.read_bytes())
+        requests = self._write_requests(
+            tmp_path, [{"op": "allpairs", "run": "scale=big", "query": "A+"}]
+        )
+        assert main(["batch", str(requests), "--run", str(odd_path)]) == 0
+        [record] = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+        assert record["ok"] and record["run"] == "scale=big"
+
+    def test_batch_explicit_id_with_equals_in_path(self, tmp_path, run_path, capsys):
+        odd_path = tmp_path / "a=b.json"
+        odd_path.write_bytes(run_path.read_bytes())
+        requests = self._write_requests(
+            tmp_path, [{"op": "allpairs", "run": "mine", "query": "A+"}]
+        )
+        assert main(["batch", str(requests), "--run", f"mine={odd_path}"]) == 0
+        [record] = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+        assert record["ok"] and record["run"] == "mine"
+
+    def test_batch_stdin_and_file_parse_identically(
+        self, tmp_path, run_path, capsys, monkeypatch
+    ):
+        """Blank and whitespace-only lines are skipped for both sources, and
+        stdin's trailing newlines do not change parsing."""
+        body = (
+            "\n   \n"
+            + json.dumps({"op": "allpairs", "run": "r1", "query": "A+"})
+            + "\r\n\t\n# comment\n"
+            + json.dumps({"op": "reachability", "run": "r1", "source": "c:1", "target": "b:1"})
+            + "\n\n"
+        )
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(body)
+        assert main(["batch", str(requests), "--run", str(run_path)]) == 0
+        from_file = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(body))
+        assert main(["batch", "-", "--run", str(run_path)]) == 0
+        from_stdin = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+
+        def strip_timing(records):
+            return [{k: v for k, v in r.items() if k != "elapsed_ms"} for r in records]
+
+        assert len(from_file) == 2
+        assert strip_timing(from_file) == strip_timing(from_stdin)
