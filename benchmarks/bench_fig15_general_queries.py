@@ -4,6 +4,12 @@ For a fixed set of unsafe queries over BioAID and QBLast runs, benchmark the
 join-only baseline (G1) against the safe-subtree decomposition (our
 approach).  The improvement percentages of the paper's Fig. 15 are produced
 by ``python -m repro.bench fig15a fig15b``.
+
+The ``restricted`` group tracks the restriction-pushdown engine: the same
+unsafe queries asked for small (5×5) node lists, once with the pre-pushdown
+evaluate-the-whole-run-then-restrict behaviour and once with the pushdown
+evaluator, whose work is bounded by the nodes reachable from the requested
+sources.  CI captures this file's timings as ``BENCH_general_queries.json``.
 """
 
 import pytest
@@ -52,4 +58,42 @@ def test_decomposition(benchmark, workflow, query_id, bioaid_run, qblast_run):
     l1, l2 = _workload(run)
     plan = plan_decomposition(run.spec, queries[query_id])
     benchmark.group = f"fig15 general queries ({workflow}, q{query_id})"
+    benchmark(lambda: evaluate_general_query(run, queries[query_id], l1, l2, plan=plan))
+
+
+def _restricted_workload(run):
+    l1, l2 = node_lists(run, limit=120, seed=4)
+    return l1[:5], l2[:5]
+
+
+@pytest.mark.parametrize("workflow", ["bioaid", "qblast"])
+@pytest.mark.parametrize("query_id", [0, 1, 2])
+def test_restricted_pre_pushdown(benchmark, workflow, query_id, bioaid_run, qblast_run):
+    """The pre-pushdown evaluator: whole-run relations, then restrict."""
+    run = bioaid_run if workflow == "bioaid" else qblast_run
+    queries = _unsafe_queries(run.spec)
+    if query_id >= len(queries):
+        pytest.skip("not enough unsafe queries generated")
+    l1, l2 = _restricted_workload(run)
+    plan = plan_decomposition(run.spec, queries[query_id])
+    benchmark.group = f"fig15 restricted 5x5 ({workflow}, q{query_id})"
+    benchmark(
+        lambda: evaluate_general_query(
+            run, queries[query_id], l1, l2, plan=plan,
+            strategy="join", push_restrictions=False,
+        )
+    )
+
+
+@pytest.mark.parametrize("workflow", ["bioaid", "qblast"])
+@pytest.mark.parametrize("query_id", [0, 1, 2])
+def test_restricted_pushdown(benchmark, workflow, query_id, bioaid_run, qblast_run):
+    """The restriction-pushdown evaluator on the same 5×5 lists."""
+    run = bioaid_run if workflow == "bioaid" else qblast_run
+    queries = _unsafe_queries(run.spec)
+    if query_id >= len(queries):
+        pytest.skip("not enough unsafe queries generated")
+    l1, l2 = _restricted_workload(run)
+    plan = plan_decomposition(run.spec, queries[query_id])
+    benchmark.group = f"fig15 restricted 5x5 ({workflow}, q{query_id})"
     benchmark(lambda: evaluate_general_query(run, queries[query_id], l1, l2, plan=plan))

@@ -152,14 +152,20 @@ class DFA:
         )
 
 
-def determinize(nfa: NFA, alphabet: Iterable[str]) -> DFA:
+def determinize(
+    nfa: NFA, alphabet: Iterable[str], *, wildcard_tags: Iterable[str] | None = None
+) -> DFA:
     """Subset construction over an explicit alphabet.
 
-    Wildcard (``ANY``) transitions of the NFA are expanded over ``alphabet``.
-    The result is complete: missing transitions go to a dead state, which is
+    Wildcard (``ANY``) transitions of the NFA are expanded over ``alphabet``
+    by default, or over ``wildcard_tags`` when given — the decomposition
+    engine passes the run's real edge tags there so that the synthetic macro
+    symbols standing for safe subqueries are not matched by ``_``.  The
+    result is complete: missing transitions go to a dead state, which is
     always materialized so that downstream code can rely on totality.
     """
     tags = frozenset(alphabet) | nfa.alphabet()
+    wildcard = tags if wildcard_tags is None else frozenset(wildcard_tags)
     start_set = nfa.epsilon_closure({nfa.start})
     subset_index: dict[frozenset[int], int] = {start_set: 0}
     order: list[frozenset[int]] = [start_set]
@@ -169,7 +175,9 @@ def determinize(nfa: NFA, alphabet: Iterable[str]) -> DFA:
         current = queue.pop()
         current_id = subset_index[current]
         for tag in tags:
-            target = nfa.epsilon_closure(nfa.move(current, tag))
+            target = nfa.epsilon_closure(
+                nfa.move(current, tag, include_wildcard=tag in wildcard)
+            )
             if target not in subset_index:
                 subset_index[target] = len(order)
                 order.append(target)

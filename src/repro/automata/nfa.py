@@ -81,13 +81,17 @@ class NFA:
                     stack.append(target)
         return frozenset(closure)
 
-    def move(self, states: Iterable[int], tag: str) -> frozenset[int]:
+    def move(
+        self, states: Iterable[int], tag: str, *, include_wildcard: bool = True
+    ) -> frozenset[int]:
         """Return states reachable from ``states`` by consuming ``tag``
-        (wildcard transitions match every tag)."""
+        (wildcard transitions match every tag unless ``include_wildcard`` is
+        off, which lets determinization keep synthetic tags — e.g. the macro
+        symbols standing for safe subqueries — out of the wildcard's reach)."""
         result = set()
         for state in states:
             for label, target in self.transitions.get(state, ()):
-                if label is ANY or label == tag:
+                if (include_wildcard and label is ANY) or label == tag:
                     result.add(target)
         return frozenset(result)
 

@@ -25,7 +25,11 @@ from repro.baselines.g2_rare_labels import g2_pairwise_batch
 from repro.baselines.g3_label_index import g3_all_pairs, g3_pairwise_batch
 from repro.bench.harness import BenchScale, ExperimentResult, current_scale, time_call
 from repro.core.allpairs import AllPairsOptions, all_pairs_safe_query
-from repro.core.decomposition import evaluate_general_query, plan_decomposition
+from repro.core.decomposition import (
+    evaluate_general_query,
+    label_routed_subtrees,
+    plan_decomposition,
+)
 from repro.automata.regex import parse_regex
 from repro.core.optimizer import ifq_tags
 from repro.core.pairwise import answer_pairwise_query
@@ -407,18 +411,11 @@ def _general_queries(
         plan = plan_decomposition(spec, query)
         if not plan.is_fully_safe and plan.has_safe_parts:
             unsafe_queries.append((query, plan))
-    from repro.core.decomposition import worth_label_evaluation
-    from repro.core.optimizer import estimate_join_cost, estimate_label_all_pairs_cost
-
     improvements = []
     lowly_selective_improvements = []
+    restricted_speedups = []
     for query_id, (query, plan) in enumerate(unsafe_queries):
-        routed = sum(
-            1
-            for node in plan.safe_subtrees
-            if worth_label_evaluation(node)
-            and estimate_join_cost(run, node) > estimate_label_all_pairs_cost(run.node_count)
-        )
+        routed = len(label_routed_subtrees(plan, run))
         baseline_time, baseline_answer = time_call(lambda: g1_all_pairs(run, l1, l2, query))
         ours_time, ours_answer = time_call(
             lambda: evaluate_general_query(run, query, l1, l2, plan=plan)
@@ -429,6 +426,25 @@ def _general_queries(
         improvements.append(improvement)
         if routed:
             lowly_selective_improvements.append(improvement)
+        # Restriction pushdown: the same query asked for a handful of nodes
+        # should cost a fraction of the full-list evaluation (the pre-pushdown
+        # evaluator paid the whole-run price regardless of the lists).
+        small1, small2 = l1[:5], l2[:5]
+        old_restricted_time, old_restricted = time_call(
+            lambda: evaluate_general_query(
+                run, query, small1, small2, plan=plan,
+                strategy="join", push_restrictions=False,
+            )
+        )
+        new_restricted_time, new_restricted = time_call(
+            lambda: evaluate_general_query(run, query, small1, small2, plan=plan)
+        )
+        if old_restricted != new_restricted:
+            result.note(f"RESTRICTED-ENGINE DISAGREEMENT for {query!r} — investigate")
+        restricted_speedup = (
+            old_restricted_time / new_restricted_time if new_restricted_time else float("inf")
+        )
+        restricted_speedups.append(restricted_speedup)
         result.add(
             query_id=query_id,
             lowly_selective_parts=routed,
@@ -436,6 +452,9 @@ def _general_queries(
             baseline_g1_s=baseline_time,
             optrpl_s=ours_time,
             improvement_pct=improvement,
+            restricted_5x5_pre_pushdown_s=old_restricted_time,
+            restricted_5x5_pushdown_s=new_restricted_time,
+            restricted_speedup=restricted_speedup,
         )
     if improvements:
         positive = [value for value in improvements if value > 0]
@@ -453,6 +472,12 @@ def _general_queries(
         result.note(
             "no query had a safe component expensive enough for the cost model to "
             "route it to the labeling engine at this run size (see EXPERIMENTS.md)"
+        )
+    if restricted_speedups:
+        result.note(
+            "restriction pushdown on 5x5 lists: median speedup "
+            f"{statistics.median(restricted_speedups):.1f}x over the "
+            "evaluate-then-restrict evaluator"
         )
     result.note(f"run: {run.edge_count} edges; lists: |l1|=|l2|={len(l1)}")
     return result

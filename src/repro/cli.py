@@ -134,7 +134,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             count += 1
         print(f"{count} matching pairs", file=sys.stderr)
         return 0
-    matches = engine.evaluate(run, args.query, l1, l2)
+    matches = engine.evaluate(run, args.query, l1, l2, strategy=args.strategy)
     if args.json:
         print(json.dumps(sorted(matches)))
     else:
@@ -250,7 +250,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "all-pairs only: print pairs as they are found (one per line, "
-            "unsorted, no limit) instead of materializing the result set"
+            "unsorted, no limit) instead of materializing the result set; "
+            "unsafe queries stream too, with memory bounded by the region "
+            "reachable from --sources rather than by the run"
+        ),
+    )
+    query_parser.add_argument(
+        "--strategy",
+        choices=["auto", "frontier", "join"],
+        default="auto",
+        help=(
+            "unsafe-remainder evaluation strategy for non-streamed all-pairs "
+            "queries: per-source frontier search, join-based relations, or "
+            "cost-based choice (default)"
         ),
     )
     query_parser.set_defaults(handler=_cmd_query)

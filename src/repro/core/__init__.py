@@ -32,7 +32,10 @@ from repro.core.allpairs import (
     all_pairs_reachability,
     all_pairs_safe_query,
 )
-from repro.core.decomposition import evaluate_general_query
+from repro.core.decomposition import (
+    evaluate_general_query,
+    evaluate_general_query_iter,
+)
 from repro.core.engine import ProvenanceQueryEngine
 from repro.core.intersection import intersect_specification
 from repro.core.pairwise import answer_pairwise_query, pairwise_reach_matrix
@@ -51,6 +54,7 @@ __all__ = [
     "answer_pairwise_query",
     "build_query_index",
     "evaluate_general_query",
+    "evaluate_general_query_iter",
     "intersect_specification",
     "is_safe_query",
     "pairwise_reach_matrix",

@@ -17,40 +17,99 @@ When the whole query is safe the decomposition degenerates to a single call
 to the safe engine.  Finding the *best* equivalent rewriting of the query
 with the largest safe parts is left as future work by the paper; like the
 paper we use the simple top-down heuristic.
+
+Restriction pushdown
+--------------------
+
+The caller's ``l1``/``l2`` node lists are pushed *into* the evaluation
+instead of being applied to a whole-run result:
+
+* the **frontier strategy** rewrites the query with one synthetic *macro*
+  symbol per label-routed safe subquery, compiles it to a DFA (wildcards
+  never match macro symbols), and runs one product-DFA frontier search per
+  requested source (:func:`~repro.core.relations.product_frontier_targets`),
+  pruned by the forward/backward ``allowed`` universe and following macro
+  edges through the label-decoded relations;
+* the **join strategy** keeps the classic bottom-up relational evaluation
+  but filters every leaf relation and closure to the ``allowed`` universe
+  and hands safe subqueries node lists restricted to it.
+
+Either way, peak relation size is bounded by the nodes reachable from ``l1``
+(and co-reachable from ``l2``) rather than by the run.  ``strategy="auto"``
+picks between the two with the cost model of :mod:`repro.core.optimizer`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Iterator, Sequence
 
+from repro.automata.dfa import DFA, determinize
+from repro.automata.nfa import nfa_from_regex
 from repro.automata.regex import (
     AnySymbol,
+    Concat,
     Epsilon,
     Plus,
     RegexNode,
     Star,
     Symbol,
+    Union,
     parse_regex,
+    regex_alphabet,
     regex_to_string,
 )
-from repro.core.allpairs import AllPairsOptions, all_pairs_safe_query
-from repro.core.query_index import build_query_index
-from repro.core.relations import NodePairs, evaluate_regex_relation, restrict
+from repro.core.allpairs import AllPairsOptions, all_pairs_iter, all_pairs_safe_query
+from repro.core.optimizer import (
+    estimate_frontier_search_cost,
+    estimate_join_cost,
+    estimate_label_all_pairs_cost,
+)
+from repro.core.query_index import QueryIndex, build_query_index
+from repro.core.relations import (
+    NodePairs,
+    evaluate_regex_relation,
+    restrict,
+    restriction_universe,
+    product_frontier_targets,
+)
 from repro.core.safety import is_safe_query
 from repro.workflow.run import Run
 from repro.workflow.spec import Specification
 
-__all__ = ["DecompositionPlan", "plan_decomposition", "evaluate_general_query"]
+__all__ = [
+    "DecompositionPlan",
+    "plan_decomposition",
+    "evaluate_general_query",
+    "evaluate_general_query_iter",
+    "label_routed_subtrees",
+    "worth_label_evaluation",
+]
+
+#: Prefix of the synthetic DFA symbols standing for safe subqueries.  The
+#: NUL byte cannot appear in a parsed tag, so macros never collide with real
+#: edge tags.
+_MACRO_PREFIX = "\x00safe:"
+
+IndexProvider = Callable[[RegexNode], QueryIndex]
 
 
 @dataclass
 class DecompositionPlan:
-    """The result of the top-down safe-subtree search for one query."""
+    """The result of the top-down safe-subtree search for one query.
+
+    Plans are reusable across evaluations (and cached per specification in
+    the shared :class:`~repro.service.cache.IndexCache`), so they memoize
+    the run-statistics-dependent cost routing of their safe subtrees and the
+    macro DFAs of the frontier strategy.  Memo keys include coarse run
+    statistics, so one plan instance serves many runs of the same grammar.
+    """
 
     spec: Specification
     root: RegexNode
     safe_subtrees: list[RegexNode] = field(default_factory=list)
+    _routing_memo: dict = field(default_factory=dict, repr=False, compare=False)
+    _dfa_memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def is_fully_safe(self) -> bool:
@@ -59,6 +118,22 @@ class DecompositionPlan:
     @property
     def has_safe_parts(self) -> bool:
         return bool(self.safe_subtrees)
+
+    def estimate_prefers_labels(self, run: Run, node: RegexNode) -> bool:
+        """Does the cost model route this safe subtree to the label engine
+        for the given run?  Memoized per (run statistics, node)."""
+        key = (run.node_count, run.edge_count, run.seed, node)
+        cached = self._routing_memo.get(key)
+        if cached is None:
+            # Plans can outlive many runs (they are cached per spec), so the
+            # memo is reset instead of growing one entry per distinct run.
+            if len(self._routing_memo) >= 1024:
+                self._routing_memo.clear()
+            cached = estimate_join_cost(run, node) > estimate_label_all_pairs_cost(
+                run.node_count
+            )
+            self._routing_memo[key] = cached
+        return cached
 
     def describe(self) -> str:
         parts = ", ".join(regex_to_string(node) for node in self.safe_subtrees) or "(none)"
@@ -69,16 +144,28 @@ class DecompositionPlan:
         )
 
 
-def plan_decomposition(spec: Specification, query: str | RegexNode) -> DecompositionPlan:
-    """Find the maximal safe subtrees of a query (top-down traversal)."""
+def plan_decomposition(
+    spec: Specification,
+    query: str | RegexNode,
+    *,
+    is_safe: Callable[[RegexNode], bool] | None = None,
+) -> DecompositionPlan:
+    """Find the maximal safe subtrees of a query (top-down traversal).
+
+    ``is_safe`` overrides the per-subtree safety probe; the shared
+    :class:`~repro.service.cache.IndexCache` passes its cached probe so the
+    safety analyses (and, for safe subtrees, the query indexes built from
+    them) land in the cache as a side effect of planning.
+    """
     root = parse_regex(query)
     plan = DecompositionPlan(spec=spec, root=root)
+    probe = is_safe if is_safe is not None else (lambda node: is_safe_query(spec, node))
     seen: set[RegexNode] = set()
 
     def visit(node: RegexNode) -> None:
         if node in seen:
             return
-        if is_safe_query(spec, node):
+        if probe(node):
             seen.add(node)
             plan.safe_subtrees.append(node)
             return
@@ -112,6 +199,180 @@ def worth_label_evaluation(node: RegexNode) -> bool:
     return False
 
 
+def label_routed_subtrees(
+    plan: DecompositionPlan, run: Run, *, cost_based_routing: bool = True
+) -> list[RegexNode]:
+    """The safe subtrees of the plan that the evaluator answers with the
+    labeling engine for the given run (the rest stay in the join/frontier
+    remainder).  Used by the benchmarks to report routing decisions."""
+    return [
+        node
+        for node in plan.safe_subtrees
+        if _should_use_labels(plan, run, node, cost_based_routing)
+    ]
+
+
+def _should_use_labels(
+    plan: DecompositionPlan, run: Run, node: RegexNode, cost_based_routing: bool
+) -> bool:
+    if not worth_label_evaluation(node):
+        return False
+    if not cost_based_routing:
+        return True
+    return plan.estimate_prefers_labels(run, node)
+
+
+# ---------------------------------------------------------------------------
+# Frontier strategy: macro-DFA product search with restriction pushdown
+# ---------------------------------------------------------------------------
+
+
+def _substitute_macros(
+    root: RegexNode, routed: Sequence[RegexNode]
+) -> tuple[RegexNode, dict[str, RegexNode]]:
+    """Replace every occurrence of the routed safe subtrees with a fresh
+    macro :class:`Symbol`; returns the rewritten tree and ``tag → subtree``."""
+    tags = {node: f"{_MACRO_PREFIX}{position}" for position, node in enumerate(routed)}
+
+    def rewrite(node: RegexNode) -> RegexNode:
+        tag = tags.get(node)
+        if tag is not None:
+            return Symbol(tag)
+        if isinstance(node, Concat):
+            return Concat(tuple(rewrite(part) for part in node.parts))
+        if isinstance(node, Union):
+            return Union(tuple(rewrite(part) for part in node.parts))
+        if isinstance(node, Star):
+            return Star(rewrite(node.child))
+        if isinstance(node, Plus):
+            return Plus(rewrite(node.child))
+        return node
+
+    return rewrite(root), {tag: node for node, tag in tags.items()}
+
+
+def _macro_dfa(plan: DecompositionPlan, rewritten: RegexNode, macro_tags: set[str]) -> DFA:
+    """The minimal DFA of the macro-rewritten query, memoized on the plan.
+
+    Wildcards expand only over the real tags (the specification's edge tags
+    plus the tags written in the query), never over the macro symbols.
+    """
+    key = regex_to_string(rewritten)
+    cached = plan._dfa_memo.get(key)
+    if cached is None:
+        if len(plan._dfa_memo) >= 16:  # one entry per routing variant; stay tiny
+            plan._dfa_memo.clear()
+        real_tags = set(plan.spec.tags) | {
+            tag for tag in regex_alphabet(plan.root) if not tag.startswith(_MACRO_PREFIX)
+        }
+        dfa = determinize(
+            nfa_from_regex(rewritten),
+            real_tags | macro_tags,
+            wildcard_tags=real_tags,
+        )
+        from repro.automata.minimize import minimize_dfa
+
+        cached = minimize_dfa(dfa)
+        plan._dfa_memo[key] = cached
+    return cached
+
+
+def _macro_successor_provider(
+    run: Run,
+    subtree: RegexNode,
+    indexes: IndexProvider,
+    allowed: frozenset[str] | None,
+    options: AllPairsOptions,
+) -> Callable[[str], tuple[str, ...]]:
+    """Lazy adjacency view of one safe subquery's relation, restricted to the
+    ``allowed`` universe.  The relation is label-decoded once, on the first
+    frontier expansion that actually crosses the macro edge."""
+    adjacency: dict[str, list[str]] | None = None
+
+    def successors(node: str) -> tuple[str, ...]:
+        nonlocal adjacency
+        if adjacency is None:
+            index = indexes(subtree)
+            universe = list(allowed) if allowed is not None else list(run.node_ids())
+            adjacency = {}
+            for u, v in all_pairs_iter(run, universe, universe, index, options):
+                adjacency.setdefault(u, []).append(v)
+        return tuple(adjacency.get(node, ()))
+
+    return successors
+
+
+def _frontier_pairs(
+    run: Run,
+    plan: DecompositionPlan,
+    l1: Sequence[str] | None,
+    l2: Sequence[str] | None,
+    allowed: frozenset[str] | None,
+    options: AllPairsOptions,
+    indexes: IndexProvider,
+    cost_based_routing: bool,
+) -> Iterator[tuple[str, str]]:
+    """Stream the answers of an unsafe query with one pruned product-DFA
+    frontier search per source (memory bounded by the ``allowed`` region,
+    never by the result set)."""
+    routed = label_routed_subtrees(plan, run, cost_based_routing=cost_based_routing)
+    rewritten, macro_map = (
+        _substitute_macros(plan.root, routed) if routed else (plan.root, {})
+    )
+    dfa = _macro_dfa(plan, rewritten, set(macro_map))
+    providers = {
+        tag: _macro_successor_provider(run, subtree, indexes, allowed, options)
+        for tag, subtree in macro_map.items()
+    }
+    sources = dict.fromkeys(l1 if l1 is not None else run.node_ids())
+    targets = None if l2 is None else set(l2)
+    for source in sources:
+        hits = product_frontier_targets(
+            run, dfa, source, allowed=allowed, macro_successors=providers or None
+        )
+        for target in hits if targets is None else hits & targets:
+            yield source, target
+
+
+# ---------------------------------------------------------------------------
+# Public evaluators
+# ---------------------------------------------------------------------------
+
+
+def _prepare(
+    run: Run,
+    query: str | RegexNode,
+    plan: DecompositionPlan | None,
+    index_provider: IndexProvider | None,
+) -> tuple[DecompositionPlan, IndexProvider]:
+    spec = run.spec
+    if plan is None:
+        plan = plan_decomposition(spec, parse_regex(query))
+    indexes = (
+        index_provider
+        if index_provider is not None
+        else (lambda node: build_query_index(spec, node))
+    )
+    return plan, indexes
+
+
+def _pick_strategy(
+    plan: DecompositionPlan,
+    run: Run,
+    l1: Sequence[str] | None,
+    allowed: frozenset[str] | None,
+) -> str:
+    """Frontier when the requested sources are selective enough that per-
+    source searches beat materializing the join remainder."""
+    if l1 is None and allowed is None:
+        return "join"
+    seeds = set(l1) if l1 is not None else set(allowed or ())
+    if allowed is not None:
+        seeds &= allowed
+    frontier_cost = estimate_frontier_search_cost(run, plan.root, len(seeds))
+    return "frontier" if frontier_cost <= estimate_join_cost(run, plan.root) else "join"
+
+
 def evaluate_general_query(
     run: Run,
     query: str | RegexNode,
@@ -122,14 +383,28 @@ def evaluate_general_query(
     use_reachability_filter: bool = True,
     vectorized: bool = True,
     cost_based_routing: bool = True,
+    index_provider: IndexProvider | None = None,
+    strategy: str = "auto",
+    push_restrictions: bool = True,
 ) -> NodePairs:
     """Answer a general all-pairs query, safe or not.
 
-    ``l1`` and ``l2`` default to all run nodes.  A precomputed ``plan`` (and
-    therefore its safety checks) may be supplied so benchmarks can separate
-    planning overhead from evaluation time.  ``vectorized`` toggles the
-    group-at-a-time state-vector decode of safe (sub)queries (see
-    :class:`~repro.core.allpairs.AllPairsOptions`).
+    ``l1`` and ``l2`` default to all run nodes and are pushed down into the
+    evaluation (see the module notes); ids absent from the run are ignored,
+    matching the semantics of restricting a whole-run result.  A precomputed
+    ``plan`` (and therefore its safety checks) may be supplied so benchmarks
+    can separate planning overhead from evaluation time; ``index_provider``
+    lets a shared cache supply the safe subqueries'
+    :class:`~repro.core.query_index.QueryIndex` objects.  ``vectorized``
+    toggles the group-at-a-time state-vector decode of safe (sub)queries
+    (see :class:`~repro.core.allpairs.AllPairsOptions`).
+
+    ``strategy`` selects how the unsafe remainder is evaluated: ``"frontier"``
+    (per-source product-DFA search), ``"join"`` (bottom-up relational
+    evaluation), or ``"auto"`` (cost-based choice).  ``push_restrictions=False``
+    disables the ``allowed``-universe pruning and restores the pre-pushdown
+    behaviour of evaluating over the whole run and restricting afterwards
+    (kept as the benchmarks' reference point).
 
     With ``cost_based_routing`` (the default) a maximal safe subquery is only
     sent to the labeling engine when the simple cost model of
@@ -140,37 +415,87 @@ def evaluate_general_query(
     to always use the labeling engine for safe subqueries (the paper's plain
     heuristic).
     """
-    spec = run.spec
-    root = parse_regex(query)
-    if plan is None:
-        plan = plan_decomposition(spec, root)
+    if strategy not in ("auto", "frontier", "join"):
+        raise ValueError(f"unknown strategy {strategy!r}; use 'auto', 'frontier' or 'join'")
+    plan, indexes = _prepare(run, query, plan, index_provider)
+    root = plan.root
     options = AllPairsOptions(
         use_reachability_filter=use_reachability_filter, vectorized=vectorized
     )
 
     if plan.is_fully_safe:
-        index = build_query_index(spec, root)
+        index = indexes(root)
         universe1 = list(l1) if l1 is not None else list(run.node_ids())
         universe2 = list(l2) if l2 is not None else list(run.node_ids())
         return all_pairs_safe_query(run, universe1, universe2, index, options)
 
+    allowed = restriction_universe(run, l1, l2) if push_restrictions else None
+    if strategy != "auto":
+        chosen = strategy
+    elif not push_restrictions:
+        # The flag is the pre-pushdown reference point: evaluate the whole
+        # run with joins and restrict afterwards, never route by seeds.
+        chosen = "join"
+    else:
+        chosen = _pick_strategy(plan, run, l1, allowed)
+
+    if chosen == "frontier":
+        return set(
+            _frontier_pairs(
+                run, plan, l1, l2, allowed, options, indexes, cost_based_routing
+            )
+        )
+
     safe_nodes = set(plan.safe_subtrees)
-    all_nodes = list(run.node_ids())
-
-    def should_use_labels(node: RegexNode) -> bool:
-        if not worth_label_evaluation(node):
-            return False
-        if not cost_based_routing:
-            return True
-        from repro.core.optimizer import estimate_join_cost, estimate_label_all_pairs_cost
-
-        return estimate_join_cost(run, node) > estimate_label_all_pairs_cost(run.node_count)
+    universe: list[str] | None = None
 
     def subquery_evaluator(node: RegexNode) -> NodePairs | None:
-        if node not in safe_nodes or not should_use_labels(node):
+        nonlocal universe
+        if node not in safe_nodes or not _should_use_labels(
+            plan, run, node, cost_based_routing
+        ):
             return None
-        index = build_query_index(spec, node)
-        return all_pairs_safe_query(run, all_nodes, all_nodes, index, options)
+        if universe is None:
+            universe = list(allowed) if allowed is not None else list(run.node_ids())
+        return all_pairs_safe_query(run, universe, universe, indexes(node), options)
 
-    relation = evaluate_regex_relation(run, root, subquery_evaluator=subquery_evaluator)
+    relation = evaluate_regex_relation(
+        run, root, subquery_evaluator=subquery_evaluator, allowed=allowed
+    )
     return restrict(relation, l1, l2)
+
+
+def evaluate_general_query_iter(
+    run: Run,
+    query: str | RegexNode,
+    l1: Sequence[str] | None = None,
+    l2: Sequence[str] | None = None,
+    *,
+    plan: DecompositionPlan | None = None,
+    use_reachability_filter: bool = True,
+    vectorized: bool = True,
+    cost_based_routing: bool = True,
+    index_provider: IndexProvider | None = None,
+    push_restrictions: bool = True,
+) -> Iterator[tuple[str, str]]:
+    """Stream the answers of a general all-pairs query, safe or not.
+
+    Safe queries stream straight out of the group-at-a-time evaluator.
+    Unsafe queries stream through the frontier strategy: one pruned
+    product-DFA search per source, so memory stays bounded by the nodes
+    reachable from ``l1`` (times the DFA size) plus the label-decoded
+    relations of the routed safe subqueries — never by the result set.
+    Each matching pair is yielded exactly once.  Planning and safety
+    analysis run eagerly, before the iterator is returned.
+    """
+    plan, indexes = _prepare(run, query, plan, index_provider)
+    options = AllPairsOptions(
+        use_reachability_filter=use_reachability_filter, vectorized=vectorized
+    )
+    if plan.is_fully_safe:
+        index = indexes(plan.root)
+        universe1 = list(l1) if l1 is not None else list(run.node_ids())
+        universe2 = list(l2) if l2 is not None else list(run.node_ids())
+        return all_pairs_iter(run, universe1, universe2, index, options)
+    allowed = restriction_universe(run, l1, l2) if push_restrictions else None
+    return _frontier_pairs(run, plan, l1, l2, allowed, options, indexes, cost_based_routing)

@@ -35,7 +35,7 @@ from repro.core.allpairs import (
 from repro.core.decomposition import (
     DecompositionPlan,
     evaluate_general_query,
-    plan_decomposition,
+    evaluate_general_query_iter,
 )
 from repro.core.pairwise import answer_pairwise_query, pairwise_reach_matrix
 from repro.core.query_index import QueryIndex
@@ -115,8 +115,18 @@ class ProvenanceQueryEngine:
         return self._cache.index(self._spec, query)
 
     def plan(self, query: str | RegexNode) -> DecompositionPlan:
-        """The safe-subtree decomposition plan of a (possibly unsafe) query."""
-        return plan_decomposition(self._spec, parse_regex(query))
+        """The safe-subtree decomposition plan of a (possibly unsafe) query.
+
+        Plans are cached in the shared :class:`IndexCache` (keyed by the
+        query's canonical form), so repeated unsafe queries are planned once
+        per specification; planning also warms the safe subqueries' safety
+        reports and indexes.
+        """
+        return self._cache.plan(self._spec, query)
+
+    def _subtree_index_provider(self):
+        """Safe-subquery indexes resolved through the shared cache."""
+        return lambda node: self._cache.index(self._spec, node)
 
     # -- pairwise queries ---------------------------------------------------------------
 
@@ -218,22 +228,48 @@ class ProvenanceQueryEngine:
         *,
         use_reachability_filter: bool = True,
         vectorized: bool = True,
+        strategy: str = "auto",
     ) -> set[tuple[str, str]]:
         """Answer any all-pairs query, safe or not.
 
         Safe queries go straight to Algorithm 2; unsafe queries are
-        decomposed into their maximal safe subqueries plus a join-based
-        remainder (Section IV-B).
+        decomposed into their maximal safe subqueries plus an unsafe
+        remainder (Section IV-B) evaluated with restriction pushdown: the
+        ``l1``/``l2`` lists bound every intermediate relation instead of
+        being applied to a whole-run result.  ``strategy`` routes the unsafe
+        remainder (``"auto"``, ``"frontier"``, or ``"join"``; see
+        :func:`~repro.core.decomposition.evaluate_general_query`).
         """
-        return set(
-            self.evaluate_iter(
+        if strategy not in ("auto", "frontier", "join"):
+            # Validate up front: safe queries never reach the decomposition
+            # engine, so a typo must not pass silently until a query happens
+            # to be unsafe.
+            raise ValueError(
+                f"unknown strategy {strategy!r}; use 'auto', 'frontier' or 'join'"
+            )
+        self._check_run(run)
+        node = parse_regex(query)
+        try:
+            self.query_index(node)
+        except UnsafeQueryError:
+            return evaluate_general_query(
                 run,
-                query,
+                node,
                 l1,
                 l2,
+                plan=self.plan(node),
                 use_reachability_filter=use_reachability_filter,
                 vectorized=vectorized,
+                index_provider=self._subtree_index_provider(),
+                strategy=strategy,
             )
+        return self.all_pairs(
+            run,
+            node,
+            l1,
+            l2,
+            use_reachability_filter=use_reachability_filter,
+            vectorized=vectorized,
         )
 
     def evaluate_iter(
@@ -249,25 +285,28 @@ class ProvenanceQueryEngine:
         """Stream the answers of any all-pairs query, safe or not.
 
         Safe queries stream straight out of the group-at-a-time evaluator
-        (constant memory); unsafe queries fall back to the decomposition
-        engine, whose join-based remainder materializes the result before
-        iteration starts.  Validation (run/spec match, parsing, safety) runs
-        eagerly, before the iterator is returned.
+        (constant memory).  Unsafe queries stream through the decomposition
+        engine's per-source frontier search: memory is bounded by the region
+        of the run reachable from ``l1`` (and co-reachable from ``l2``) plus
+        the routed safe subqueries' relations — never by the result set, and
+        never by materializing a whole-run relation.  Validation (run/spec
+        match, parsing, safety, planning) runs eagerly, before the iterator
+        is returned.
         """
         self._check_run(run)
         node = parse_regex(query)
         try:
             self.query_index(node)
         except UnsafeQueryError:
-            return iter(
-                evaluate_general_query(
-                    run,
-                    node,
-                    l1,
-                    l2,
-                    use_reachability_filter=use_reachability_filter,
-                    vectorized=vectorized,
-                )
+            return evaluate_general_query_iter(
+                run,
+                node,
+                l1,
+                l2,
+                plan=self.plan(node),
+                use_reachability_filter=use_reachability_filter,
+                vectorized=vectorized,
+                index_provider=self._subtree_index_provider(),
             )
         return self.all_pairs_iter(
             run,

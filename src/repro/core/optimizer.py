@@ -36,6 +36,7 @@ from repro.automata.regex import (
     Symbol,
     Union,
     parse_regex,
+    regex_size,
 )
 from repro.core.safety import is_safe_query
 from repro.datasets.index import EdgeTagIndex
@@ -49,6 +50,7 @@ __all__ = [
     "estimate_relation_size",
     "estimate_join_cost",
     "estimate_label_all_pairs_cost",
+    "estimate_frontier_search_cost",
 ]
 
 #: Relative cost of one label decode versus touching one indexed pair.
@@ -180,6 +182,22 @@ def estimate_join_cost(run: Run, node: RegexNode) -> float:
 
     cost, _ = visit(node)
     return cost
+
+
+def estimate_frontier_search_cost(run: Run, node: RegexNode, source_count: int) -> float:
+    """Rough estimate of the work of answering a general query with one
+    product-DFA frontier search per source
+    (:func:`repro.core.relations.product_frontier_targets`).
+
+    Each search visits at most every run edge once per DFA state; the DFA
+    state count is approximated by the query's syntax-tree size.  The
+    estimate deliberately ignores the ``allowed``-set pruning (it is a bound,
+    and keeping it pessimistic biases the router towards the join evaluator
+    for unrestricted queries, whose relations the pruning cannot shrink).
+    """
+    states = max(1.0, float(regex_size(node)))
+    per_source = (float(run.edge_count) + float(run.node_count)) * states
+    return float(max(0, source_count)) * per_source
 
 
 def estimate_label_all_pairs_cost(node_count: int) -> float:

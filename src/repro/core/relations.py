@@ -14,12 +14,29 @@ Relations are plain sets of ``(source node id, target node id)`` pairs, with
 adjacency dictionaries built on the fly for joins; the transitive closure
 uses semi-naive iteration.  Following the library-wide convention, the empty
 path is admitted: ``ε`` and ``e*`` relate every node of the run to itself.
+
+Two restriction-pushdown primitives let callers keep intermediate relations
+proportional to the *requested* node lists instead of the whole run:
+
+* ``restriction_universe`` computes the set of nodes that can lie on any
+  source-to-target path (forward-reachable from ``l1`` intersected with
+  backward-reachable from ``l2``), and every relation builder here accepts it
+  as an ``allowed`` filter — sound because every node of a matching path is
+  both reachable from its source and co-reachable from its target;
+* ``product_frontier_targets`` is a per-source frontier search over the
+  product of the run graph with a query DFA (the production generalization
+  of :mod:`repro.baselines.product_bfs`), pruned by the same ``allowed`` set
+  and extended with *macro transitions*: synthetic DFA symbols whose
+  successors come from an already-materialized relation (the decomposition
+  engine feeds the label-decoded relations of maximal safe subqueries
+  through this hook).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
+from repro.automata.dfa import DFA
 from repro.automata.regex import (
     AnySymbol,
     Concat,
@@ -41,20 +58,32 @@ __all__ = [
     "transitive_closure",
     "reflexive_transitive_closure",
     "restrict",
+    "forward_closure_nodes",
+    "backward_closure_nodes",
+    "restriction_universe",
+    "product_frontier_targets",
     "evaluate_regex_relation",
 ]
 
 NodePairs = set[tuple[str, str]]
 
 
-def tag_relation(run: Run, tag: str) -> NodePairs:
+def tag_relation(run: Run, tag: str, allowed: frozenset[str] | set[str] | None = None) -> NodePairs:
     """Pairs connected by a single edge with the given tag."""
-    return {(edge.source, edge.target) for edge in run.edges_by_tag.get(tag, ())}
+    return {
+        (edge.source, edge.target)
+        for edge in run.edges_by_tag.get(tag, ())
+        if allowed is None or (edge.source in allowed and edge.target in allowed)
+    }
 
 
-def all_edge_relation(run: Run) -> NodePairs:
+def all_edge_relation(run: Run, allowed: frozenset[str] | set[str] | None = None) -> NodePairs:
     """Pairs connected by a single edge of any tag (the wildcard ``_``)."""
-    return {(edge.source, edge.target) for edge in run.edges}
+    return {
+        (edge.source, edge.target)
+        for edge in run.edges
+        if allowed is None or (edge.source in allowed and edge.target in allowed)
+    }
 
 
 def identity_relation(nodes: Iterable[str]) -> NodePairs:
@@ -125,50 +154,179 @@ def restrict(
     }
 
 
+def forward_closure_nodes(run: Run, seeds: Iterable[str]) -> frozenset[str]:
+    """All nodes reachable from any seed, including the seeds themselves
+    (seed ids not present in the run are silently dropped)."""
+    result = {seed for seed in seeds if seed in run.nodes}
+    successors = run.successors
+    stack = list(result)
+    while stack:
+        node = stack.pop()
+        for target, _ in successors[node]:
+            if target not in result:
+                result.add(target)
+                stack.append(target)
+    return frozenset(result)
+
+
+def backward_closure_nodes(run: Run, seeds: Iterable[str]) -> frozenset[str]:
+    """All nodes that reach any seed, including the seeds themselves
+    (seed ids not present in the run are silently dropped)."""
+    result = {seed for seed in seeds if seed in run.nodes}
+    predecessors = run.predecessors
+    stack = list(result)
+    while stack:
+        node = stack.pop()
+        for source, _ in predecessors[node]:
+            if source not in result:
+                result.add(source)
+                stack.append(source)
+    return frozenset(result)
+
+
+def restriction_universe(
+    run: Run, l1: Sequence[str] | None, l2: Sequence[str] | None
+) -> frozenset[str] | None:
+    """The nodes that can lie on any path from ``l1`` to ``l2``.
+
+    Every node of a path from a source in ``l1`` to a target in ``l2`` is
+    reachable from that source and reaches that target, so the forward
+    closure of ``l1`` intersected with the backward closure of ``l2`` is a
+    sound universe for *every* intermediate relation of the query — the
+    restriction-pushdown filter.  ``None`` (either side, or the result when
+    both sides are ``None``) means unconstrained.
+    """
+    if l1 is None and l2 is None:
+        return None
+    forward = forward_closure_nodes(run, l1) if l1 is not None else None
+    backward = backward_closure_nodes(run, l2) if l2 is not None else None
+    if forward is None:
+        return backward
+    if backward is None:
+        return forward
+    return forward & backward
+
+
+def product_frontier_targets(
+    run: Run,
+    dfa: DFA,
+    source: str,
+    *,
+    allowed: frozenset[str] | set[str] | None = None,
+    macro_successors: Mapping[str, Callable[[str], Iterable[str]]] | None = None,
+) -> set[str]:
+    """All nodes ``v`` such that some path ``source ⤳ v`` is accepted.
+
+    A frontier search over the product of the run graph with the query DFA
+    (Mendelzon & Wood), with two production extensions over the baseline in
+    :mod:`repro.baselines.product_bfs`:
+
+    * states whose run node falls outside ``allowed`` are pruned (backward
+      pruning from the requested targets), and dead DFA states are never
+      enqueued, so the search touches only the useful region of the run;
+    * ``macro_successors[tag](node)`` supplies the successors of ``node``
+      under a synthetic *macro* symbol — an edge standing for a whole
+      relation (the decomposition engine maps each label-decoded safe
+      subquery to one macro symbol).  Wildcard transitions never match macro
+      symbols (see :func:`repro.automata.dfa.determinize`).
+
+    Memory is bounded by ``|reachable nodes| × |DFA states|``, never by the
+    run size.
+    """
+    if source not in run.nodes or (allowed is not None and source not in allowed):
+        return set()
+    successors = run.successors
+    accepting = dfa.accepting
+    transitions = dfa.transitions
+    dead = dfa.dead_state()
+    start_state = dfa.start
+    result: set[str] = set()
+    if start_state in accepting:
+        result.add(source)
+    seen = {(source, start_state)}
+    stack = [(source, start_state)]
+    while stack:
+        node, state = stack.pop()
+        row = transitions[state]
+        edges: Iterable[tuple[str, str]] = successors[node]
+        if macro_successors:
+            extra = [
+                (target, tag)
+                for tag, expand in macro_successors.items()
+                if row.get(tag, dead) != dead
+                for target in expand(node)
+            ]
+            if extra:
+                edges = list(edges) + extra
+        for target, tag in edges:
+            next_state = row.get(tag, dead)
+            if next_state is None or next_state == dead:
+                continue
+            if allowed is not None and target not in allowed:
+                continue
+            key = (target, next_state)
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.append(key)
+            if next_state in accepting:
+                result.add(target)
+    return result
+
+
 def evaluate_regex_relation(
     run: Run,
     node: RegexNode,
     *,
     subquery_evaluator=None,
+    allowed: frozenset[str] | set[str] | None = None,
 ) -> NodePairs:
     """Bottom-up join-based evaluation of a query over a run (Option G1).
 
     ``subquery_evaluator(node) -> NodePairs | None`` optionally intercepts
     subtrees (the decomposition engine passes a hook that answers *safe*
     subtrees with the labeling-based all-pairs algorithm and returns ``None``
-    for everything else).
+    for everything else).  ``allowed`` restricts every relation — leaves and
+    closures alike — to pairs inside a node universe (see
+    :func:`restriction_universe`), which bounds peak relation size by that
+    universe instead of the run.
     """
     if subquery_evaluator is not None:
         shortcut = subquery_evaluator(node)
         if shortcut is not None:
             return shortcut
+    universe = allowed if allowed is not None else run.node_ids()
     if isinstance(node, Epsilon):
-        return identity_relation(run.node_ids())
+        return identity_relation(universe)
     if isinstance(node, Symbol):
-        return tag_relation(run, node.tag)
+        return tag_relation(run, node.tag, allowed)
     if isinstance(node, AnySymbol):
-        return all_edge_relation(run)
+        return all_edge_relation(run, allowed)
     if isinstance(node, Concat):
         relation: NodePairs | None = None
         for part in node.parts:
             part_relation = evaluate_regex_relation(
-                run, part, subquery_evaluator=subquery_evaluator
+                run, part, subquery_evaluator=subquery_evaluator, allowed=allowed
             )
             relation = part_relation if relation is None else compose(relation, part_relation)
             if not relation:
                 return set()
-        return relation if relation is not None else identity_relation(run.node_ids())
+        return relation if relation is not None else identity_relation(universe)
     if isinstance(node, Union):
         result: NodePairs = set()
         for part in node.parts:
             result |= evaluate_regex_relation(
-                run, part, subquery_evaluator=subquery_evaluator
+                run, part, subquery_evaluator=subquery_evaluator, allowed=allowed
             )
         return result
     if isinstance(node, Star):
-        inner = evaluate_regex_relation(run, node.child, subquery_evaluator=subquery_evaluator)
-        return reflexive_transitive_closure(inner, run.node_ids())
+        inner = evaluate_regex_relation(
+            run, node.child, subquery_evaluator=subquery_evaluator, allowed=allowed
+        )
+        return reflexive_transitive_closure(inner, universe)
     if isinstance(node, Plus):
-        inner = evaluate_regex_relation(run, node.child, subquery_evaluator=subquery_evaluator)
+        inner = evaluate_regex_relation(
+            run, node.child, subquery_evaluator=subquery_evaluator, allowed=allowed
+        )
         return transitive_closure(inner)
     raise TypeError(f"unknown regex node {node!r}")

@@ -13,10 +13,14 @@ text)``:
   makes syntactically different but equivalent spellings (``a|b`` vs
   ``b|a``, redundant parentheses, ``(e*)*``) hit the same entry.
 
-One entry stores both the :class:`~repro.core.safety.SafetyReport` and — for
-safe queries — the :class:`~repro.core.query_index.QueryIndex` built from it,
-so a safety probe followed by an index build runs the DFA pipeline once.
+One entry stores the :class:`~repro.core.safety.SafetyReport`, — for safe
+queries — the :class:`~repro.core.query_index.QueryIndex` built from it, and
+— on demand — the :class:`~repro.core.decomposition.DecompositionPlan`, so a
+safety probe followed by an index build runs the DFA pipeline once and an
+unsafe query is planned once per specification instead of once per request.
 Unsafe verdicts are cached too: re-asking about an unsafe query is a hit.
+Planning probes subtree safety through the cache itself, so the safe
+subqueries' reports and indexes land in the cache as a side effect.
 
 The cache is bounded by entry count and, optionally, by total "cost" (the
 sum of ``|Q|²`` over cached DFAs — a proxy for the boolean-matrix memory an
@@ -31,7 +35,13 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.automata.regex import RegexNode, canonical_query_text, parse_regex
+from repro.automata.regex import (
+    RegexNode,
+    canonical_query_text,
+    canonicalize_regex,
+    parse_regex,
+)
+from repro.core.decomposition import DecompositionPlan, plan_decomposition
 from repro.core.query_index import QueryIndex
 from repro.core.safety import SafetyReport, analyze_safety, query_dfa
 from repro.errors import UnsafeQueryError
@@ -51,6 +61,7 @@ class CacheStats:
     evictions: int = 0
     index_builds: int = 0
     safety_checks: int = 0
+    plan_builds: int = 0
     entries: int = 0
     total_cost: int = 0
 
@@ -74,11 +85,13 @@ class CacheStats:
 
 @dataclass
 class _Entry:
-    """One cached query: its safety report and (when safe) its index."""
+    """One cached query: its safety report, (when safe) its index, and (once
+    requested) its decomposition plan."""
 
     report: SafetyReport
     index: QueryIndex | None
     cost: int
+    plan: DecompositionPlan | None = None
 
 
 class IndexCache:
@@ -111,6 +124,7 @@ class IndexCache:
         self._evictions = 0
         self._index_builds = 0
         self._safety_checks = 0
+        self._plan_builds = 0
 
     # -- keys --------------------------------------------------------------------
 
@@ -141,6 +155,34 @@ class IndexCache:
                 f"{sorted({violation.module for violation in report.violations})}"
             )
         return entry.index
+
+    def plan(self, spec: Specification, query: str | RegexNode) -> DecompositionPlan:
+        """The (cached) safe-subtree decomposition plan of a query.
+
+        The plan is built from the query's canonical form (so equivalent
+        spellings share one plan) and memoizes its own cost-routing and macro
+        DFAs, which is what lets a service answer repeated unsafe queries
+        without re-planning.  Subtree safety is probed through this cache, so
+        planning also warms the safe subqueries' reports and indexes.
+        """
+        node = parse_regex(query)
+        plan = self._lookup(spec, node).plan
+        if plan is None:
+            plan = plan_decomposition(
+                spec,
+                canonicalize_regex(node),
+                is_safe=lambda subtree: self.safety(spec, subtree).is_safe,
+            )
+            # Planning probed subtrees through the cache, which may have
+            # evicted the root's entry in a tightly bounded cache — re-fetch
+            # so the plan is attached to the entry that is actually cached.
+            entry = self._lookup(spec, node)
+            with self._lock:
+                self._plan_builds += 1
+                # Benign race: concurrent builders produce equivalent plans
+                # and the last one wins.
+                entry.plan = plan
+        return plan
 
     def prepare(self, spec: Specification, query: str | RegexNode) -> None:
         """Ensure the query's entry (safety report plus, when safe, its
@@ -245,6 +287,7 @@ class IndexCache:
                 evictions=self._evictions,
                 index_builds=self._index_builds,
                 safety_checks=self._safety_checks,
+                plan_builds=self._plan_builds,
                 entries=len(self._entries),
                 total_cost=self._total_cost,
             )

@@ -30,7 +30,9 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
+from repro.core.decomposition import label_routed_subtrees
 from repro.core.engine import ProvenanceQueryEngine
+from repro.errors import ReproError
 from repro.service.cache import CacheStats, IndexCache
 from repro.service.requests import (
     BatchFormatError,
@@ -40,7 +42,6 @@ from repro.service.requests import (
 )
 from repro.workflow.run import Run
 from repro.workflow.serialization import load_run
-from repro.workflow.spec import Specification
 
 __all__ = ["QueryService"]
 
@@ -130,19 +131,47 @@ class QueryService:
     def cache_stats(self) -> CacheStats:
         return self._cache.stats
 
-    def warm(self, run_id: str, queries: Iterable[str]) -> None:
-        """Pre-build the indexes of the given queries for a run's grammar."""
-        spec = self.get_run(run_id).spec
-        for query in queries:
-            self._probe(spec, query)
+    def warm(self, run_id: str, queries: Iterable[str]) -> dict[str, str]:
+        """Pre-build the per-query state of the given queries for a run's
+        grammar and report what happened, query by query.
 
-    def _probe(self, spec: Specification, query: str) -> None:
-        """Touch the cache for one query, ignoring per-query failures (they
-        resurface as error results when the query is actually evaluated)."""
+        Safe queries get their :class:`~repro.core.query_index.QueryIndex`
+        cached; unsafe queries get their decomposition plan cached plus the
+        indexes of exactly the safe subqueries the evaluator's cost routing
+        will send to the labeling engine on this run, so the first real
+        request pays no per-query build either way.  The returned mapping
+        holds one status per query: ``"safe"``, ``"unsafe: ..."``, or
+        ``"error: ..."`` for queries the library rejects (typos included —
+        only :class:`~repro.errors.ReproError` is caught, anything else is a
+        bug and propagates).
+        """
+        run = self.get_run(run_id)
+        return {query: self._probe(run, query) for query in queries}
+
+    def _probe(self, run: Run, query: str) -> str:
+        """Warm the cache for one query and describe the outcome.
+
+        Expected per-query failures (:class:`~repro.errors.ReproError`:
+        syntax errors, bad queries) become an ``"error: ..."`` status — they
+        resurface as error results when the query is actually evaluated —
+        while unexpected exceptions propagate instead of being swallowed.
+        """
+        spec = run.spec
         try:
-            self._cache.prepare(spec, query)
-        except Exception:
-            pass
+            if self._cache.safety(spec, query).is_safe:
+                self._cache.index(spec, query)
+                return "safe"
+            plan = self._cache.plan(spec, query)
+            routed = label_routed_subtrees(plan, run)
+            for subtree in routed:
+                self._cache.index(spec, subtree)
+            warmed = len(routed)
+            return (
+                f"unsafe: plan cached, {warmed} safe "
+                f"subquer{'y' if warmed == 1 else 'ies'} warmed"
+            )
+        except ReproError as error:
+            return f"error: {error}"
 
     # -- evaluation --------------------------------------------------------------
 
@@ -191,6 +220,9 @@ class QueryService:
         Unlike :meth:`execute`, the pairs are yielded as the evaluator finds
         them (unsorted, each exactly once) without materializing the result
         set, so callers can cap, paginate or pipe arbitrarily large answers.
+        Unsafe queries stream too, through the decomposition engine's
+        per-source frontier search (memory bounded by the reachable region,
+        not the result — see :meth:`ProvenanceQueryEngine.evaluate_iter`).
         Failures raise instead of becoming error results, since there is no
         result record to carry them; request validation, run lookup, query
         parsing and the safety check all happen eagerly, before the first
@@ -218,23 +250,28 @@ class QueryService:
 
     def _prebuild(self, batch: Sequence[QueryRequest], pool: ThreadPoolExecutor) -> None:
         """Build each distinct ``(spec, canonical query)`` of the batch once."""
-        work: dict[tuple[str, str], tuple[Specification, str]] = {}
+        work: dict[tuple[str, str], tuple[Run, str]] = {}
         for request in batch:
             if request.query is None:
                 continue
             try:
-                spec = self.get_run(request.run).spec
-                key = IndexCache.key_for(spec, request.query)
+                run = self.get_run(request.run)
+                key = IndexCache.key_for(run.spec, request.query)
             except Exception:
                 continue  # unknown run / unparsable query: reported per request
             if key not in work and not self._cache.contains_key(key):
-                work[key] = (spec, request.query)
+                work[key] = (run, request.query)
         if not work:
             return
         for future in [
-            pool.submit(self._probe, spec, query) for spec, query in work.values()
+            pool.submit(self._probe, run, query) for run, query in work.values()
         ]:
-            future.result()
+            try:
+                future.result()
+            except Exception:
+                # Pre-building is best-effort: whatever went wrong resurfaces
+                # as that request's error result during evaluation.
+                pass
 
     def _execute(self, request: QueryRequest, position: int) -> QueryResult:
         request_id = request.request_id if request.request_id is not None else str(position)
@@ -274,7 +311,9 @@ class QueryService:
                         use_reachability_filter=request.use_reachability_filter,
                     )
             else:  # allpairs — the only remaining validated op
-                matches = engine.evaluate_iter(
+                # Materializing anyway, so let evaluate() cost-route the
+                # unsafe remainder instead of forcing the streaming path.
+                matches = engine.evaluate(
                     run,
                     request.query,
                     list(request.sources) if request.sources is not None else None,

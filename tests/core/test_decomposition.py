@@ -4,12 +4,26 @@ import pytest
 
 from repro.automata.regex import parse_regex
 from repro.baselines.product_bfs import product_bfs_all_pairs
-from repro.core.decomposition import evaluate_general_query, plan_decomposition
+from repro.core.decomposition import (
+    evaluate_general_query,
+    evaluate_general_query_iter,
+    label_routed_subtrees,
+    plan_decomposition,
+)
 from repro.core.safety import is_safe_query
 from repro.datasets.paper_example import paper_run, paper_specification
 from repro.datasets.queries import generate_query_suite
 from repro.datasets.synthetic import generate_synthetic_specification
 from repro.workflow.derivation import derive_run
+
+UNSAFE_QUERIES = [
+    "_* a _*",          # the paper's canonical unsafe query
+    "e",                # R4
+    "e e",              # unsafe concatenation
+    "_* a _* e _*",     # unsafe IFQ
+    "(c | e) _*",       # union with unsafe parts
+    "a* e",             # unsafe star then tag
+]
 
 
 class TestPlanning:
@@ -47,17 +61,7 @@ class TestEvaluation:
         expected = product_bfs_all_pairs(run, None, None, "_* e _*")
         assert result == expected
 
-    @pytest.mark.parametrize(
-        "query",
-        [
-            "_* a _*",          # the paper's canonical unsafe query
-            "e",                # R4
-            "e e",              # unsafe concatenation
-            "_* a _* e _*",     # unsafe IFQ
-            "(c | e) _*",       # union with unsafe parts
-            "a* e",             # unsafe star then tag
-        ],
-    )
+    @pytest.mark.parametrize("query", UNSAFE_QUERIES)
     def test_unsafe_queries_match_oracle(self, query):
         run = paper_run(recursion_depth=3)
         assert not is_safe_query(run.spec, query)
@@ -94,3 +98,113 @@ class TestEvaluation:
             result = evaluate_general_query(run, query)
             expected = product_bfs_all_pairs(run, None, None, query)
             assert result == expected, f"mismatch for {query!r}"
+
+
+class TestRestrictionPushdown:
+    @pytest.mark.parametrize("query", UNSAFE_QUERIES)
+    @pytest.mark.parametrize("strategy", ["auto", "frontier", "join"])
+    def test_strategies_agree_with_oracle_on_lists(self, query, strategy):
+        run = paper_run(recursion_depth=3)
+        nodes = list(run.node_ids())
+        l1 = nodes[:4]
+        l2 = nodes[2:10]
+        expected = product_bfs_all_pairs(run, l1, l2, query)
+        result = evaluate_general_query(run, query, l1, l2, strategy=strategy)
+        assert result == expected
+
+    @pytest.mark.parametrize("query", UNSAFE_QUERIES)
+    def test_iter_streams_each_pair_once(self, query):
+        run = paper_run(recursion_depth=3)
+        nodes = list(run.node_ids())
+        l1 = nodes[:5]
+        streamed = list(evaluate_general_query_iter(run, query, l1, None))
+        assert len(streamed) == len(set(streamed))
+        assert set(streamed) == product_bfs_all_pairs(run, l1, None, query)
+
+    def test_duplicate_ids_do_not_duplicate_pairs(self):
+        run = paper_run(recursion_depth=2)
+        nodes = list(run.node_ids())
+        l1 = [nodes[0], nodes[1], nodes[0], nodes[1]]
+        l2 = [nodes[2], nodes[2], nodes[3]]
+        expected = product_bfs_all_pairs(run, l1, l2, "_* a _*")
+        for strategy in ("auto", "frontier", "join"):
+            assert evaluate_general_query(run, "_* a _*", l1, l2, strategy=strategy) == expected
+        streamed = list(evaluate_general_query_iter(run, "_* a _*", l1, l2))
+        assert len(streamed) == len(set(streamed))
+        assert set(streamed) == expected
+
+    def test_empty_lists_give_empty_answers(self):
+        run = paper_run()
+        some = list(run.node_ids())[:3]
+        for strategy in ("auto", "frontier", "join"):
+            assert evaluate_general_query(run, "_* a _*", [], None, strategy=strategy) == set()
+            assert evaluate_general_query(run, "_* a _*", some, [], strategy=strategy) == set()
+        assert list(evaluate_general_query_iter(run, "_* a _*", [], [])) == []
+
+    def test_ids_absent_from_run_are_ignored(self):
+        # The pre-pushdown evaluator restricted a whole-run relation, so
+        # unknown ids silently matched nothing; pushdown keeps that contract.
+        run = paper_run()
+        ghosts = ["no-such-node", "also-missing"]
+        some = list(run.node_ids())[:3]
+        for strategy in ("auto", "frontier", "join"):
+            assert evaluate_general_query(run, "_* a _*", ghosts, None, strategy=strategy) == set()
+            mixed = evaluate_general_query(
+                run, "_* a _*", some + ghosts, None, strategy=strategy
+            )
+            assert mixed == product_bfs_all_pairs(run, some, None, "_* a _*")
+
+    def test_unknown_strategy_rejected(self):
+        run = paper_run()
+        with pytest.raises(ValueError):
+            evaluate_general_query(run, "_* a _*", strategy="magic")
+
+    def test_engine_rejects_unknown_strategy_even_for_safe_queries(self):
+        from repro.core.engine import ProvenanceQueryEngine
+
+        run = paper_run()
+        engine = ProvenanceQueryEngine(run.spec)
+        with pytest.raises(ValueError):
+            engine.evaluate(run, "_* e _*", strategy="magic")
+
+    def test_push_restrictions_off_restores_old_behaviour(self):
+        run = paper_run(recursion_depth=3)
+        nodes = list(run.node_ids())
+        l1, l2 = nodes[:4], nodes[3:9]
+        old = evaluate_general_query(
+            run, "_* a _*", l1, l2, strategy="join", push_restrictions=False
+        )
+        assert old == evaluate_general_query(run, "_* a _*", l1, l2)
+
+    def test_push_restrictions_off_never_routes_auto_to_frontier(self):
+        # push_restrictions=False is the pre-pushdown reference point, so the
+        # auto router must take the join path (the frontier strategy would
+        # build a macro DFA, which lands in the plan's memo).
+        run = paper_run(recursion_depth=3)
+        plan = plan_decomposition(run.spec, "(A)+ . e")
+        evaluate_general_query(
+            run, "(A)+ . e", list(run.node_ids())[:2], None,
+            plan=plan, push_restrictions=False, cost_based_routing=False,
+        )
+        assert plan._dfa_memo == {}
+
+    def test_cost_routing_memoized_on_plan(self):
+        run = paper_run(recursion_depth=3)
+        plan = plan_decomposition(run.spec, "(A)+ . e")
+        first = label_routed_subtrees(plan, run)
+        memo_size = len(plan._routing_memo)
+        assert memo_size > 0
+        second = label_routed_subtrees(plan, run)
+        assert first == second
+        assert len(plan._routing_memo) == memo_size  # second pass hit the memo
+
+    def test_macro_dfa_memoized_on_plan(self):
+        run = paper_run(recursion_depth=2)
+        plan = plan_decomposition(run.spec, "(A)+ . e")
+        evaluate_general_query(run, "(A)+ . e", plan=plan, strategy="frontier",
+                               cost_based_routing=False)
+        assert len(plan._dfa_memo) == 1
+        dfa = next(iter(plan._dfa_memo.values()))
+        evaluate_general_query(run, "(A)+ . e", plan=plan, strategy="frontier",
+                               cost_based_routing=False)
+        assert next(iter(plan._dfa_memo.values())) is dfa

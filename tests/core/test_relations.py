@@ -1,0 +1,118 @@
+"""Tests for the restriction-pushdown primitives of :mod:`repro.core.relations`."""
+
+from repro.automata.regex import parse_regex
+from repro.baselines.product_bfs import product_dfa
+from repro.core.relations import (
+    backward_closure_nodes,
+    evaluate_regex_relation,
+    forward_closure_nodes,
+    product_frontier_targets,
+    restrict,
+    restriction_universe,
+)
+from repro.datasets.paper_example import paper_run
+
+
+class TestClosures:
+    def test_forward_closure_includes_seeds(self):
+        run = paper_run()
+        seed = run.node_ids()[0]
+        closure = forward_closure_nodes(run, [seed])
+        assert seed in closure
+        assert closure == run.reachable_from(seed) | {seed}
+
+    def test_backward_closure_inverts_forward(self):
+        run = paper_run()
+        nodes = run.node_ids()
+        for target in nodes[:6]:
+            backward = backward_closure_nodes(run, [target])
+            for source in nodes:
+                assert (source in backward) == (
+                    target in forward_closure_nodes(run, [source])
+                )
+
+    def test_unknown_seed_ids_are_dropped(self):
+        run = paper_run()
+        assert forward_closure_nodes(run, ["no-such-node"]) == frozenset()
+        assert backward_closure_nodes(run, ["no-such-node"]) == frozenset()
+
+    def test_restriction_universe(self):
+        run = paper_run()
+        nodes = run.node_ids()
+        assert restriction_universe(run, None, None) is None
+        assert restriction_universe(run, [nodes[0]], None) == forward_closure_nodes(
+            run, [nodes[0]]
+        )
+        assert restriction_universe(run, None, [nodes[-1]]) == backward_closure_nodes(
+            run, [nodes[-1]]
+        )
+        both = restriction_universe(run, [nodes[0]], [nodes[-1]])
+        assert both == forward_closure_nodes(run, [nodes[0]]) & backward_closure_nodes(
+            run, [nodes[-1]]
+        )
+
+
+class TestAllowedPruning:
+    def test_relation_stays_inside_allowed(self):
+        run = paper_run(recursion_depth=3)
+        source = run.node_ids()[0]
+        allowed = forward_closure_nodes(run, [source])
+        for query in ("_*", "_* a _*", "(c | e) _*", "a* e"):
+            relation = evaluate_regex_relation(run, parse_regex(query), allowed=allowed)
+            assert all(u in allowed and v in allowed for u, v in relation)
+
+    def test_allowed_pruning_preserves_restricted_answers(self):
+        run = paper_run(recursion_depth=3)
+        l1 = list(run.node_ids())[:4]
+        l2 = list(run.node_ids())[2:10]
+        allowed = restriction_universe(run, l1, l2)
+        for query in ("_*", "_* a _*", "e e", "a* e"):
+            node = parse_regex(query)
+            full = restrict(evaluate_regex_relation(run, node), l1, l2)
+            pruned = restrict(evaluate_regex_relation(run, node, allowed=allowed), l1, l2)
+            assert full == pruned
+
+
+class TestFrontierSearch:
+    def test_matches_unpruned_search(self):
+        run = paper_run(recursion_depth=3)
+        dfa = product_dfa(run, "_* a _*")
+        targets = set(run.node_ids())
+        for source in run.node_ids():
+            hits = product_frontier_targets(run, dfa, source)
+            allowed = forward_closure_nodes(run, [source])
+            pruned = product_frontier_targets(run, dfa, source, allowed=allowed)
+            assert hits <= targets
+            assert pruned == hits  # forward closure never cuts real answers
+
+    def test_unknown_or_disallowed_source_is_empty(self):
+        run = paper_run()
+        dfa = product_dfa(run, "_*")
+        assert product_frontier_targets(run, dfa, "no-such-node") == set()
+        some = run.node_ids()[0]
+        assert product_frontier_targets(run, dfa, some, allowed=frozenset()) == set()
+
+    def test_nullable_query_accepts_source_itself(self):
+        run = paper_run()
+        dfa = product_dfa(run, "_*")
+        source = run.node_ids()[0]
+        assert source in product_frontier_targets(run, dfa, source)
+
+    def test_macro_transitions_follow_supplied_relation(self):
+        run = paper_run(recursion_depth=2)
+        # A DFA for the single macro symbol M: exactly one macro edge.
+        from repro.automata.dfa import determinize
+        from repro.automata.nfa import nfa_from_regex
+        from repro.automata.regex import Symbol
+
+        macro = "\x00M"
+        dfa = determinize(nfa_from_regex(Symbol(macro)), set(run.tags()) | {macro},
+                          wildcard_tags=set(run.tags()))
+        relation = {}
+        nodes = list(run.node_ids())
+        relation[nodes[0]] = (nodes[3], nodes[4])
+        hits = product_frontier_targets(
+            run, dfa, nodes[0],
+            macro_successors={macro: lambda node: relation.get(node, ())},
+        )
+        assert hits == {nodes[3], nodes[4]}

@@ -9,9 +9,14 @@ import networkx
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.automata.regex import parse_regex
 from repro.baselines.product_bfs import product_bfs_all_pairs, product_bfs_pairwise
-from repro.core.decomposition import evaluate_general_query
+from repro.core.decomposition import (
+    evaluate_general_query,
+    evaluate_general_query_iter,
+)
 from repro.core.engine import ProvenanceQueryEngine
+from repro.core.relations import evaluate_regex_relation, restrict
 from repro.core.safety import is_safe_query
 from repro.datasets.paper_example import paper_specification
 from repro.datasets.synthetic import generate_synthetic_specification
@@ -63,6 +68,27 @@ def spec_run_query(draw):
     return spec, run, query
 
 
+@st.composite
+def restricted_spec_run_query(draw):
+    """A (spec, run, query, l1, l2) tuple where the node lists exercise the
+    restriction-pushdown edge cases: ``None``, empty lists, duplicate ids,
+    and lists disjoint from the answer."""
+    spec, run, query = draw(spec_run_query())
+    nodes = list(run.node_ids())
+
+    def node_list():
+        kind = draw(st.integers(0, 4))
+        if kind == 0:
+            return None
+        if kind == 1:
+            return []
+        count = draw(st.integers(1, 8))
+        # Sampling with replacement: duplicates are likely and deliberate.
+        return [nodes[draw(st.integers(0, len(nodes) - 1))] for _ in range(count)]
+
+    return spec, run, query, node_list(), node_list()
+
+
 class TestEngineAgainstOracle:
     @given(spec_run_query())
     @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.data_too_large])
@@ -70,6 +96,21 @@ class TestEngineAgainstOracle:
         spec, run, query = data
         expected = product_bfs_all_pairs(run, None, None, query)
         assert evaluate_general_query(run, query) == expected
+
+    @given(restricted_spec_run_query())
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.data_too_large])
+    def test_restricted_evaluation_matches_naive_restrict(self, data):
+        """Every strategy of the restriction-pushdown evaluator — and the
+        streaming iterator — must match evaluating the whole run with plain
+        G1 joins and restricting afterwards."""
+        spec, run, query, l1, l2 = data
+        naive = restrict(evaluate_regex_relation(run, parse_regex(query)), l1, l2)
+        for strategy in ("auto", "frontier", "join"):
+            got = evaluate_general_query(run, query, l1, l2, strategy=strategy)
+            assert got == naive, f"{strategy} diverged for {query!r}"
+        streamed = list(evaluate_general_query_iter(run, query, l1, l2))
+        assert len(streamed) == len(set(streamed))
+        assert set(streamed) == naive
 
     @given(spec_run_query(), st.integers(0, 10_000))
     @settings(max_examples=40, deadline=None)

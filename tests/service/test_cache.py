@@ -64,6 +64,48 @@ class TestLookups:
         assert cache.stats.lookups == 1
 
 
+class TestPlans:
+    def test_plan_cached_per_canonical_query(self, spec):
+        cache = IndexCache()
+        first = cache.plan(spec, "_* a _*")
+        second = cache.plan(spec, "(_)* . a . (_)*")
+        assert first is second
+        assert cache.stats.plan_builds == 1
+        assert not first.is_fully_safe
+
+    def test_plan_for_safe_query_is_fully_safe(self, spec):
+        cache = IndexCache()
+        plan = cache.plan(spec, "_* e _*")
+        assert plan.is_fully_safe
+
+    def test_planning_warms_safe_subquery_entries(self, spec):
+        cache = IndexCache()
+        plan = cache.plan(spec, "(A)+ . e")
+        assert not plan.is_fully_safe
+        # The safe subtree's safety analysis (and index) landed in the cache
+        # as a side effect of planning: probing it again is a pure hit.
+        hits_before = cache.stats.hits
+        cache.index(spec, "A+")
+        assert cache.stats.hits == hits_before + 1
+
+    def test_plan_entry_survives_repeated_lookups(self, spec):
+        cache = IndexCache()
+        plan = cache.plan(spec, "_* a _*")
+        cache.safety(spec, "_* a _*")
+        assert cache.plan(spec, "_* a _*") is plan
+        assert cache.stats.plan_builds == 1
+
+    def test_plan_sticks_even_when_probing_evicts_the_entry(self, spec):
+        # Planning probes subtree safety through the cache; in a tightly
+        # bounded cache those probes can evict the root query's own entry.
+        # The plan must still end up attached to a live entry so repeated
+        # requests do not re-plan forever.
+        cache = IndexCache(max_entries=2)
+        cache.plan(spec, "_* a _*")
+        cache.plan(spec, "_* a _*")
+        assert cache.stats.plan_builds == 1
+
+
 class TestBounds:
     def test_entry_bound_evicts_least_recently_used(self, spec):
         cache = IndexCache(max_entries=2)

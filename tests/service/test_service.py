@@ -179,11 +179,31 @@ class TestBatchEvaluation:
             service.stream_pairs({"op": "allpairs", "run": "nope", "query": "A+"})
 
     def test_warm_prebuilds_indexes(self, service):
-        service.warm("r1", ["_* e _*", "A+"])
+        report = service.warm("r1", ["_* e _*", "A+"])
+        assert report == {"_* e _*": "safe", "A+": "safe"}
         stats = service.cache_stats
         assert stats.index_builds == 2
         service.warm("r1", ["(_* e _*)", "A+"])
         assert service.cache_stats.index_builds == 2
+
+    def test_warm_unsafe_query_caches_plan_and_subqueries(self, service):
+        report = service.warm("r1", ["(A)+ . e"])
+        assert report["(A)+ . e"].startswith("unsafe: plan cached")
+        assert service.cache_stats.plan_builds == 1
+        # The plan and its safe subquery index are hot: evaluating the query
+        # neither re-plans nor rebuilds indexes.
+        builds = service.cache_stats.index_builds
+        result = service.execute({"op": "allpairs", "run": "r1", "query": "(A)+ . e"})
+        assert result.ok
+        assert service.cache_stats.plan_builds == 1
+        assert service.cache_stats.index_builds == builds
+
+    def test_warm_reports_bad_queries_instead_of_swallowing(self, service):
+        report = service.warm("r1", ["_* e _*", "((("])
+        assert report["_* e _*"] == "safe"
+        assert report["((("].startswith("error: ")
+        # A typo'd query is reported, not silently ignored.
+        assert "(((" in report
 
     def test_describe(self, service):
         text = service.describe()
