@@ -40,11 +40,13 @@ from repro.errors import (
     QuerySyntaxError,
     ReproError,
     SpecificationError,
+    StoreError,
     StructureError,
     UnsafeQueryError,
     UnsupportedQueryError,
 )
 from repro.service import CacheStats, IndexCache, QueryRequest, QueryResult, QueryService
+from repro.store import IndexStore
 from repro.workflow.derivation import Derivation, derive_run
 from repro.workflow.run import Run
 from repro.workflow.simple import Edge, SimpleWorkflow
@@ -58,6 +60,7 @@ __all__ = [
     "DerivationError",
     "Edge",
     "IndexCache",
+    "IndexStore",
     "LabelError",
     "Production",
     "ProvenanceQueryEngine",
@@ -72,6 +75,7 @@ __all__ = [
     "SimpleWorkflow",
     "Specification",
     "SpecificationError",
+    "StoreError",
     "StructureError",
     "UnsafeQueryError",
     "UnsupportedQueryError",

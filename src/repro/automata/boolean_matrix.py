@@ -73,6 +73,22 @@ class BooleanMatrix:
         """Build a matrix from a (partial) function ``row -> column``."""
         return cls.from_pairs(size, mapping.items())
 
+    @classmethod
+    def from_rows(cls, rows: Sequence[int]) -> "BooleanMatrix":
+        """Rebuild a matrix from :meth:`to_rows` output (the matrix is square,
+        so the size is the row count)."""
+        return cls(len(rows), [int(row) for row in rows])
+
+    # -- serialization -------------------------------------------------------
+
+    def to_rows(self) -> list[int]:
+        """The rows as a JSON-ready list of integer bitmasks.
+
+        Python integers serialize losslessly at any size, so this round-trips
+        matrices of arbitrary dimension (see :mod:`repro.store`).
+        """
+        return list(self._rows)
+
     # -- basic queries -------------------------------------------------------
 
     @property

@@ -119,6 +119,43 @@ class DFA:
                     stack.append(target)
         return frozenset(seen)
 
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-ready representation (inverse of :meth:`from_dict`).
+
+        Tags are kept verbatim — including the NUL-prefixed macro symbols of
+        the decomposition engine, which JSON strings carry fine — so stored
+        macro DFAs round-trip exactly.
+        """
+        return {
+            "state_count": self.state_count,
+            "alphabet": sorted(self.alphabet),
+            "transitions": [
+                {tag: row[tag] for tag in sorted(row)} for row in self.transitions
+            ],
+            "start": self.start,
+            "accepting": sorted(self.accepting),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "DFA":
+        """Rebuild a DFA from :meth:`to_dict` output.
+
+        Completeness is re-validated by ``__post_init__``, so a corrupted
+        payload fails loudly here instead of mis-answering queries later.
+        """
+        return cls(
+            state_count=int(payload["state_count"]),
+            alphabet=frozenset(payload["alphabet"]),
+            transitions=tuple(
+                {str(tag): int(target) for tag, target in row.items()}
+                for row in payload["transitions"]
+            ),
+            start=int(payload["start"]),
+            accepting=frozenset(int(state) for state in payload["accepting"]),
+        )
+
     def with_alphabet(self, alphabet: Iterable[str]) -> "DFA":
         """Return an equivalent DFA completed over a (larger) alphabet.
 

@@ -7,6 +7,8 @@ Subcommands cover the typical workflow of the library:
 * ``repro safety``    — check whether a query is safe for a specification,
 * ``repro query``     — answer a pairwise or all-pairs query over a stored run,
 * ``repro batch``     — stream a JSONL batch of queries through the query service,
+* ``repro store``     — manage a persistent index store (build/warm/ls/stats/gc),
+* ``repro cache``     — inspect a warmed service's cache/store statistics,
 * ``repro bench``     — run the paper's experiments (same as ``python -m repro.bench``).
 
 Library errors (unsafe queries, malformed regexes, broken input files) exit
@@ -17,6 +19,7 @@ traceback, so the CLI composes cleanly in shell pipelines and CI.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -28,6 +31,7 @@ from repro.datasets.paper_example import paper_specification
 from repro.datasets.synthetic import generate_synthetic_specification
 from repro.errors import ReproError
 from repro.service import IndexCache, QueryService, read_requests_jsonl, result_to_dict
+from repro.store import IndexStore
 from repro.workflow.serialization import (
     load_run,
     load_specification,
@@ -160,15 +164,24 @@ def _parse_run_entry(entry: str) -> tuple[str | None, str]:
     return run_id or None, path
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    if not args.run:
-        raise SystemExit("repro batch needs at least one --run RUN.json to query against")
-    service = QueryService(
-        cache=IndexCache(max_entries=args.cache_entries), max_workers=args.workers
-    )
-    for entry in args.run:
+def _register_cli_runs(service: QueryService, entries: list[str]) -> None:
+    for entry in entries:
         run_id, path = _parse_run_entry(entry)
         service.load_run_file(path, run_id=run_id)
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    service = QueryService(
+        cache=IndexCache(max_entries=args.cache_entries, store=None),
+        max_workers=args.workers,
+        store_dir=args.store,
+    )
+    _register_cli_runs(service, args.run)
+    if not service.run_ids():
+        raise SystemExit(
+            "repro batch needs at least one run: pass --run RUN.json, or --store "
+            "pointing at a store with a persisted run registry"
+        )
 
     # Both sources hand raw lines (trailing newlines and all) to
     # read_requests_jsonl, which normalizes whitespace and skips blanks —
@@ -198,6 +211,122 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0 if failed == 0 else 1
+
+
+def _cmd_store_build(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args.spec)
+    store = IndexStore(args.dir)
+    cache = IndexCache(store=store)
+    for query in args.queries:
+        try:
+            if cache.safety(spec, query).is_safe:
+                cache.index(spec, query)
+                status = "safe: index stored"
+            else:
+                cache.plan(spec, query)
+                status = "unsafe: safety verdict and plan stored"
+        except ReproError as error:
+            status = f"error: {error}"
+        print(f"  {query} -> {status}")
+    print(store.describe())
+    return 0
+
+
+def _cmd_store_warm(args: argparse.Namespace) -> int:
+    service = QueryService(store_dir=args.dir)
+    _register_cli_runs(service, args.run)
+    run_ids = service.run_ids()
+    if not run_ids:
+        raise SystemExit(
+            "repro store warm needs at least one run (--run RUN.json, or a store "
+            "with a persisted run registry)"
+        )
+    for run_id in run_ids:
+        print(f"run {run_id}:")
+        try:
+            statuses = service.warm(run_id, args.queries)
+        except KeyError:
+            print("  (skipped: persisted run artifact is unreadable)")
+            continue
+        for query, status in statuses.items():
+            print(f"  {query} -> {status}")
+    print(service.cache.describe())
+    print(service.store.describe())
+    return 0
+
+
+def _existing_store(path: str) -> IndexStore:
+    """A store for read-only commands: a missing directory is a user error
+    (likely a typo), not a cue to create an empty store."""
+    if not Path(path).is_dir():
+        raise SystemExit(f"no store directory at {path!r}")
+    return IndexStore(path)
+
+
+def _cmd_store_ls(args: argparse.Namespace) -> int:
+    store = _existing_store(args.dir)
+    entries = store.entries()
+    for info in entries:
+        kind = "safe  " if info.is_safe else "unsafe"
+        plan = "+plan" if info.has_plan else "     "
+        print(f"{info.fingerprint[:12]}  {kind} {plan} {info.bytes:>8}B  {info.query}")
+    run_ids = store.run_ids()
+    print(f"{len(entries)} entries, {len(run_ids)} runs" + (f": {run_ids}" if run_ids else ""))
+    return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    store = _existing_store(args.dir)
+    entries = store.entries()
+    fingerprints: dict[str, int] = {}
+    safe = plans = 0
+    for info in entries:
+        fingerprints[info.fingerprint] = fingerprints.get(info.fingerprint, 0) + 1
+        safe += info.is_safe
+        plans += info.has_plan
+    print(f"store         : {store.root}")
+    print(f"entries       : {len(entries)} ({safe} safe, {len(entries) - safe} unsafe, {plans} with plans)")
+    print(f"entry bytes   : {store.total_bytes()}")
+    print(f"runs          : {len(store.run_ids())}")
+    print(f"grammars      : {len(fingerprints)}")
+    for fingerprint, count in sorted(fingerprints.items()):
+        print(f"  {fingerprint[:16]}...: {count} entries")
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    store = _existing_store(args.dir)
+    result = store.gc(args.max_bytes)
+    print(
+        f"removed {result.removed} entries ({result.freed_bytes} bytes); "
+        f"{result.remaining_bytes} bytes remain"
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    service = QueryService(store_dir=args.store)
+    _register_cli_runs(service, args.run)
+    if args.warm:
+        run_ids = service.run_ids()
+        if not run_ids:
+            raise SystemExit("repro cache --warm needs at least one registered run")
+        for run_id in run_ids:
+            try:
+                service.warm(run_id, args.warm)
+            except KeyError:
+                continue  # unreadable persisted run: nothing to warm against
+    stats = service.cache_stats
+    if args.json:
+        record = dataclasses.asdict(stats)
+        record["hit_rate"] = stats.hit_rate
+        print(json.dumps(record, sort_keys=True))
+        return 0
+    print(service.describe())
+    print(service.cache.describe())
+    if service.store is not None:
+        print(service.store.describe())
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -295,7 +424,106 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--cache-entries", type=int, default=512, help="index cache entry bound"
     )
+    batch_parser.add_argument(
+        "--store",
+        help=(
+            "persistent index store directory: cached indexes/plans are read "
+            "from and written to it, and runs persisted there (see 'repro "
+            "store warm') are registered automatically"
+        ),
+    )
     batch_parser.set_defaults(handler=_cmd_batch)
+
+    store_parser = sub.add_parser(
+        "store",
+        help="manage a persistent index store (warm service restarts)",
+        description=(
+            "A store directory holds versioned, checksummed JSON artifacts of "
+            "everything the index cache computes (safety reports, query "
+            "indexes, decomposition plans with macro DFAs) plus a registry of "
+            "labeled runs, keyed by (specification fingerprint, canonical "
+            "query).  Services opened with the same store restart warm."
+        ),
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+
+    store_build = store_sub.add_parser(
+        "build", help="build index/plan entries for queries against a specification"
+    )
+    store_build.add_argument("dir", help="store directory (created if missing)")
+    store_build.add_argument("--spec", required=True, help="built-in name, synthetic:<size>, or JSON path")
+    store_build.add_argument("queries", nargs="+", metavar="QUERY")
+    store_build.set_defaults(handler=_cmd_store_build)
+
+    store_warm = store_sub.add_parser(
+        "warm",
+        help=(
+            "register runs and warm queries through a store-backed service "
+            "(persists runs, indexes, plans and routed subquery indexes)"
+        ),
+    )
+    store_warm.add_argument("dir", help="store directory (created if missing)")
+    store_warm.add_argument(
+        "--run",
+        action="append",
+        default=[],
+        metavar="[ID=]PATH",
+        help="register a run JSON file (repeatable; default ID is the file stem)",
+    )
+    store_warm.add_argument("queries", nargs="+", metavar="QUERY")
+    store_warm.set_defaults(handler=_cmd_store_warm)
+
+    store_ls = store_sub.add_parser("ls", help="list stored entries and runs")
+    store_ls.add_argument("dir")
+    store_ls.set_defaults(handler=_cmd_store_ls)
+
+    store_stats = store_sub.add_parser("stats", help="summarize a store directory")
+    store_stats.add_argument("dir")
+    store_stats.set_defaults(handler=_cmd_store_stats)
+
+    store_gc = store_sub.add_parser(
+        "gc", help="evict least-recently-used entries down to a size budget"
+    )
+    store_gc.add_argument("dir")
+    store_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        help="entry-tier size budget; runs are never evicted",
+    )
+    store_gc.set_defaults(handler=_cmd_store_gc)
+
+    cache_parser = sub.add_parser(
+        "cache",
+        help="inspect cache/store statistics of a (optionally warmed) service",
+        description=(
+            "Build a query service, optionally register runs and warm queries, "
+            "then print IndexCache/CacheStats counters (hit rates, builds, "
+            "store hits) so operators can inspect cache effectiveness without "
+            "writing Python."
+        ),
+    )
+    cache_parser.add_argument(
+        "--run",
+        action="append",
+        default=[],
+        metavar="[ID=]PATH",
+        help="register a run JSON file (repeatable; default ID is the file stem)",
+    )
+    cache_parser.add_argument(
+        "--store", help="persistent store directory backing the service"
+    )
+    cache_parser.add_argument(
+        "--warm",
+        action="append",
+        default=[],
+        metavar="QUERY",
+        help="warm this query on every registered run before reporting (repeatable)",
+    )
+    cache_parser.add_argument(
+        "--json", action="store_true", help="print the statistics as one JSON object"
+    )
+    cache_parser.set_defaults(handler=_cmd_cache)
 
     bench_parser = sub.add_parser("bench", help="run the paper's experiments")
     bench_parser.add_argument("experiments", nargs="*", default=["all"])

@@ -83,6 +83,7 @@ __all__ = [
     "evaluate_general_query",
     "evaluate_general_query_iter",
     "label_routed_subtrees",
+    "warm_frontier_dfa",
     "worth_label_evaluation",
 ]
 
@@ -134,6 +135,23 @@ class DecompositionPlan:
             )
             self._routing_memo[key] = cached
         return cached
+
+    def cost(self) -> int:
+        """The boolean-matrix cost this plan pins beyond its entry's base DFA:
+        the summed ``state_count²`` of the memoized macro DFAs.  Grows as the
+        frontier strategy memoizes routing variants, so cache cost accounting
+        must be refreshed after evaluations (see ``IndexCache.sync``)."""
+        return sum(dfa.state_count**2 for dfa in self._dfa_memo.values())
+
+    def macro_dfas(self) -> dict[str, DFA]:
+        """A snapshot of the memoized macro DFAs, keyed by the rendered
+        macro-rewritten query (used by :mod:`repro.store` to persist them)."""
+        return dict(self._dfa_memo)
+
+    def restore_macro_dfas(self, dfas: dict[str, DFA]) -> None:
+        """Re-attach macro DFAs persisted by a previous process, so the first
+        frontier evaluation after a warm restart skips the determinization."""
+        self._dfa_memo.update(dfas)
 
     def describe(self) -> str:
         parts = ", ".join(regex_to_string(node) for node in self.safe_subtrees) or "(none)"
@@ -277,6 +295,23 @@ def _macro_dfa(plan: DecompositionPlan, rewritten: RegexNode, macro_tags: set[st
     return cached
 
 
+def warm_frontier_dfa(
+    plan: DecompositionPlan, run: Run, *, cost_based_routing: bool = True
+) -> DFA:
+    """Build (and memoize on the plan) the macro DFA the frontier strategy
+    will use for this run's routing decision, without evaluating anything.
+
+    Called by warm-up paths (``QueryService.warm``, ``repro store warm``) so
+    that the DFA lands in the plan's memo — and, through the cache's store
+    write-back, on disk — before the first real request arrives.
+    """
+    routed = label_routed_subtrees(plan, run, cost_based_routing=cost_based_routing)
+    rewritten, macro_map = (
+        _substitute_macros(plan.root, routed) if routed else (plan.root, {})
+    )
+    return _macro_dfa(plan, rewritten, set(macro_map))
+
+
 def _macro_successor_provider(
     run: Run,
     subtree: RegexNode,
@@ -369,7 +404,12 @@ def _pick_strategy(
     seeds = set(l1) if l1 is not None else set(allowed or ())
     if allowed is not None:
         seeds &= allowed
-    frontier_cost = estimate_frontier_search_cost(run, plan.root, len(seeds))
+    frontier_cost = estimate_frontier_search_cost(
+        run,
+        plan.root,
+        len(seeds),
+        allowed_count=len(allowed) if allowed is not None else None,
+    )
     return "frontier" if frontier_cost <= estimate_join_cost(run, plan.root) else "join"
 
 

@@ -184,19 +184,32 @@ def estimate_join_cost(run: Run, node: RegexNode) -> float:
     return cost
 
 
-def estimate_frontier_search_cost(run: Run, node: RegexNode, source_count: int) -> float:
+def estimate_frontier_search_cost(
+    run: Run, node: RegexNode, source_count: int, allowed_count: int | None = None
+) -> float:
     """Rough estimate of the work of answering a general query with one
     product-DFA frontier search per source
     (:func:`repro.core.relations.product_frontier_targets`).
 
-    Each search visits at most every run edge once per DFA state; the DFA
-    state count is approximated by the query's syntax-tree size.  The
-    estimate deliberately ignores the ``allowed``-set pruning (it is a bound,
-    and keeping it pessimistic biases the router towards the join evaluator
-    for unrestricted queries, whose relations the pruning cannot shrink).
+    Each search visits at most every *reachable* run edge once per DFA state;
+    the DFA state count is approximated by the query's syntax-tree size.
+    ``allowed_count`` is the size of the forward/backward pruned universe the
+    search is actually confined to (the cheap reachable-set estimate the
+    decomposition engine computes anyway); when given, the per-source bound
+    shrinks proportionally — without it the estimate falls back to the whole
+    run, which stays deliberately pessimistic so unrestricted queries (whose
+    relations the pruning cannot shrink) keep routing to the join evaluator.
     """
     states = max(1.0, float(regex_size(node)))
-    per_source = (float(run.edge_count) + float(run.node_count)) * states
+    nodes = float(run.node_count)
+    edges = float(run.edge_count)
+    if allowed_count is not None and nodes > 0:
+        fraction = min(1.0, max(0.0, float(allowed_count)) / nodes)
+        # Edges are assumed uniformly distributed over nodes, so the pruned
+        # region sees roughly its node share of the run's edges.
+        edges *= fraction
+        nodes = float(allowed_count)
+    per_source = (edges + nodes) * states
     return float(max(0, source_count)) * per_source
 
 

@@ -37,7 +37,15 @@ from repro.core.safety import analyze_safety, query_dfa
 from repro.errors import UnsafeQueryError
 from repro.workflow.spec import Specification
 
-__all__ = ["QueryIndex", "build_query_index"]
+__all__ = ["ProductionTables", "QueryIndex", "build_query_index"]
+
+#: The per-production matrix tables of an index, in the order
+#: ``(cross, to_sink, from_source)`` (see :meth:`QueryIndex.production_tables`).
+ProductionTables = tuple[
+    list[dict[tuple[int, int], BooleanMatrix]],
+    list[list[BooleanMatrix]],
+    list[list[BooleanMatrix]],
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +72,8 @@ class QueryIndex:
         dfa: DFA,
         lambdas: dict[str, BooleanMatrix],
         query_text: str,
+        *,
+        tables: "ProductionTables | None" = None,
     ) -> None:
         self.spec = spec
         self.dfa = dfa
@@ -78,7 +88,17 @@ class QueryIndex:
         self._cross: list[dict[tuple[int, int], BooleanMatrix]] = []
         self._to_sink: list[list[BooleanMatrix]] = []
         self._from_source: list[list[BooleanMatrix]] = []
-        self._build_production_tables()
+        if tables is None:
+            self._build_production_tables()
+        else:
+            # Restoring from a persistent store: the production tables were
+            # computed (and serialized) by a previous process, so the matrix
+            # sweep above is skipped entirely — the main saving of a warm
+            # restart besides the DFA/safety work itself.
+            cross, to_sink, from_source = tables
+            self._cross = [dict(table) for table in cross]
+            self._to_sink = [list(row) for row in to_sink]
+            self._from_source = [list(row) for row in from_source]
         self._cycles = tuple(
             self._build_cycle_tables(cycle) for cycle in spec.production_graph.cycles
         )
@@ -196,6 +216,16 @@ class QueryIndex:
     def body_reaches(self, production_index: int, source: int, target: int) -> bool:
         """Coarse (tag-agnostic) reachability between two body positions."""
         return self.spec.production(production_index).body.reaches(source, target)
+
+    def production_tables(self) -> "ProductionTables":
+        """The per-production matrix tables ``(cross, to_sink, from_source)``.
+
+        This is everything the construction sweep computes beyond the DFA and
+        λ matrices; :mod:`repro.store` serializes it so a restored index (the
+        ``tables`` constructor argument) skips the sweep.  The returned
+        containers are the live internals — treat them as read-only.
+        """
+        return self._cross, self._to_sink, self._from_source
 
     # -- recursion chains ------------------------------------------------------------
 

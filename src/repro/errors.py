@@ -54,3 +54,12 @@ class UnsafeQueryError(ReproError):
 class UnsupportedQueryError(ReproError):
     """A baseline was asked to evaluate a query shape it does not support
     (for example, Option G3 only supports infrequent-form queries)."""
+
+
+class StoreError(ReproError):
+    """A persistent index store artifact is unreadable or inconsistent.
+
+    Raised internally by :mod:`repro.store` while decoding; the store's read
+    path converts it (and any other decode failure) into a miss plus an error
+    counter, so corruption degrades to a rebuild instead of a crash.
+    """

@@ -23,10 +23,17 @@ Planning probes subtree safety through the cache itself, so the safe
 subqueries' reports and indexes land in the cache as a side effect.
 
 The cache is bounded by entry count and, optionally, by total "cost" (the
-sum of ``|Q|²`` over cached DFAs — a proxy for the boolean-matrix memory an
-entry pins).  Eviction is least-recently-used.  Builds for distinct keys run
-concurrently; concurrent requests for the *same* key are deduplicated with a
-per-key build lock so the work happens once.
+sum of ``|Q|²`` over cached DFAs plus the memoized macro DFAs of attached
+plans — a proxy for the boolean-matrix memory an entry pins).  Eviction is
+least-recently-used.  Builds for distinct keys run concurrently; concurrent
+requests for the *same* key are deduplicated with a per-key build lock so the
+work happens once.
+
+A persistent second tier can sit underneath: with ``store=``
+(:class:`~repro.store.IndexStore`) a memory miss first consults the disk
+store — a hit reconstructs the entry with *zero* safety checks, index builds
+or plan builds — and every build (and plan attach) is written back, so a
+fresh process starts warm from whatever earlier processes computed.
 """
 
 from __future__ import annotations
@@ -34,6 +41,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.automata.regex import (
     RegexNode,
@@ -46,6 +55,9 @@ from repro.core.query_index import QueryIndex
 from repro.core.safety import SafetyReport, analyze_safety, query_dfa
 from repro.errors import UnsafeQueryError
 from repro.workflow.spec import Specification
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import IndexStore
 
 __all__ = ["CacheStats", "IndexCache"]
 
@@ -64,6 +76,12 @@ class CacheStats:
     plan_builds: int = 0
     entries: int = 0
     total_cost: int = 0
+    # Disk-tier counters; all zero when no store is attached.
+    store_hits: int = 0
+    store_misses: int = 0
+    store_writes: int = 0
+    store_errors: int = 0
+    store_evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -76,11 +94,17 @@ class CacheStats:
         return self.hits / lookups if lookups else 0.0
 
     def describe(self) -> str:
-        return (
+        text = (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
             f"hit_rate={self.hit_rate:.1%}, evictions={self.evictions}, "
-            f"index_builds={self.index_builds}, entries={self.entries})"
+            f"index_builds={self.index_builds}, entries={self.entries}"
         )
+        if self.store_hits or self.store_misses or self.store_writes:
+            text += (
+                f", store_hits={self.store_hits}, store_misses={self.store_misses}, "
+                f"store_writes={self.store_writes}"
+            )
+        return text + ")"
 
 
 @dataclass
@@ -103,18 +127,29 @@ class IndexCache:
         Upper bound on cached queries; the least recently used entry is
         evicted first.  Must be at least 1.
     max_cost:
-        Optional bound on the summed ``state_count²`` of cached DFAs.  The
-        most recently inserted entry is never evicted, so a single oversized
-        query still gets cached (and evicts everything older).
+        Optional bound on the summed ``state_count²`` of cached DFAs (plus
+        attached plans' macro DFAs).  The most recently inserted entry is
+        never evicted, so a single oversized query still gets cached (and
+        evicts everything older).
+    store:
+        Optional persistent second tier (:class:`~repro.store.IndexStore`).
+        Lookups fall back to it before building, and builds are written back,
+        so entries survive process restarts.
     """
 
-    def __init__(self, max_entries: int = 256, max_cost: int | None = None) -> None:
+    def __init__(
+        self,
+        max_entries: int = 256,
+        max_cost: int | None = None,
+        store: "IndexStore | None" = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
         if max_cost is not None and max_cost < 1:
             raise ValueError("max_cost must be positive (or None for unbounded)")
         self.max_entries = max_entries
         self.max_cost = max_cost
+        self._store = store
         self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
         self._total_cost = 0
         self._lock = threading.Lock()
@@ -164,9 +199,15 @@ class IndexCache:
         DFAs, which is what lets a service answer repeated unsafe queries
         without re-planning.  Subtree safety is probed through this cache, so
         planning also warms the safe subqueries' reports and indexes.
+
+        Every call re-accounts the entry's cost: the plan (and any macro DFAs
+        memoized since the last call) now counts against ``max_cost``, and a
+        changed entry is re-persisted to the store.
         """
         node = parse_regex(query)
-        plan = self._lookup(spec, node).plan
+        key = self.key_for(spec, node)
+        entry = self._lookup(spec, node)
+        plan = entry.plan
         if plan is None:
             plan = plan_decomposition(
                 spec,
@@ -182,7 +223,27 @@ class IndexCache:
                 # Benign race: concurrent builders produce equivalent plans
                 # and the last one wins.
                 entry.plan = plan
+            self._reaccount(key, entry)
+            self._persist(key, entry)
+        elif self._reaccount(key, entry):
+            # Macro DFAs memoized since the last call grew the entry's
+            # footprint; re-persist so the store copy carries them too.
+            self._persist(key, entry)
         return plan
+
+    def sync(self, spec: Specification, query: str | RegexNode) -> None:
+        """Re-account a cached entry's cost and, if it changed, re-persist it.
+
+        Evaluators memoize macro DFAs on a plan *after* the entry was
+        inserted; warm-up paths call this so both the ``max_cost`` budget and
+        the store copy reflect the plan's real footprint.  Unknown or evicted
+        keys are a no-op.
+        """
+        key = self.key_for(spec, query)
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is not None and self._reaccount(key, entry):
+            self._persist(key, entry)
 
     def prepare(self, spec: Specification, query: str | RegexNode) -> None:
         """Ensure the query's entry (safety report plus, when safe, its
@@ -227,7 +288,10 @@ class IndexCache:
                         self._hits += 1
                         self._entries.move_to_end(key)
                         return entry
-                entry = self._build(spec, node, key)
+                entry = self._restore(spec, key)
+                if entry is None:
+                    entry = self._build(spec, node, key)
+                    self._persist(key, entry)
                 with self._lock:
                     self._misses += 1
                     self._insert(key, entry)
@@ -252,12 +316,61 @@ class IndexCache:
                 self._index_builds += 1
         return _Entry(report=report, index=index, cost=report.dfa.state_count**2)
 
+    @staticmethod
+    def _entry_cost(entry: _Entry) -> int:
+        cost = entry.report.dfa.state_count**2
+        if entry.plan is not None:
+            cost += entry.plan.cost()
+        return cost
+
+    def _restore(self, spec: Specification, key: CacheKey) -> _Entry | None:
+        """Second-tier lookup: reconstruct an entry from the store, if any.
+
+        A restored entry increments no build counters — that is the point of
+        the store — but its cost is re-derived so the budget stays honest.
+        """
+        if self._store is None:
+            return None
+        stored = self._store.load(spec, key[1])
+        if stored is None:
+            return None
+        entry = _Entry(report=stored.report, index=stored.index, cost=0, plan=stored.plan)
+        entry.cost = self._entry_cost(entry)
+        return entry
+
+    def _persist(self, key: CacheKey, entry: _Entry) -> None:
+        """Write an entry through to the store (no-op without one; the store
+        swallows and counts its own failures)."""
+        if self._store is not None:
+            self._store.save(
+                key[0], key[1], report=entry.report, index=entry.index, plan=entry.plan
+            )
+
+    def _reaccount(self, key: CacheKey, entry: _Entry) -> bool:
+        """Recompute an entry's cost (e.g. after a plan attach or new macro
+        DFA memoization) and re-run eviction; returns whether it changed."""
+        cost = self._entry_cost(entry)
+        with self._lock:
+            if cost == entry.cost:
+                return False
+            if self._entries.get(key) is entry:
+                self._total_cost += cost - entry.cost
+                entry.cost = cost
+                self._evict_over_budget()
+            else:
+                entry.cost = cost
+            return True
+
     def _insert(self, key: CacheKey, entry: _Entry) -> None:
         previous = self._entries.pop(key, None)
         if previous is not None:
             self._total_cost -= previous.cost
         self._entries[key] = entry
         self._total_cost += entry.cost
+        self._evict_over_budget()
+
+    def _evict_over_budget(self) -> None:
+        """LRU-evict down to the configured bounds (cache lock held)."""
         while len(self._entries) > 1 and (
             len(self._entries) > self.max_entries
             or (self.max_cost is not None and self._total_cost > self.max_cost)
@@ -267,6 +380,24 @@ class IndexCache:
             self._evictions += 1
 
     # -- management --------------------------------------------------------------
+
+    @property
+    def store(self) -> "IndexStore | None":
+        """The persistent second tier, when one is attached."""
+        return self._store
+
+    def attach_store(self, store: "IndexStore") -> None:
+        """Attach a persistent tier after construction (used by
+        :class:`~repro.service.service.QueryService` when it is handed an
+        explicit cache plus a ``store_dir``).  A second store for the *same*
+        directory keeps the already-attached instance (and its counters); a
+        store for a different directory is refused, because splitting entries
+        across stores would silently break warm restarts."""
+        if self._store is not None and self._store is not store:
+            if Path(self._store.root).resolve() != Path(store.root).resolve():
+                raise ValueError("cache already has a different store attached")
+            return
+        self._store = store
 
     def __len__(self) -> int:
         with self._lock:
@@ -280,6 +411,7 @@ class IndexCache:
 
     @property
     def stats(self) -> CacheStats:
+        store = self._store.counters if self._store is not None else None
         with self._lock:
             return CacheStats(
                 hits=self._hits,
@@ -290,6 +422,11 @@ class IndexCache:
                 plan_builds=self._plan_builds,
                 entries=len(self._entries),
                 total_cost=self._total_cost,
+                store_hits=store.hits if store else 0,
+                store_misses=store.misses if store else 0,
+                store_writes=store.writes if store else 0,
+                store_errors=store.errors if store else 0,
+                store_evictions=store.evictions if store else 0,
             )
 
     def describe(self) -> str:

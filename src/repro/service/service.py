@@ -18,7 +18,11 @@ What the service adds over bare engines:
   a thousand requests sharing three queries pay for three index builds;
 * **concurrent evaluation** — independent requests of a batch are evaluated
   on a thread pool; results come back in request order, and one failing
-  request becomes an error *result* instead of aborting the batch.
+  request becomes an error *result* instead of aborting the batch;
+* **warm restarts** — with ``store_dir=`` the cache gains a persistent disk
+  tier (:mod:`repro.store`) and the run registry survives the process, so a
+  restarted service answers previously-seen queries without rebuilding a
+  single index or plan.
 """
 
 from __future__ import annotations
@@ -30,10 +34,11 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
-from repro.core.decomposition import label_routed_subtrees
+from repro.core.decomposition import label_routed_subtrees, warm_frontier_dfa
 from repro.core.engine import ProvenanceQueryEngine
 from repro.errors import ReproError
 from repro.service.cache import CacheStats, IndexCache
+from repro.store import IndexStore
 from repro.service.requests import (
     BatchFormatError,
     QueryRequest,
@@ -52,6 +57,16 @@ def _default_workers() -> int:
     return min(32, (os.cpu_count() or 1) + 4)
 
 
+def _same_run(left: Run, right: Run) -> bool:
+    """Content equality of two runs (grammar by fingerprint, graph by parts);
+    object identity and display names do not matter."""
+    return (
+        left.spec.fingerprint == right.spec.fingerprint
+        and left.nodes == right.nodes
+        and left.edges == right.edges
+    )
+
+
 class QueryService:
     """Serve query batches over a set of registered runs (see module notes).
 
@@ -63,27 +78,83 @@ class QueryService:
         standalone engines) pool their per-query work.
     max_workers:
         Thread-pool width for batch evaluation and index pre-building.
+    store_dir / store:
+        A persistent tier (:class:`~repro.store.IndexStore`, or a directory
+        to create one in).  The store backs the index cache (memory → disk →
+        build) *and* persists the run registry: previously registered runs —
+        labels included, so no re-labeling — are re-registered on
+        construction, which is what lets a restarted service answer its first
+        previously-seen query with zero index or plan rebuilds.
     """
 
     def __init__(
-        self, *, cache: IndexCache | None = None, max_workers: int | None = None
+        self,
+        *,
+        cache: IndexCache | None = None,
+        max_workers: int | None = None,
+        store_dir: str | Path | None = None,
+        store: IndexStore | None = None,
     ) -> None:
-        self._cache = cache if cache is not None else IndexCache(_DEFAULT_CACHE_ENTRIES)
+        if store is None and store_dir is not None:
+            store = IndexStore(store_dir)
+        if cache is None:
+            cache = IndexCache(_DEFAULT_CACHE_ENTRIES, store=store)
+        elif store is not None:
+            # Raises if the cache already persists in a *different* directory:
+            # splitting the run registry and the index entries across two
+            # stores would silently break the warm-restart contract.  For the
+            # same directory the cache keeps its original instance — adopt it
+            # so the registry and the entries share one set of counters.
+            cache.attach_store(store)
+            store = cache.store
+        elif cache.store is not None:
+            # No explicit store, but the cache has one: keep the registry and
+            # the entries together in that store.
+            store = cache.store
+        self._store = store
+        self._cache = cache
         self._max_workers = max_workers if max_workers is not None else _default_workers()
         if self._max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self._runs: dict[str, Run] = {}
         self._engines: dict[str, ProvenanceQueryEngine] = {}
         self._lock = threading.Lock()
+        # The persisted registry is adopted by id only (filenames, no
+        # parsing); run content loads lazily on first use, so restart cost
+        # does not grow with the registry.
+        self._pending_run_ids: set[str] = (
+            set(store.run_ids()) if store is not None else set()
+        )
 
     # -- registration ------------------------------------------------------------
 
     def register_run(self, run: Run, run_id: str | None = None) -> str:
-        """Register a run under ``run_id`` (default ``run-<n>``); returns the id."""
+        """Register a run under ``run_id`` (default ``run-<n>``); returns the id.
+
+        Re-registering the *same* run content under an existing id is a
+        no-op returning the id (so restarting against a persistent registry
+        and then replaying the original registrations is idempotent); a
+        *different* run under a taken id still raises.
+        """
+        return self._register(run, run_id, persist=True)
+
+    def _register(self, run: Run, run_id: str | None, persist: bool) -> str:
+        if run_id is not None:
+            # Materialize a same-named persisted run first, so the content
+            # equality check below compares against it instead of silently
+            # shadowing (and overwriting) what the registry already holds.
+            self._materialize(run_id)
         with self._lock:
             if run_id is None:
-                run_id = f"run-{len(self._runs) + 1}"
-            if run_id in self._runs:
+                taken = set(self._runs) | self._pending_run_ids
+                counter = len(taken) + 1
+                while f"run-{counter}" in taken:
+                    counter += 1
+                run_id = f"run-{counter}"
+            existing = self._runs.get(run_id)
+            if existing is not None:
+                if _same_run(existing, run):
+                    return run_id
                 raise ValueError(f"run id {run_id!r} is already registered")
             fingerprint = run.spec.fingerprint
             if fingerprint not in self._engines:
@@ -91,7 +162,31 @@ class QueryService:
                     run.spec, cache=self._cache
                 )
             self._runs[run_id] = run
-            return run_id
+        if persist and self._store is not None:
+            self._store.save_run(run_id, run)
+        return run_id
+
+    def _materialize(self, run_id: str) -> Run | None:
+        """Load a pending persisted run into the registry (idempotent).
+
+        An unreadable artifact drops out of the pending set — the store
+        counted the corruption — so the service keeps serving everything
+        else; concurrent loads are harmless because registration of
+        identical content is a no-op.
+        """
+        with self._lock:
+            run = self._runs.get(run_id)
+            pending = run is None and run_id in self._pending_run_ids
+        if run is not None or not pending:
+            return run
+        loaded = self._store.load_run(run_id) if self._store is not None else None
+        with self._lock:
+            self._pending_run_ids.discard(run_id)
+        if loaded is None:
+            return None
+        self._register(loaded, run_id, persist=False)
+        with self._lock:
+            return self._runs.get(run_id)
 
     def load_run_file(self, path: str | Path, run_id: str | None = None) -> str:
         """Load a run JSON file (see ``repro derive``) and register it.
@@ -103,12 +198,15 @@ class QueryService:
         return self.register_run(load_run(path), run_id=run_id or path.stem)
 
     def run_ids(self) -> tuple[str, ...]:
+        """All registered run ids, including persisted runs not yet loaded."""
         with self._lock:
-            return tuple(self._runs)
+            return tuple(sorted(set(self._runs) | self._pending_run_ids))
 
     def get_run(self, run_id: str) -> Run:
         with self._lock:
             run = self._runs.get(run_id)
+        if run is None:
+            run = self._materialize(run_id)
         if run is None:
             raise KeyError(
                 f"unknown run id {run_id!r}; registered runs: {sorted(self._runs)}"
@@ -126,6 +224,11 @@ class QueryService:
     @property
     def cache(self) -> IndexCache:
         return self._cache
+
+    @property
+    def store(self) -> IndexStore | None:
+        """The persistent tier backing this service, when configured."""
+        return self._store
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -165,6 +268,11 @@ class QueryService:
             routed = label_routed_subtrees(plan, run)
             for subtree in routed:
                 self._cache.index(spec, subtree)
+            # Memoize the frontier strategy's macro DFA for this run's
+            # routing, then re-account/persist the entry so the DFA counts
+            # against the cache budget and survives restarts with the plan.
+            warm_frontier_dfa(plan, run)
+            self._cache.sync(spec, query)
             warmed = len(routed)
             return (
                 f"unsafe: plan cached, {warmed} safe "
@@ -337,7 +445,8 @@ class QueryService:
 
     def describe(self) -> str:
         with self._lock:
-            runs, engines = len(self._runs), len(self._engines)
+            runs = len(set(self._runs) | self._pending_run_ids)
+            engines = len(self._engines)
         return (
             f"QueryService({runs} runs, {engines} grammars, "
             f"workers={self._max_workers}) {self._cache.stats.describe()}"

@@ -1,0 +1,443 @@
+"""The persistent index store: a disk tier under the in-memory cache.
+
+An :class:`IndexStore` keeps everything the cache layer computes — safety
+reports, query indexes, decomposition plans (with macro DFAs), and registered
+labeled runs — in a directory of versioned, checksummed JSON files:
+
+.. code-block:: text
+
+    <root>/
+        entries/<fingerprint[:16]>/<sha256(query)[:32]>.json
+        runs/<quoted run id>.json
+
+Entries are keyed exactly like :class:`~repro.service.cache.IndexCache`:
+``(specification fingerprint, canonical query text)``, so anything one
+process builds is a disk hit for every later process (or instance) serving
+the same grammar.  Each file is a small envelope
+
+.. code-block:: json
+
+    {"format": 1, "kind": "store-entry", "fingerprint": "...",
+     "query": "...", "checksum": "sha256 of the payload JSON",
+     "payload": {"report": ..., "index": ..., "plan": ...}}
+
+and every write is atomic (temp file in the same directory + ``os.replace``),
+so readers never observe a half-written artifact even under concurrent
+writers or a crash mid-write.
+
+The read path *never raises for bad data*: a missing file is a miss, and a
+truncated file, checksum mismatch, format-version bump, foreign fingerprint
+or any decode failure is counted in ``errors`` and reported as a miss, which
+makes the caller rebuild (and overwrite) cleanly.  Loads touch the file's
+mtime, which is what the size-budgeted ``gc`` uses as its LRU clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import urllib.parse
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.decomposition import DecompositionPlan
+from repro.core.query_index import QueryIndex
+from repro.core.safety import SafetyReport
+from repro.errors import StoreError
+from repro.store.codec import entry_from_payload, entry_to_payload
+from repro.workflow.run import Run
+from repro.workflow.serialization import run_from_dict, run_to_dict
+from repro.workflow.spec import Specification
+
+__all__ = ["FORMAT_VERSION", "EntryInfo", "GcResult", "IndexStore", "StoreCounters", "StoredEntry"]
+
+FORMAT_VERSION = 1
+
+_ENTRY_KIND = "store-entry"
+_RUN_KIND = "store-run"
+
+
+@dataclass(frozen=True)
+class StoredEntry:
+    """One reconstructed cache entry (what :meth:`IndexStore.load` returns)."""
+
+    report: SafetyReport
+    index: QueryIndex | None
+    plan: DecompositionPlan | None
+
+
+@dataclass(frozen=True)
+class StoreCounters:
+    """Per-process effectiveness counters of one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    errors: int = 0
+    evictions: int = 0
+
+
+@dataclass(frozen=True)
+class EntryInfo:
+    """Metadata of one stored entry file (for ``repro store ls`` and gc)."""
+
+    fingerprint: str
+    query: str
+    path: Path
+    bytes: int
+    mtime: float
+    is_safe: bool
+    has_plan: bool
+
+
+@dataclass(frozen=True)
+class GcResult:
+    """What one garbage-collection sweep removed."""
+
+    removed: int
+    freed_bytes: int
+    remaining_bytes: int
+
+
+def _canonical_json(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload: Any) -> str:
+    return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write via a sibling temp file + rename, fsync'd, so a crash leaves
+    either the old artifact or the new one — never a torn file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class IndexStore:
+    """A directory-backed store of cache entries and registered runs.
+
+    Parameters
+    ----------
+    root:
+        The store directory; created (with its subdirectories) on first use.
+    max_bytes:
+        Optional size budget.  When set, every write is followed by an LRU
+        sweep (:meth:`gc`) that deletes the least recently *used* entry files
+        until the entry tier fits the budget.  Runs are never auto-evicted:
+        they are the service's registry, not a cache.
+    """
+
+    def __init__(self, root: str | Path, *, max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive (or None for unbounded)")
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        # Directories are created lazily by the first write (_atomic_write
+        # mkdirs parents), so read-only users — `repro store ls` on a
+        # mistyped path, say — never litter the filesystem with empty stores.
+        self._entries_dir = self.root / "entries"
+        self._runs_dir = self.root / "runs"
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._errors = 0
+        self._evictions = 0
+
+    # -- paths -------------------------------------------------------------------
+
+    def entry_path(self, fingerprint: str, query_text: str) -> Path:
+        """Where the entry of one cache key lives (whether or not it exists)."""
+        digest = hashlib.sha256(query_text.encode("utf-8")).hexdigest()[:32]
+        return self._entries_dir / fingerprint[:16] / f"{digest}.json"
+
+    def run_path(self, run_id: str) -> Path:
+        return self._runs_dir / f"{urllib.parse.quote(run_id, safe='')}.json"
+
+    # -- entries -----------------------------------------------------------------
+
+    def contains(self, fingerprint: str, query_text: str) -> bool:
+        return self.entry_path(fingerprint, query_text).exists()
+
+    def load(self, spec: Specification, query_text: str) -> StoredEntry | None:
+        """Load one entry, or ``None`` on a miss *or* any corruption."""
+        path = self.entry_path(spec.fingerprint, query_text)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self._count("_misses")
+            return None
+        except OSError:
+            self._count("_errors")
+            self._count("_misses")
+            return None
+        try:
+            envelope = json.loads(raw)
+            payload = self._open_envelope(
+                envelope, _ENTRY_KIND, fingerprint=spec.fingerprint, query=query_text
+            )
+            report, index, plan = entry_from_payload(spec, payload)
+        except Exception:
+            # Truncation, bad checksum, version bump, decode bug: degrade to
+            # a rebuild, never a crash.
+            self._count("_errors")
+            self._count("_misses")
+            return None
+        self._touch(path)
+        self._count("_hits")
+        return StoredEntry(report=report, index=index, plan=plan)
+
+    def save(
+        self,
+        fingerprint: str,
+        query_text: str,
+        *,
+        report: SafetyReport,
+        index: QueryIndex | None,
+        plan: DecompositionPlan | None,
+    ) -> bool:
+        """Persist (or overwrite) one entry atomically; returns success.
+
+        Failures — a full disk, a read-only volume, a serialization bug —
+        are counted and swallowed: persistence is an optimization, and the
+        in-memory tier keeps serving either way.
+        """
+        try:
+            payload = entry_to_payload(report, index, plan)
+            envelope = {
+                "format": FORMAT_VERSION,
+                "kind": _ENTRY_KIND,
+                "fingerprint": fingerprint,
+                "query": query_text,
+                "checksum": _checksum(payload),
+                "payload": payload,
+            }
+            _atomic_write(self.entry_path(fingerprint, query_text), json.dumps(envelope))
+        except Exception:
+            self._count("_errors")
+            return False
+        self._count("_writes")
+        if self.max_bytes is not None:
+            self.gc()
+        return True
+
+    def entries(self) -> list[EntryInfo]:
+        """Metadata of every readable entry file (unreadable ones skipped)."""
+        infos = []
+        for path in sorted(self._entries_dir.glob("*/*.json")):
+            info = self._entry_info(path)
+            if info is not None:
+                infos.append(info)
+        return infos
+
+    def _entry_info(self, path: Path) -> EntryInfo | None:
+        try:
+            stat = path.stat()
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+            payload = envelope["payload"]
+            return EntryInfo(
+                fingerprint=str(envelope["fingerprint"]),
+                query=str(envelope["query"]),
+                path=path,
+                bytes=stat.st_size,
+                mtime=stat.st_mtime,
+                is_safe=payload["index"] is not None,
+                has_plan=payload["plan"] is not None,
+            )
+        except Exception:
+            self._count("_errors")
+            return None
+
+    # -- garbage collection --------------------------------------------------------
+
+    def gc(self, max_bytes: int | None = None) -> GcResult:
+        """Delete least-recently-used entry files until the entry tier fits
+        ``max_bytes`` (default: the store's configured budget).
+
+        Recency is file mtime, which loads refresh; corrupt entry files sort
+        oldest so they are reclaimed first.  Runs are left alone.
+        """
+        budget = max_bytes if max_bytes is not None else self.max_bytes
+        files: list[tuple[float, int, Path]] = []
+        for path in self._entries_dir.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            files.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in files)
+        removed = 0
+        freed = 0
+        if budget is not None:
+            for _, size, path in sorted(files):
+                if total - freed <= budget:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                freed += size
+        with self._lock:
+            self._evictions += removed
+        return GcResult(removed=removed, freed_bytes=freed, remaining_bytes=total - freed)
+
+    def total_bytes(self) -> int:
+        """Bytes used by the entry tier (excludes the run registry)."""
+        return sum(
+            path.stat().st_size
+            for path in self._entries_dir.glob("*/*.json")
+            if path.exists()
+        )
+
+    # -- runs --------------------------------------------------------------------
+
+    def save_run(self, run_id: str, run: Run) -> bool:
+        """Persist one registered run (labels included, so reloading skips
+        re-labeling); returns success, counting failures like :meth:`save`."""
+        try:
+            payload = run_to_dict(run)
+            envelope = {
+                "format": FORMAT_VERSION,
+                "kind": _RUN_KIND,
+                "run_id": run_id,
+                "checksum": _checksum(payload),
+                "payload": payload,
+            }
+            _atomic_write(self.run_path(run_id), json.dumps(envelope))
+        except Exception:
+            self._count("_errors")
+            return False
+        self._count("_writes")
+        return True
+
+    def load_run(self, run_id: str) -> Run | None:
+        """One persisted run, or ``None`` when absent *or* unreadable (a
+        corrupt artifact is counted, never raised, so a service keeps
+        serving its other runs)."""
+        path = self.run_path(run_id)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self._count("_errors")
+            return None
+        try:
+            envelope = json.loads(raw)
+            payload = self._open_envelope(envelope, _RUN_KIND)
+            if envelope.get("run_id") != run_id:
+                raise StoreError("run artifact belongs to a different id")
+            return run_from_dict(payload)
+        except Exception:
+            self._count("_errors")
+            return None
+
+    def load_runs(self) -> dict[str, Run]:
+        """All readable persisted runs by id; corrupt files are skipped (and
+        counted).  Prefer :meth:`run_ids` + :meth:`load_run` when you do not
+        need every run's content."""
+        runs: dict[str, Run] = {}
+        for run_id in self.run_ids():
+            run = self.load_run(run_id)
+            if run is not None:
+                runs[run_id] = run
+        return runs
+
+    def run_ids(self) -> list[str]:
+        """Ids of the persisted runs, from the file names alone — no run is
+        parsed, so listing stays cheap however large the runs are."""
+        return sorted(
+            urllib.parse.unquote(path.stem) for path in self._runs_dir.glob("*.json")
+        )
+
+    # -- reporting ----------------------------------------------------------------
+
+    @property
+    def counters(self) -> StoreCounters:
+        with self._lock:
+            return StoreCounters(
+                hits=self._hits,
+                misses=self._misses,
+                writes=self._writes,
+                errors=self._errors,
+                evictions=self._evictions,
+            )
+
+    def describe(self) -> str:
+        entries = list(self._entries_dir.glob("*/*.json"))
+        runs = list(self._runs_dir.glob("*.json"))
+        counters = self.counters
+        bounds = "" if self.max_bytes is None else f", max_bytes={self.max_bytes}"
+        return (
+            f"IndexStore({str(self.root)!r}{bounds}) "
+            f"{len(entries)} entries ({self.total_bytes()} bytes), {len(runs)} runs, "
+            f"hits={counters.hits}, misses={counters.misses}, "
+            f"writes={counters.writes}, errors={counters.errors}, "
+            f"evictions={counters.evictions}"
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _open_envelope(
+        self,
+        envelope: Any,
+        kind: str,
+        *,
+        fingerprint: str | None = None,
+        query: str | None = None,
+    ) -> dict[str, Any]:
+        """Validate an envelope (kind, version, identity, checksum) and
+        return its payload; raises :class:`StoreError` on any mismatch."""
+        if not isinstance(envelope, dict):
+            raise StoreError("artifact is not a JSON object")
+        if envelope.get("kind") != kind:
+            raise StoreError(f"artifact kind {envelope.get('kind')!r}, expected {kind!r}")
+        if envelope.get("format") != FORMAT_VERSION:
+            raise StoreError(
+                f"artifact format {envelope.get('format')!r}, "
+                f"this build reads {FORMAT_VERSION}"
+            )
+        if fingerprint is not None and envelope.get("fingerprint") != fingerprint:
+            raise StoreError("artifact belongs to a different specification")
+        if query is not None and envelope.get("query") != query:
+            raise StoreError("artifact belongs to a different query")
+        payload = envelope.get("payload")
+        if _checksum(payload) != envelope.get("checksum"):
+            raise StoreError("artifact checksum mismatch")
+        return payload
+
+    def _touch(self, path: Path) -> None:
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def _count(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    def __iter__(self) -> Iterator[EntryInfo]:
+        return iter(self.entries())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries_dir.glob("*/*.json"))

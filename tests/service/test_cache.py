@@ -4,9 +4,12 @@ import threading
 
 import pytest
 
+from repro.core.decomposition import warm_frontier_dfa
 from repro.datasets.paper_example import paper_specification
 from repro.errors import UnsafeQueryError
 from repro.service import IndexCache
+from repro.store import IndexStore
+from repro.workflow.derivation import derive_run
 from repro.workflow.serialization import specification_from_dict, specification_to_dict
 
 SAFE_QUERIES = ["_* e _*", "_*", "A+", "_* b _*", "_* c _*"]
@@ -159,6 +162,80 @@ class TestBounds:
         assert len(cache) == 0
         assert cache.stats.misses == 1
         assert cache.stats.total_cost == 0
+
+
+class TestPlanCostAccounting:
+    """A plan (and its memoized macro DFAs) attached after insertion must
+    count against the ``max_cost`` budget, not ride along for free."""
+
+    def test_plan_attach_grows_entry_cost(self, spec):
+        cache = IndexCache()
+        cache.safety(spec, "_* a _*")
+        base = cache.stats.total_cost
+        cache.plan(spec, "_* a _*")
+        run = derive_run(spec, seed=0, target_edges=40)
+        plan = cache.plan(spec, "_* a _*")
+        warm_frontier_dfa(plan, run)
+        cache.sync(spec, "_* a _*")
+        assert plan.cost() > 0
+        assert cache.stats.total_cost >= base + plan.cost()
+
+    def test_plan_attach_triggers_eviction_over_budget(self, spec):
+        probe = IndexCache()
+        probe.safety(spec, "_* a _*")
+        plan = probe.plan(spec, "_* a _*")
+        run = derive_run(spec, seed=0, target_edges=40)
+        warm_frontier_dfa(plan, run)
+        probe.sync(spec, "_* a _*")
+        budget = probe.stats.total_cost  # fits the planned entry, barely
+
+        cache = IndexCache(max_entries=100, max_cost=budget)
+        for query in SAFE_QUERIES:
+            cache.index(spec, query)
+        cache.safety(spec, "_* a _*")
+        evictions_before = cache.stats.evictions
+        plan = cache.plan(spec, "_* a _*")
+        warm_frontier_dfa(plan, run)
+        cache.sync(spec, "_* a _*")
+        stats = cache.stats
+        assert stats.evictions > evictions_before
+        assert stats.total_cost <= budget
+
+    def test_sync_on_unknown_key_is_a_noop(self, spec):
+        cache = IndexCache()
+        cache.sync(spec, "_* a _*")
+        assert cache.stats.lookups == 0
+
+
+class TestStoreTier:
+    def test_miss_writes_back_and_restores(self, spec, tmp_path):
+        store = IndexStore(tmp_path)
+        cache = IndexCache(store=store)
+        cache.index(spec, "_* e _*")
+        assert cache.stats.store_writes == 1
+        warm = IndexCache(store=IndexStore(tmp_path))
+        warm.index(spec, "_* e _*")
+        stats = warm.stats
+        assert (stats.store_hits, stats.index_builds, stats.safety_checks) == (1, 0, 0)
+
+    def test_store_survives_memory_eviction(self, spec, tmp_path):
+        cache = IndexCache(max_entries=1, store=IndexStore(tmp_path))
+        cache.index(spec, SAFE_QUERIES[0])
+        cache.index(spec, SAFE_QUERIES[1])  # evicts [0] from memory only
+        cache.index(spec, SAFE_QUERIES[0])
+        stats = cache.stats
+        assert stats.evictions >= 1
+        assert stats.index_builds == 2  # second request for [0] was a store hit
+        assert stats.store_hits == 1
+
+    def test_attach_store_after_construction(self, spec, tmp_path):
+        store = IndexStore(tmp_path)
+        cache = IndexCache()
+        cache.attach_store(store)
+        cache.index(spec, "_*")
+        assert cache.stats.store_writes == 1
+        with pytest.raises(ValueError):
+            cache.attach_store(IndexStore(tmp_path / "other"))
 
 
 class TestStats:

@@ -44,11 +44,20 @@ class TestRegistration:
         assert service.run_ids() == ("run-1",)
         assert service.get_run("run-1") is run
 
-    def test_duplicate_id_rejected(self, run):
+    def test_duplicate_id_with_different_run_rejected(self, spec, run):
         service = QueryService()
         service.register_run(run, "r")
+        other = derive_run(spec, seed=9, target_edges=40)
         with pytest.raises(ValueError):
-            service.register_run(run, "r")
+            service.register_run(other, "r")
+
+    def test_reregistering_same_run_is_idempotent(self, run):
+        # Replaying registrations against a persistent registry (or a CLI
+        # passing --run for a run the store already holds) must be a no-op.
+        service = QueryService()
+        service.register_run(run, "r")
+        assert service.register_run(run, "r") == "r"
+        assert service.run_ids() == ("r",)
 
     def test_unknown_run_id(self, service):
         with pytest.raises(KeyError):
@@ -258,6 +267,85 @@ class TestCacheEffectiveness:
         results = service.run_batch(requests)
         assert all(result.ok for result in results)
         assert service.cache_stats.index_builds == 1
+
+
+class TestWarmRestart:
+    """The acceptance scenario of the persistent store: a restarted service
+    answers its first previously-seen query with zero index/plan rebuilds."""
+
+    QUERIES = ["_* e _*", "A+", "_* a _*"]  # two safe, one unsafe
+
+    def _requests(self, run):
+        return [
+            {"op": "allpairs", "run": "r1", "query": query, "id": f"q{position}"}
+            for position, query in enumerate(self.QUERIES)
+        ]
+
+    def test_restarted_service_rebuilds_nothing(self, run, tmp_path):
+        first = QueryService(store_dir=tmp_path, max_workers=2)
+        first.register_run(run, "r1")
+        statuses = first.warm("r1", self.QUERIES)
+        assert all(not status.startswith("error") for status in statuses.values())
+        reference = [result_to_dict(r) for r in first.run_batch(self._requests(run))]
+
+        restarted = QueryService(store_dir=tmp_path, max_workers=2)
+        assert restarted.run_ids() == ("r1",)  # registry restored, labels kept
+        results = [result_to_dict(r) for r in restarted.run_batch(self._requests(run))]
+        stats = restarted.cache_stats
+        assert stats.index_builds == 0
+        assert stats.safety_checks == 0
+        assert stats.plan_builds == 0
+        assert stats.store_hits > 0
+
+        def stable(records):
+            return [
+                {key: value for key, value in record.items() if key != "elapsed_ms"}
+                for record in records
+            ]
+
+        assert stable(results) == stable(reference)
+
+    def test_explicit_cache_gets_the_store_attached(self, run, tmp_path):
+        cache = IndexCache(max_entries=32)
+        service = QueryService(cache=cache, store_dir=tmp_path)
+        assert cache.store is service.store is not None
+        service.register_run(run, "r1")
+        service.warm("r1", ["_* e _*"])
+        assert service.cache_stats.store_writes > 0
+
+    def test_conflicting_cache_and_service_stores_rejected(self, tmp_path):
+        # Splitting the run registry and the index entries across two stores
+        # would silently break the warm-restart contract.
+        from repro.store import IndexStore
+
+        cache = IndexCache(store=IndexStore(tmp_path / "a"))
+        with pytest.raises(ValueError):
+            QueryService(cache=cache, store_dir=tmp_path / "b")
+
+    def test_same_directory_store_is_accepted(self, tmp_path):
+        # A second IndexStore instance for the same directory is consistent
+        # configuration; the cache's original instance stays canonical.
+        from repro.store import IndexStore
+
+        cache = IndexCache(store=IndexStore(tmp_path))
+        service = QueryService(cache=cache, store_dir=tmp_path)
+        assert service.store is cache.store
+
+    def test_service_adopts_the_caches_store(self, run, tmp_path):
+        from repro.store import IndexStore
+
+        cache = IndexCache(store=IndexStore(tmp_path))
+        service = QueryService(cache=cache)  # no store_dir
+        assert service.store is cache.store
+        service.register_run(run, "r1")  # registry lands in the same store
+        assert QueryService(store_dir=tmp_path).run_ids() == ("r1",)
+
+    def test_store_runs_register_before_new_ones(self, spec, run, tmp_path):
+        QueryService(store_dir=tmp_path).register_run(run, "persisted")
+        service = QueryService(store_dir=tmp_path)
+        other = derive_run(spec, seed=3, target_edges=30)
+        service.register_run(other)  # auto id must not collide
+        assert set(service.run_ids()) == {"persisted", "run-2"}
 
 
 class TestWireFormat:

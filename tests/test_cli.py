@@ -144,15 +144,17 @@ class TestCleanErrors:
         assert "repro: error:" in capsys.readouterr().err
 
 
-class TestBatchCommand:
-    @pytest.fixture()
-    def run_path(self, tmp_path, capsys):
-        path = tmp_path / "r1.json"
-        main(["derive", "paper-example", "--edges", "40", "--seed", "3",
-              "--output", str(path)])
-        capsys.readouterr()
-        return path
+@pytest.fixture()
+def run_path(tmp_path, capsys):
+    """A small derived run, shared by the batch/store/cache command tests."""
+    path = tmp_path / "r1.json"
+    main(["derive", "paper-example", "--edges", "40", "--seed", "3",
+          "--output", str(path)])
+    capsys.readouterr()
+    return path
 
+
+class TestBatchCommand:
     def _write_requests(self, tmp_path, records):
         path = tmp_path / "requests.jsonl"
         path.write_text("\n".join(json.dumps(record) for record in records) + "\n")
@@ -255,3 +257,88 @@ class TestBatchCommand:
 
         assert len(from_file) == 2
         assert strip_timing(from_file) == strip_timing(from_stdin)
+
+
+class TestStoreCommands:
+    def test_build_ls_stats_gc(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["store", "build", str(store), "--spec", "paper-example",
+                     "_* e _*", "_* a _*"]) == 0
+        out = capsys.readouterr().out
+        assert "safe: index stored" in out
+        assert "unsafe: safety verdict and plan stored" in out
+
+        assert main(["store", "ls", str(store)]) == 0
+        out = capsys.readouterr().out
+        # Planning "_* a _*" probed its subtrees through the cache, so their
+        # entries were persisted as a side effect too.
+        assert "4 entries, 0 runs" in out
+
+        assert main(["store", "stats", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "entries       : 4 (3 safe, 1 unsafe, 1 with plans)" in out
+
+        assert main(["store", "gc", str(store), "--max-bytes", "1"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["store", "ls", str(store)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_warm_then_batch_restarts_with_zero_builds(
+        self, tmp_path, run_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert main(["store", "warm", str(store), "--run", str(run_path),
+                     "_* e _*", "_* a _*"]) == 0
+        capsys.readouterr()
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"op": "allpairs", "run": "r1", "query": "_* a _*"}) + "\n"
+        )
+        # No --run: the store's persisted registry supplies the run.
+        assert main(["batch", str(requests), "--store", str(store)]) == 0
+        captured = capsys.readouterr()
+        assert "0 index builds" in captured.err
+        assert json.loads(captured.out.strip())["ok"] is True
+
+    def test_warm_without_runs_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["store", "warm", str(tmp_path / "store"), "_*"])
+
+    def test_inspection_of_missing_store_is_an_error(self, tmp_path):
+        # A mistyped path must not silently create an empty store.
+        for command in (["ls"], ["stats"], ["gc", "--max-bytes", "1"]):
+            with pytest.raises(SystemExit, match="no store directory"):
+                main(["store", *command[:1], str(tmp_path / "typo"), *command[1:]])
+        assert not (tmp_path / "typo").exists()
+
+    def test_batch_without_any_run_source_is_an_error(self, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("\n")
+        with pytest.raises(SystemExit):
+            main(["batch", str(requests), "--store", str(tmp_path / "store")])
+
+
+class TestCacheCommand:
+    def test_reports_warmed_service_statistics(self, tmp_path, run_path, capsys):
+        assert main(["cache", "--run", str(run_path), "--warm", "_* e _*",
+                     "--warm", "_* a _*"]) == 0
+        out = capsys.readouterr().out
+        assert "QueryService" in out and "IndexCache" in out
+
+    def test_json_output_with_store(self, tmp_path, run_path, capsys):
+        store = tmp_path / "store"
+        assert main(["cache", "--run", str(run_path), "--store", str(store),
+                     "--warm", "_* e _*", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["index_builds"] == 1
+        assert record["store_writes"] >= 1
+        # Second invocation: a fresh process restarts warm from the store.
+        assert main(["cache", "--run", str(run_path), "--store", str(store),
+                     "--warm", "_* e _*", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["index_builds"] == 0
+        assert record["store_hits"] >= 1
+
+    def test_warm_without_runs_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "--warm", "_*"])
