@@ -13,6 +13,7 @@ typically 2x2 to 10x10.
 
 from __future__ import annotations
 
+import base64
 from typing import Iterable, Iterator, Sequence
 
 __all__ = ["BooleanMatrix"]
@@ -88,6 +89,37 @@ class BooleanMatrix:
         matrices of arbitrary dimension (see :mod:`repro.store`).
         """
         return list(self._rows)
+
+    def to_packed(self) -> str:
+        """The rows as one base64 string of fixed-width little-endian bytes.
+
+        Each row bitmask is packed into ``ceil(size / 8)`` bytes, so an
+        ``n × n`` matrix costs ``~n²/6`` base64 characters instead of the
+        ``O(n²)`` decimal digits of :meth:`to_rows` — the store's compact
+        on-disk encoding (size travels separately, alongside the string).
+        """
+        width = (self._size + 7) // 8
+        packed = b"".join(row.to_bytes(width, "little") for row in self._rows)
+        return base64.b64encode(packed).decode("ascii")
+
+    @classmethod
+    def from_packed(cls, size: int, data: str) -> "BooleanMatrix":
+        """Rebuild a matrix from :meth:`to_packed` output (strict: a payload
+        whose byte length disagrees with ``size`` raises ``ValueError``)."""
+        packed = base64.b64decode(data.encode("ascii"), validate=True)
+        width = (size + 7) // 8
+        if len(packed) != width * size:
+            raise ValueError(
+                f"packed matrix holds {len(packed)} bytes, "
+                f"a {size}x{size} matrix needs {width * size}"
+            )
+        if size == 0:
+            return cls(0)
+        rows = [
+            int.from_bytes(packed[offset : offset + width], "little")
+            for offset in range(0, len(packed), width)
+        ]
+        return cls(size, rows)
 
     # -- basic queries -------------------------------------------------------
 

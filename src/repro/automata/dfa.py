@@ -108,6 +108,43 @@ class DFA:
             mask |= 1 << state
         return mask
 
+    def reversed(self, *, minimal: bool = True) -> "DFA":
+        """The (by default minimal) complete DFA of the *reversed* language:
+        ``w`` is accepted by the result iff ``reverse(w)`` is accepted here.
+
+        Built by flipping every transition into an NFA (a fresh start state
+        ε-branches to the old accepting states; the old start becomes the
+        accept) and determinizing over the same alphabet.  The alphabet is
+        carried verbatim — including synthetic macro symbols — and no ``ANY``
+        labels exist in a DFA, so wildcard expansion cannot re-enter.
+
+        The backward frontier search of the executor layer runs the product
+        search from the *targets* over this automaton, following run edges
+        against their direction; a node pair it reports is connected by some
+        path whose reversed tag word the reversed DFA accepts, which is
+        exactly a forward match of the original query.
+        """
+        from repro.automata.nfa import EPSILON, NFA
+
+        transitions: dict[int, list[tuple[object, int]]] = {}
+        for state, row in enumerate(self.transitions):
+            for tag, target in row.items():
+                transitions.setdefault(target, []).append((tag, state))
+        start = self.state_count
+        transitions[start] = [(EPSILON, state) for state in sorted(self.accepting)]
+        nfa = NFA(
+            start=start,
+            accept=self.start,
+            transitions=transitions,
+            state_count=self.state_count + 1,
+        )
+        reversed_dfa = determinize(nfa, self.alphabet)
+        if minimal:
+            from repro.automata.minimize import minimize_dfa
+
+            reversed_dfa = minimize_dfa(reversed_dfa)
+        return reversed_dfa
+
     def reachable_states(self) -> frozenset[int]:
         seen = {self.start}
         stack = [self.start]

@@ -126,11 +126,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 0
     l1 = args.sources.split(",") if args.sources else None
     l2 = args.targets.split(",") if args.targets else None
+    from repro.core.exec import ExecutorConfig
+
+    executor = ExecutorConfig(direction=args.direction, workers=args.workers)
     if args.stream:
         # Pairs go to stdout as the evaluator finds them (unsorted); the
         # count goes to stderr so piped output stays pure.
         count = 0
-        for source, target in engine.evaluate_iter(run, args.query, l1, l2):
+        for source, target in engine.evaluate_iter(
+            run, args.query, l1, l2, executor=executor
+        ):
             print(
                 json.dumps([source, target]) if args.json else f"{source} -> {target}",
                 flush=True,
@@ -138,7 +143,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
             count += 1
         print(f"{count} matching pairs", file=sys.stderr)
         return 0
-    matches = engine.evaluate(run, args.query, l1, l2, strategy=args.strategy)
+    matches = engine.evaluate(
+        run, args.query, l1, l2, strategy=args.strategy, executor=executor
+    )
     if args.json:
         print(json.dumps(sorted(matches)))
     else:
@@ -296,11 +303,23 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
 
 def _cmd_store_gc(args: argparse.Namespace) -> int:
     store = _existing_store(args.dir)
-    result = store.gc(args.max_bytes)
-    print(
-        f"removed {result.removed} entries ({result.freed_bytes} bytes); "
-        f"{result.remaining_bytes} bytes remain"
-    )
+    if args.max_bytes is None and not args.orphans:
+        raise SystemExit(
+            "repro store gc needs --max-bytes (size-budgeted LRU sweep), "
+            "--orphans (drop entries of unregistered grammars), or both"
+        )
+    if args.orphans:
+        result = store.gc_orphans()
+        print(
+            f"orphans: removed {result.removed} entries ({result.freed_bytes} bytes); "
+            f"{result.remaining_bytes} bytes remain"
+        )
+    if args.max_bytes is not None:
+        result = store.gc(args.max_bytes)
+        print(
+            f"lru: removed {result.removed} entries ({result.freed_bytes} bytes); "
+            f"{result.remaining_bytes} bytes remain"
+        )
     return 0
 
 
@@ -394,6 +413,28 @@ def build_parser() -> argparse.ArgumentParser:
             "cost-based choice (default)"
         ),
     )
+    query_parser.add_argument(
+        "--direction",
+        choices=["auto", "forward", "backward"],
+        default="auto",
+        help=(
+            "frontier search direction for unsafe all-pairs queries: forward "
+            "runs one search per requested source, backward runs one per "
+            "requested target over the reversed query DFA (wins when "
+            "--targets is much smaller than --sources); auto (default) "
+            "compares the two seed counts with the cost model"
+        ),
+    )
+    query_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "parallel frontier fan-out for unsafe all-pairs queries: the "
+            "per-seed searches are spread over this many workers (process "
+            "pool where available); 1 (default) runs serial"
+        ),
+    )
     query_parser.set_defaults(handler=_cmd_query)
 
     batch_parser = sub.add_parser(
@@ -482,14 +523,27 @@ def build_parser() -> argparse.ArgumentParser:
     store_stats.set_defaults(handler=_cmd_store_stats)
 
     store_gc = store_sub.add_parser(
-        "gc", help="evict least-recently-used entries down to a size budget"
+        "gc",
+        help=(
+            "reclaim entries: LRU down to a size budget and/or drop entries "
+            "of grammars with no registered run"
+        ),
     )
     store_gc.add_argument("dir")
     store_gc.add_argument(
         "--max-bytes",
         type=int,
-        required=True,
-        help="entry-tier size budget; runs are never evicted",
+        default=None,
+        help="entry-tier size budget (LRU sweep); runs are never evicted",
+    )
+    store_gc.add_argument(
+        "--orphans",
+        action="store_true",
+        help=(
+            "drop entries whose specification fingerprint matches no run in "
+            "the store's registry (note: a store used only via 'repro store "
+            "build', with no registered runs, is all orphans by definition)"
+        ),
     )
     store_gc.set_defaults(handler=_cmd_store_gc)
 

@@ -18,8 +18,11 @@ This package contains the query-time machinery of the paper:
   tries, with nested-loop (S1), reachability-filtered (S2 / optRPL) and
   group-at-a-time vectorized (optRPL-G, streaming) strategies.
 * :mod:`repro.core.decomposition` — general (possibly unsafe) queries: find
-  the largest safe subqueries of the parse tree, evaluate them with the safe
-  engine, and compose the remainder with relational joins.
+  the largest safe subqueries of the parse tree (the *planner* side:
+  decomposition, macro DFAs and their reversals, cost/direction memos).
+* :mod:`repro.core.exec` — the *executor* side: physical plans
+  (frontier/join/label-decode/restrict operators), direction resolution, and
+  serial or parallel execution with streaming merge.
 * :mod:`repro.core.optimizer` — a simple cost model choosing between the
   labeling-based engine and the baselines (the paper's future-work item).
 * :mod:`repro.core.engine` — the :class:`ProvenanceQueryEngine` facade tying
@@ -37,6 +40,12 @@ from repro.core.decomposition import (
     evaluate_general_query_iter,
 )
 from repro.core.engine import ProvenanceQueryEngine
+from repro.core.exec import (
+    ExecutorConfig,
+    PhysicalPlan,
+    WorkerBudget,
+    build_physical_plan,
+)
 from repro.core.intersection import intersect_specification
 from repro.core.pairwise import answer_pairwise_query, pairwise_reach_matrix
 from repro.core.query_index import QueryIndex, build_query_index
@@ -44,14 +53,18 @@ from repro.core.safety import SafetyReport, analyze_safety, is_safe_query
 
 __all__ = [
     "AllPairsOptions",
+    "ExecutorConfig",
+    "PhysicalPlan",
     "ProvenanceQueryEngine",
     "QueryIndex",
     "SafetyReport",
+    "WorkerBudget",
     "all_pairs_iter",
     "all_pairs_reachability",
     "all_pairs_safe_query",
     "analyze_safety",
     "answer_pairwise_query",
+    "build_physical_plan",
     "build_query_index",
     "evaluate_general_query",
     "evaluate_general_query_iter",

@@ -37,12 +37,24 @@ instead of being applied to a whole-run result:
 Either way, peak relation size is bounded by the nodes reachable from ``l1``
 (and co-reachable from ``l2``) rather than by the run.  ``strategy="auto"``
 picks between the two with the cost model of :mod:`repro.core.optimizer`.
+
+Planner/executor split
+----------------------
+
+This module is the *planner* side of the evaluation stack: everything here —
+safe-subtree search, macro rewriting, (reversed) macro DFAs, cost and
+direction memos — is pure, run-graph-independent where possible, cacheable
+in the shared :class:`~repro.service.cache.IndexCache` and serializable by
+:mod:`repro.store`.  The *physical* side — strategy/direction resolution
+into operator trees and their serial or parallel execution — lives in
+:mod:`repro.core.exec`; the ``evaluate_general_query*`` functions below are
+thin compatibility wrappers over ``build_physical_plan`` + ``execute``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.automata.dfa import DFA, determinize
 from repro.automata.nfa import nfa_from_regex
@@ -59,23 +71,19 @@ from repro.automata.regex import (
     regex_alphabet,
     regex_to_string,
 )
-from repro.core.allpairs import AllPairsOptions, all_pairs_iter, all_pairs_safe_query
+from repro.core.allpairs import AllPairsOptions
 from repro.core.optimizer import (
-    estimate_frontier_search_cost,
     estimate_join_cost,
     estimate_label_all_pairs_cost,
 )
 from repro.core.query_index import QueryIndex, build_query_index
-from repro.core.relations import (
-    NodePairs,
-    evaluate_regex_relation,
-    restrict,
-    restriction_universe,
-    product_frontier_targets,
-)
+from repro.core.relations import NodePairs
 from repro.core.safety import is_safe_query
 from repro.workflow.run import Run
 from repro.workflow.spec import Specification
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.exec import ExecutorConfig
 
 __all__ = [
     "DecompositionPlan",
@@ -111,6 +119,16 @@ class DecompositionPlan:
     safe_subtrees: list[RegexNode] = field(default_factory=list)
     _routing_memo: dict = field(default_factory=dict, repr=False, compare=False)
     _dfa_memo: dict = field(default_factory=dict, repr=False, compare=False)
+    _direction_memo: dict = field(default_factory=dict, repr=False, compare=False)
+    _mutations: int = field(default=0, repr=False, compare=False)
+
+    @property
+    def mutations(self) -> int:
+        """How many times the persistable memos (macro DFAs, direction
+        decisions) have grown.  The cache layer compares this against the
+        count it last persisted to decide whether the store copy is stale —
+        direction decisions change no cost, so cost alone cannot tell."""
+        return self._mutations
 
     @property
     def is_fully_safe(self) -> bool:
@@ -152,6 +170,30 @@ class DecompositionPlan:
         """Re-attach macro DFAs persisted by a previous process, so the first
         frontier evaluation after a warm restart skips the determinization."""
         self._dfa_memo.update(dfas)
+
+    def cached_direction(self, key: str) -> str | None:
+        """The last frontier direction recorded for one workload shape
+        (see :func:`repro.core.exec.plan.build_physical_plan`), or ``None``.
+        A record, not a routing input: the executor layer re-derives the
+        decision (O(1) arithmetic) on every plan."""
+        return self._direction_memo.get(key)
+
+    def remember_direction(self, key: str, direction: str) -> None:
+        """Record a used direction decision; bounded like the routing memo."""
+        if len(self._direction_memo) >= 1024:
+            self._direction_memo.clear()
+        self._direction_memo[key] = direction
+        self._mutations += 1
+
+    def direction_hints(self) -> dict[str, str]:
+        """A snapshot of the recorded direction decisions, keyed by
+        log-bucketed workload shape (persisted by :mod:`repro.store` as an
+        inspectable routing history that survives restarts)."""
+        return dict(self._direction_memo)
+
+    def restore_direction_hints(self, hints: dict[str, str]) -> None:
+        """Re-attach direction decisions persisted by a previous process."""
+        self._direction_memo.update(hints)
 
     def describe(self) -> str:
         parts = ", ".join(regex_to_string(node) for node in self.safe_subtrees) or "(none)"
@@ -292,11 +334,38 @@ def _macro_dfa(plan: DecompositionPlan, rewritten: RegexNode, macro_tags: set[st
 
         cached = minimize_dfa(dfa)
         plan._dfa_memo[key] = cached
+        plan._mutations += 1
+    return cached
+
+
+#: Memo-key prefix of *reversed* macro DFAs (backward frontier search).  The
+#: NUL byte keeps it disjoint from any rendered query text, and distinct from
+#: the macro-symbol prefix, so forward and reversed entries share one memo —
+#: and one store payload — without colliding.
+_REVERSED_PREFIX = "\x00rev:"
+
+
+def _reversed_macro_dfa(
+    plan: DecompositionPlan, rewritten: RegexNode, macro_tags: set[str]
+) -> DFA:
+    """The reversed macro DFA (the automaton the backward frontier search
+    drives from the requested targets), memoized on the plan alongside the
+    forward one so it persists with the entry."""
+    key = _REVERSED_PREFIX + regex_to_string(rewritten)
+    cached = plan._dfa_memo.get(key)
+    if cached is None:
+        cached = _macro_dfa(plan, rewritten, macro_tags).reversed()
+        plan._dfa_memo[key] = cached
+        plan._mutations += 1
     return cached
 
 
 def warm_frontier_dfa(
-    plan: DecompositionPlan, run: Run, *, cost_based_routing: bool = True
+    plan: DecompositionPlan,
+    run: Run,
+    *,
+    cost_based_routing: bool = True,
+    direction: str = "forward",
 ) -> DFA:
     """Build (and memoize on the plan) the macro DFA the frontier strategy
     will use for this run's routing decision, without evaluating anything.
@@ -304,73 +373,20 @@ def warm_frontier_dfa(
     Called by warm-up paths (``QueryService.warm``, ``repro store warm``) so
     that the DFA lands in the plan's memo — and, through the cache's store
     write-back, on disk — before the first real request arrives.
+    ``direction="backward"`` warms the reversed automaton of the backward
+    frontier search instead.
     """
     routed = label_routed_subtrees(plan, run, cost_based_routing=cost_based_routing)
     rewritten, macro_map = (
         _substitute_macros(plan.root, routed) if routed else (plan.root, {})
     )
+    if direction == "backward":
+        return _reversed_macro_dfa(plan, rewritten, set(macro_map))
     return _macro_dfa(plan, rewritten, set(macro_map))
 
 
-def _macro_successor_provider(
-    run: Run,
-    subtree: RegexNode,
-    indexes: IndexProvider,
-    allowed: frozenset[str] | None,
-    options: AllPairsOptions,
-) -> Callable[[str], tuple[str, ...]]:
-    """Lazy adjacency view of one safe subquery's relation, restricted to the
-    ``allowed`` universe.  The relation is label-decoded once, on the first
-    frontier expansion that actually crosses the macro edge."""
-    adjacency: dict[str, list[str]] | None = None
-
-    def successors(node: str) -> tuple[str, ...]:
-        nonlocal adjacency
-        if adjacency is None:
-            index = indexes(subtree)
-            universe = list(allowed) if allowed is not None else list(run.node_ids())
-            adjacency = {}
-            for u, v in all_pairs_iter(run, universe, universe, index, options):
-                adjacency.setdefault(u, []).append(v)
-        return tuple(adjacency.get(node, ()))
-
-    return successors
-
-
-def _frontier_pairs(
-    run: Run,
-    plan: DecompositionPlan,
-    l1: Sequence[str] | None,
-    l2: Sequence[str] | None,
-    allowed: frozenset[str] | None,
-    options: AllPairsOptions,
-    indexes: IndexProvider,
-    cost_based_routing: bool,
-) -> Iterator[tuple[str, str]]:
-    """Stream the answers of an unsafe query with one pruned product-DFA
-    frontier search per source (memory bounded by the ``allowed`` region,
-    never by the result set)."""
-    routed = label_routed_subtrees(plan, run, cost_based_routing=cost_based_routing)
-    rewritten, macro_map = (
-        _substitute_macros(plan.root, routed) if routed else (plan.root, {})
-    )
-    dfa = _macro_dfa(plan, rewritten, set(macro_map))
-    providers = {
-        tag: _macro_successor_provider(run, subtree, indexes, allowed, options)
-        for tag, subtree in macro_map.items()
-    }
-    sources = dict.fromkeys(l1 if l1 is not None else run.node_ids())
-    targets = None if l2 is None else set(l2)
-    for source in sources:
-        hits = product_frontier_targets(
-            run, dfa, source, allowed=allowed, macro_successors=providers or None
-        )
-        for target in hits if targets is None else hits & targets:
-            yield source, target
-
-
 # ---------------------------------------------------------------------------
-# Public evaluators
+# Public evaluators (thin wrappers over the planner/executor split)
 # ---------------------------------------------------------------------------
 
 
@@ -391,28 +407,6 @@ def _prepare(
     return plan, indexes
 
 
-def _pick_strategy(
-    plan: DecompositionPlan,
-    run: Run,
-    l1: Sequence[str] | None,
-    allowed: frozenset[str] | None,
-) -> str:
-    """Frontier when the requested sources are selective enough that per-
-    source searches beat materializing the join remainder."""
-    if l1 is None and allowed is None:
-        return "join"
-    seeds = set(l1) if l1 is not None else set(allowed or ())
-    if allowed is not None:
-        seeds &= allowed
-    frontier_cost = estimate_frontier_search_cost(
-        run,
-        plan.root,
-        len(seeds),
-        allowed_count=len(allowed) if allowed is not None else None,
-    )
-    return "frontier" if frontier_cost <= estimate_join_cost(run, plan.root) else "join"
-
-
 def evaluate_general_query(
     run: Run,
     query: str | RegexNode,
@@ -426,6 +420,8 @@ def evaluate_general_query(
     index_provider: IndexProvider | None = None,
     strategy: str = "auto",
     push_restrictions: bool = True,
+    direction: str = "auto",
+    executor: "ExecutorConfig | None" = None,
 ) -> NodePairs:
     """Answer a general all-pairs query, safe or not.
 
@@ -441,7 +437,12 @@ def evaluate_general_query(
 
     ``strategy`` selects how the unsafe remainder is evaluated: ``"frontier"``
     (per-source product-DFA search), ``"join"`` (bottom-up relational
-    evaluation), or ``"auto"`` (cost-based choice).  ``push_restrictions=False``
+    evaluation), or ``"auto"`` (cost-based choice).  ``direction`` orients
+    the frontier strategy (``"forward"`` from the sources, ``"backward"``
+    from the targets over the reversed macro DFA, or ``"auto"`` to let the
+    cost model compare seed counts); ``executor`` tunes the physical
+    execution further (parallel fan-out, merge order — see
+    :class:`~repro.core.exec.ExecutorConfig`).  ``push_restrictions=False``
     disables the ``allowed``-universe pruning and restores the pre-pushdown
     behaviour of evaluating over the whole run and restricting afterwards
     (kept as the benchmarks' reference point).
@@ -455,54 +456,26 @@ def evaluate_general_query(
     to always use the labeling engine for safe subqueries (the paper's plain
     heuristic).
     """
-    if strategy not in ("auto", "frontier", "join"):
-        raise ValueError(f"unknown strategy {strategy!r}; use 'auto', 'frontier' or 'join'")
+    from repro.core.exec import build_physical_plan, execute
+
     plan, indexes = _prepare(run, query, plan, index_provider)
-    root = plan.root
     options = AllPairsOptions(
         use_reachability_filter=use_reachability_filter, vectorized=vectorized
     )
-
-    if plan.is_fully_safe:
-        index = indexes(root)
-        universe1 = list(l1) if l1 is not None else list(run.node_ids())
-        universe2 = list(l2) if l2 is not None else list(run.node_ids())
-        return all_pairs_safe_query(run, universe1, universe2, index, options)
-
-    allowed = restriction_universe(run, l1, l2) if push_restrictions else None
-    if strategy != "auto":
-        chosen = strategy
-    elif not push_restrictions:
-        # The flag is the pre-pushdown reference point: evaluate the whole
-        # run with joins and restrict afterwards, never route by seeds.
-        chosen = "join"
-    else:
-        chosen = _pick_strategy(plan, run, l1, allowed)
-
-    if chosen == "frontier":
-        return set(
-            _frontier_pairs(
-                run, plan, l1, l2, allowed, options, indexes, cost_based_routing
-            )
-        )
-
-    safe_nodes = set(plan.safe_subtrees)
-    universe: list[str] | None = None
-
-    def subquery_evaluator(node: RegexNode) -> NodePairs | None:
-        nonlocal universe
-        if node not in safe_nodes or not _should_use_labels(
-            plan, run, node, cost_based_routing
-        ):
-            return None
-        if universe is None:
-            universe = list(allowed) if allowed is not None else list(run.node_ids())
-        return all_pairs_safe_query(run, universe, universe, indexes(node), options)
-
-    relation = evaluate_regex_relation(
-        run, root, subquery_evaluator=subquery_evaluator, allowed=allowed
+    physical = build_physical_plan(
+        run,
+        plan,
+        l1,
+        l2,
+        options=options,
+        indexes=indexes,
+        strategy=strategy,
+        direction=direction,
+        executor=executor,
+        push_restrictions=push_restrictions,
+        cost_based_routing=cost_based_routing,
     )
-    return restrict(relation, l1, l2)
+    return execute(physical)
 
 
 def evaluate_general_query_iter(
@@ -517,25 +490,39 @@ def evaluate_general_query_iter(
     cost_based_routing: bool = True,
     index_provider: IndexProvider | None = None,
     push_restrictions: bool = True,
+    direction: str = "auto",
+    executor: "ExecutorConfig | None" = None,
 ) -> Iterator[tuple[str, str]]:
     """Stream the answers of a general all-pairs query, safe or not.
 
     Safe queries stream straight out of the group-at-a-time evaluator.
     Unsafe queries stream through the frontier strategy: one pruned
-    product-DFA search per source, so memory stays bounded by the nodes
-    reachable from ``l1`` (times the DFA size) plus the label-decoded
+    product-DFA search per seed — per source forward, per target backward —
+    so memory stays bounded by the nodes reachable from ``l1`` (and
+    co-reachable from ``l2``, times the DFA size) plus the label-decoded
     relations of the routed safe subqueries — never by the result set.
-    Each matching pair is yielded exactly once.  Planning and safety
-    analysis run eagerly, before the iterator is returned.
+    ``executor`` enables the parallel per-seed executor (fan-out across a
+    worker pool with ordered or unordered streaming merge).  Each matching
+    pair is yielded exactly once.  Planning and safety analysis run eagerly,
+    before the iterator is returned.
     """
+    from repro.core.exec import build_physical_plan, execute_iter
+
     plan, indexes = _prepare(run, query, plan, index_provider)
     options = AllPairsOptions(
         use_reachability_filter=use_reachability_filter, vectorized=vectorized
     )
-    if plan.is_fully_safe:
-        index = indexes(plan.root)
-        universe1 = list(l1) if l1 is not None else list(run.node_ids())
-        universe2 = list(l2) if l2 is not None else list(run.node_ids())
-        return all_pairs_iter(run, universe1, universe2, index, options)
-    allowed = restriction_universe(run, l1, l2) if push_restrictions else None
-    return _frontier_pairs(run, plan, l1, l2, allowed, options, indexes, cost_based_routing)
+    physical = build_physical_plan(
+        run,
+        plan,
+        l1,
+        l2,
+        options=options,
+        indexes=indexes,
+        strategy="frontier" if not plan.is_fully_safe else "auto",
+        direction=direction,
+        executor=executor,
+        push_restrictions=push_restrictions,
+        cost_based_routing=cost_based_routing,
+    )
+    return execute_iter(physical)

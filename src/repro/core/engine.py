@@ -47,6 +47,7 @@ from repro.workflow.run import Run
 from repro.workflow.spec import Specification
 
 if TYPE_CHECKING:
+    from repro.core.exec import ExecutorConfig
     from repro.service.cache import IndexCache
 
 __all__ = ["ProvenanceQueryEngine", "DEFAULT_CACHE_ENTRIES"]
@@ -229,6 +230,8 @@ class ProvenanceQueryEngine:
         use_reachability_filter: bool = True,
         vectorized: bool = True,
         strategy: str = "auto",
+        direction: str = "auto",
+        executor: "ExecutorConfig | None" = None,
     ) -> set[tuple[str, str]]:
         """Answer any all-pairs query, safe or not.
 
@@ -237,7 +240,11 @@ class ProvenanceQueryEngine:
         remainder (Section IV-B) evaluated with restriction pushdown: the
         ``l1``/``l2`` lists bound every intermediate relation instead of
         being applied to a whole-run result.  ``strategy`` routes the unsafe
-        remainder (``"auto"``, ``"frontier"``, or ``"join"``; see
+        remainder (``"auto"``, ``"frontier"``, or ``"join"``), ``direction``
+        orients the frontier strategy (``"backward"`` searches from the
+        targets over the reversed macro DFA), and ``executor`` tunes the
+        physical execution (parallel per-seed fan-out; see
+        :class:`~repro.core.exec.ExecutorConfig` and
         :func:`~repro.core.decomposition.evaluate_general_query`).
         """
         if strategy not in ("auto", "frontier", "join"):
@@ -246,6 +253,10 @@ class ProvenanceQueryEngine:
             # to be unsafe.
             raise ValueError(
                 f"unknown strategy {strategy!r}; use 'auto', 'frontier' or 'join'"
+            )
+        if direction not in ("auto", "forward", "backward"):
+            raise ValueError(
+                f"unknown direction {direction!r}; use 'auto', 'forward' or 'backward'"
             )
         self._check_run(run)
         node = parse_regex(query)
@@ -262,6 +273,8 @@ class ProvenanceQueryEngine:
                 vectorized=vectorized,
                 index_provider=self._subtree_index_provider(),
                 strategy=strategy,
+                direction=direction,
+                executor=executor,
             )
         return self.all_pairs(
             run,
@@ -281,17 +294,23 @@ class ProvenanceQueryEngine:
         *,
         use_reachability_filter: bool = True,
         vectorized: bool = True,
+        direction: str = "auto",
+        executor: "ExecutorConfig | None" = None,
     ) -> Iterator[tuple[str, str]]:
         """Stream the answers of any all-pairs query, safe or not.
 
         Safe queries stream straight out of the group-at-a-time evaluator
-        (constant memory).  Unsafe queries stream through the decomposition
-        engine's per-source frontier search: memory is bounded by the region
-        of the run reachable from ``l1`` (and co-reachable from ``l2``) plus
-        the routed safe subqueries' relations — never by the result set, and
-        never by materializing a whole-run relation.  Validation (run/spec
-        match, parsing, safety, planning) runs eagerly, before the iterator
-        is returned.
+        (constant memory).  Unsafe queries stream through the executor
+        layer's per-seed frontier search — forward from the sources, or
+        backward from the targets over the reversed macro DFA
+        (``direction``), optionally fanned across a worker pool with ordered
+        or unordered streaming merge (``executor``; see
+        :class:`~repro.core.exec.ExecutorConfig`): memory is bounded by the
+        region of the run reachable from ``l1`` (and co-reachable from
+        ``l2``) plus the routed safe subqueries' relations — never by the
+        result set, and never by materializing a whole-run relation.
+        Validation (run/spec match, parsing, safety, planning) runs eagerly,
+        before the iterator is returned.
         """
         self._check_run(run)
         node = parse_regex(query)
@@ -307,6 +326,8 @@ class ProvenanceQueryEngine:
                 use_reachability_filter=use_reachability_filter,
                 vectorized=vectorized,
                 index_provider=self._subtree_index_provider(),
+                direction=direction,
+                executor=executor,
             )
         return self.all_pairs_iter(
             run,

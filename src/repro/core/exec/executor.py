@@ -1,0 +1,306 @@
+"""Physical-plan execution: serial, thread-pool and process-pool variants.
+
+``execute`` materializes a plan's result set; ``execute_iter`` streams it.
+The interesting operator is :class:`FrontierSearchOp`:
+
+* **serial** — one pruned product search per seed on the calling thread,
+  yielding each seed's pairs as they are found (the PR-3 behaviour, now
+  direction-aware);
+* **parallel** — the per-seed searches are embarrassingly parallel, so the
+  seed list is split into contiguous chunks fanned across a worker pool.
+  The ``thread`` backend shares the run and the lazily decoded macro
+  relations directly (cheap, but GIL-bound); the ``process`` backend ships a
+  plain-data :class:`~repro.core.exec.worker.SearchContext` to each worker
+  for true parallelism, falling back to threads where process pools are
+  unavailable.  ``ordered=True`` merges chunk results in seed order;
+  otherwise chunks stream in completion order.
+
+A service-supplied :class:`~repro.core.exec.config.WorkerBudget` caps the
+granted fan-out: when the shared pool is saturated the search simply runs
+serial instead of oversubscribing the host.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+import multiprocessing
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.core.allpairs import all_pairs_iter, all_pairs_safe_query
+from repro.core.exec.ops import (
+    FrontierSearchOp,
+    JoinOp,
+    LabelDecodeOp,
+    RestrictOp,
+)
+from repro.core.exec.plan import PhysicalPlan
+from repro.core.exec.worker import SearchContext, init_worker, search_chunk, search_seeds
+from repro.core.relations import (
+    NodePairs,
+    evaluate_regex_relation,
+    restrict,
+)
+
+__all__ = ["execute", "execute_iter"]
+
+
+def execute(plan: PhysicalPlan) -> NodePairs:
+    """Run a physical plan to a materialized set of ``(source, target)``."""
+    root = plan.root
+    if isinstance(root, LabelDecodeOp):
+        return all_pairs_safe_query(
+            plan.run,
+            list(root.l1),
+            list(root.l2),
+            plan.indexes(root.node),
+            plan.options,
+        )
+    if isinstance(root, FrontierSearchOp):
+        return set(_iter_frontier(plan, root))
+    if isinstance(root, RestrictOp):
+        inner = _execute_join(plan, root.child)
+        return restrict(inner, root.l1, root.l2)
+    if isinstance(root, JoinOp):
+        return _execute_join(plan, root)
+    raise TypeError(f"unknown physical operator {root!r}")
+
+
+def execute_iter(plan: PhysicalPlan) -> Iterator[tuple[str, str]]:
+    """Stream a physical plan's pairs (each exactly once, unordered unless
+    the executor config says ``ordered``).  Frontier and label-decode plans
+    stream genuinely; join plans materialize first (they have no streaming
+    formulation) and then iterate.
+    """
+    root = plan.root
+    if isinstance(root, LabelDecodeOp):
+        return all_pairs_iter(
+            plan.run,
+            list(root.l1),
+            list(root.l2),
+            plan.indexes(root.node),
+            plan.options,
+        )
+    if isinstance(root, FrontierSearchOp):
+        return _iter_frontier(plan, root)
+    return iter(execute(plan))
+
+
+# ---------------------------------------------------------------------------
+# Join execution
+# ---------------------------------------------------------------------------
+
+
+def _execute_join(plan: PhysicalPlan, op: JoinOp) -> NodePairs:
+    """Bottom-up relational evaluation with routed safe subtrees answered by
+    the labeling engine over the ``allowed`` universe."""
+    run, options, indexes = plan.run, plan.options, plan.indexes
+    universe: list[str] | None = None
+
+    def subquery_evaluator(node) -> NodePairs | None:
+        nonlocal universe
+        if node not in op.routed:
+            return None
+        if universe is None:
+            universe = (
+                list(op.allowed) if op.allowed is not None else list(run.node_ids())
+            )
+        return all_pairs_safe_query(run, universe, universe, indexes(node), options)
+
+    return evaluate_regex_relation(
+        run, op.root, subquery_evaluator=subquery_evaluator, allowed=op.allowed
+    )
+
+
+# ---------------------------------------------------------------------------
+# Frontier execution
+# ---------------------------------------------------------------------------
+
+
+def _iter_frontier(plan: PhysicalPlan, op: FrontierSearchOp) -> Iterator[tuple[str, str]]:
+    config = plan.executor
+    requested = min(config.workers, len(op.seeds)) if op.seeds else 1
+    if requested <= 1:
+        yield from _iter_frontier_serial(plan, op)
+        return
+    if config.budget is None:
+        yield from _iter_frontier_parallel(plan, op, requested, release=None)
+        return
+    granted = config.budget.acquire(requested)
+    if granted <= 1:
+        config.budget.release(granted)
+        yield from _iter_frontier_serial(plan, op)
+        return
+    released = False
+    release_lock = threading.Lock()
+
+    def release() -> None:
+        # The searches are done the moment the last chunk future completes;
+        # a slow consumer draining the stream afterwards must not keep
+        # budget slots hostage, so release exactly once, as early as that
+        # (called from future done-callbacks and, as the safety net, from
+        # the finally below — hence the lock).
+        nonlocal released
+        with release_lock:
+            if released:
+                return
+            released = True
+        config.budget.release(granted)
+
+    try:
+        yield from _iter_frontier_parallel(plan, op, granted, release=release)
+    finally:
+        release()
+
+
+def _graph_adjacency(plan: PhysicalPlan, op: FrontierSearchOp):
+    return plan.run.successors if op.direction == "forward" else plan.run.predecessors
+
+
+def _lazy_macro_successors(op: FrontierSearchOp):
+    return {
+        tag: relation.expander(op.direction) for tag, relation in op.macros.items()
+    } or None
+
+
+def _iter_frontier_serial(
+    plan: PhysicalPlan, op: FrontierSearchOp
+) -> Iterator[tuple[str, str]]:
+    adjacency = _graph_adjacency(plan, op)
+    macro_successors = _lazy_macro_successors(op)
+    for seed in op.seeds:
+        yield from search_seeds(
+            adjacency,
+            op.dfa,
+            (seed,),
+            allowed=op.allowed,
+            emit_filter=op.emit_filter,
+            macro_successors=macro_successors,
+            forward=op.direction == "forward",
+        )
+
+
+def _chunked(seeds: tuple[str, ...], chunk_count: int) -> list[tuple[str, ...]]:
+    """Contiguous chunks (seed order preserved across the concatenation, so
+    the ordered merge yields pairs grouped in seed order)."""
+    size = max(1, -(-len(seeds) // chunk_count))
+    return [seeds[offset : offset + size] for offset in range(0, len(seeds), size)]
+
+
+@contextmanager
+def _worker_pool(plan: PhysicalPlan, op: FrontierSearchOp, granted: int):
+    """A ready-to-submit pool plus its chunk function.
+
+    Process pools get a plain-data :class:`SearchContext` shipped once per
+    worker and are probed with an empty chunk before any real work, so *any*
+    process-side failure — no ``fork``, missing ``/dev/shm``, a worker that
+    cannot re-import or unpickle the context — degrades to the thread
+    backend rather than failing the query.  Macro relations are materialized
+    here, in the parent, exactly once: a deliberate trade — workers cannot
+    label-decode, so the process backend pays the decode up front even when
+    no live product state would ever cross the macro edge (serial and thread
+    execution stay lazy; prefer ``backend="thread"`` for macro-heavy queries
+    whose edges are rarely reached).  Thread pools share the run and the
+    lazily decoded macro relations directly — no copies, the first chunk
+    that crosses a macro edge decodes it for everyone.
+    """
+    backend = plan.executor.resolved_backend()
+    pool: Executor | None = None
+    task = None
+    if backend == "process":
+        try:
+            context = SearchContext(
+                direction=op.direction,
+                adjacency=dict(_graph_adjacency(plan, op)),
+                dfa=op.dfa,
+                allowed=op.allowed,
+                emit_filter=op.emit_filter,
+                macros={
+                    tag: dict(relation.adjacency(op.direction))
+                    for tag, relation in op.macros.items()
+                },
+            )
+            # Prefer a forkserver context: the executor is routinely called
+            # from a multithreaded QueryService, where plain fork can
+            # inherit a lock held mid-fork and hang the child; forkserver
+            # forks from a clean single-threaded server instead.
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = (
+                multiprocessing.get_context("forkserver")
+                if "forkserver" in methods
+                else None
+            )
+            pool = ProcessPoolExecutor(
+                max_workers=granted,
+                initializer=init_worker,
+                initargs=(context,),
+                mp_context=mp_context,
+            )
+            # Workers spawn lazily: exercise one before committing to the
+            # backend, while falling back is still free.
+            pool.submit(search_chunk, ()).result(timeout=15)
+            task = search_chunk
+        except Exception:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+    if pool is None:
+        adjacency = _graph_adjacency(plan, op)
+        macro_successors = _lazy_macro_successors(op)
+
+        def task(seeds: tuple[str, ...]) -> list[tuple[str, str]]:
+            return search_seeds(
+                adjacency,
+                op.dfa,
+                seeds,
+                allowed=op.allowed,
+                emit_filter=op.emit_filter,
+                macro_successors=macro_successors,
+                forward=op.direction == "forward",
+            )
+
+        pool = ThreadPoolExecutor(max_workers=granted)
+    try:
+        yield pool, task
+    finally:
+        pool.shutdown(wait=True)
+
+
+def _iter_frontier_parallel(
+    plan: PhysicalPlan,
+    op: FrontierSearchOp,
+    granted: int,
+    release: Callable[[], None] | None,
+) -> Iterator[tuple[str, str]]:
+    chunks = _chunked(op.seeds, granted * 4)
+    with _worker_pool(plan, op, granted) as (pool, task):
+        futures = [pool.submit(task, chunk) for chunk in chunks]
+        if release is not None:
+            # Completion-driven, not consumption-driven: the budget frees as
+            # soon as the pool finishes, however slowly the stream drains.
+            remaining = len(futures)
+            countdown = threading.Lock()
+
+            def on_done(_finished) -> None:
+                nonlocal remaining
+                with countdown:
+                    remaining -= 1
+                    last = remaining == 0
+                if last:
+                    release()
+
+            for future in futures:
+                future.add_done_callback(on_done)
+        try:
+            pending = futures if plan.executor.ordered else as_completed(futures)
+            for future in pending:
+                yield from future.result()
+        finally:
+            for future in futures:
+                future.cancel()

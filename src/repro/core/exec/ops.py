@@ -1,0 +1,138 @@
+"""Physical operators of the executor layer.
+
+A physical plan (see :mod:`repro.core.exec.plan`) is a tiny tree of the
+operators defined here.  Operators are *descriptions*: they carry everything
+an executor needs — seeds, direction-adjusted DFA, pruning universe, macro
+relations — but do no work themselves, so a plan can be built once (pure,
+cheap, unit-testable) and handed to any executor (serial, thread pool,
+process pool) without re-planning.
+
+``MacroRelation`` is the one stateful piece: the label-decoded relation of a
+routed safe subquery, materialized lazily on the first frontier expansion
+that crosses its macro edge and shared — thread-safely — by every seed
+search of the operator, in either direction.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.automata.dfa import DFA
+from repro.automata.regex import RegexNode
+
+__all__ = [
+    "FrontierSearchOp",
+    "JoinOp",
+    "LabelDecodeOp",
+    "MacroRelation",
+    "PhysicalOp",
+    "RestrictOp",
+]
+
+
+class MacroRelation:
+    """A lazily decoded safe-subquery relation serving macro transitions.
+
+    ``decode`` yields the relation's ``(source, target)`` pairs; it runs at
+    most once (guarded by a lock, so parallel thread executors share one
+    decode).  ``successors``/``predecessors`` are the adjacency views the
+    forward and backward frontier searches follow across the macro edge;
+    ``adjacency(direction)`` hands the materialized mapping itself to the
+    process-pool executor, which must ship plain data to its workers.
+    """
+
+    def __init__(self, decode: Callable[[], Iterable[tuple[str, str]]]) -> None:
+        self._decode = decode
+        self._lock = threading.Lock()
+        self._forward: dict[str, tuple[str, ...]] | None = None
+        self._backward: dict[str, tuple[str, ...]] | None = None
+
+    def _materialize(self) -> None:
+        with self._lock:
+            if self._forward is not None:
+                return
+            forward: dict[str, list[str]] = {}
+            backward: dict[str, list[str]] = {}
+            for source, target in self._decode():
+                forward.setdefault(source, []).append(target)
+                backward.setdefault(target, []).append(source)
+            self._forward = {node: tuple(out) for node, out in forward.items()}
+            self._backward = {node: tuple(out) for node, out in backward.items()}
+
+    def adjacency(self, direction: str) -> Mapping[str, tuple[str, ...]]:
+        """The materialized macro adjacency for one search direction."""
+        self._materialize()
+        mapping = self._forward if direction == "forward" else self._backward
+        assert mapping is not None
+        return mapping
+
+    def successors(self, node: str) -> tuple[str, ...]:
+        if self._forward is None:
+            self._materialize()
+        return self._forward.get(node, ())
+
+    def predecessors(self, node: str) -> tuple[str, ...]:
+        if self._backward is None:
+            self._materialize()
+        return self._backward.get(node, ())
+
+    def expander(self, direction: str) -> Callable[[str], tuple[str, ...]]:
+        """The per-node successor callable :func:`frontier_search` expects."""
+        return self.successors if direction == "forward" else self.predecessors
+
+
+@dataclass(frozen=True)
+class FrontierSearchOp:
+    """One pruned product-DFA frontier search per seed.
+
+    ``direction`` orients everything at once: forward seeds are the requested
+    sources and hits are targets filtered by ``emit_filter`` (the requested
+    target set); backward seeds are the requested *targets*, the ``dfa`` is
+    the reversed macro DFA, searches follow run predecessors (and macro
+    predecessors), and hits are sources filtered by the requested source set.
+    Executors re-orient emitted pairs so callers always see ``(source,
+    target)``.
+    """
+
+    direction: str  # "forward" | "backward"
+    dfa: DFA
+    seeds: tuple[str, ...]
+    emit_filter: frozenset[str] | None
+    allowed: frozenset[str] | None
+    macros: Mapping[str, MacroRelation] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class LabelDecodeOp:
+    """A fully safe query (or safe subtree) answered by the labeling engine
+    (Algorithm 2 / optRPL-G) over explicit node lists."""
+
+    node: RegexNode
+    l1: tuple[str, ...]
+    l2: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class JoinOp:
+    """The bottom-up relational evaluation (Option G1) of the unsafe
+    remainder, with safe subtrees in ``routed`` answered by the labeling
+    engine and every relation filtered to the ``allowed`` universe."""
+
+    root: RegexNode
+    routed: frozenset[RegexNode]
+    allowed: frozenset[str] | None
+
+
+@dataclass(frozen=True)
+class RestrictOp:
+    """Final source/target restriction over a child operator's relation
+    (``None`` keeps a side unconstrained)."""
+
+    child: "PhysicalOp"
+    l1: tuple[str, ...] | None
+    l2: tuple[str, ...] | None
+
+
+PhysicalOp = FrontierSearchOp | LabelDecodeOp | JoinOp | RestrictOp

@@ -1,0 +1,94 @@
+"""Process-pool worker side of the parallel frontier executor.
+
+A worker process receives one :class:`SearchContext` — plain, picklable
+data: the run's adjacency view for the chosen direction, the
+direction-adjusted DFA, the pruning universe, the emit filter and the
+*materialized* macro adjacencies — through the pool initializer, then
+answers ``search_chunk`` calls with the oriented pairs of a contiguous seed
+chunk.  Keeping the context in a module global means it is shipped once per
+worker, not once per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.automata.dfa import DFA
+from repro.core.relations import frontier_search
+
+__all__ = ["SearchContext", "init_worker", "run_chunk", "search_chunk", "search_seeds"]
+
+
+@dataclass(frozen=True)
+class SearchContext:
+    """Everything one frontier search needs, as plain data."""
+
+    direction: str
+    adjacency: Mapping[str, tuple[tuple[str, str], ...]]
+    dfa: DFA
+    allowed: frozenset[str] | None
+    emit_filter: frozenset[str] | None
+    macros: Mapping[str, Mapping[str, tuple[str, ...]]]
+
+
+_CONTEXT: SearchContext | None = None
+
+
+def init_worker(context: SearchContext) -> None:
+    global _CONTEXT
+    _CONTEXT = context
+
+
+def search_seeds(
+    adjacency,
+    dfa: DFA,
+    seeds,
+    *,
+    allowed,
+    emit_filter,
+    macro_successors,
+    forward: bool,
+) -> list[tuple[str, str]]:
+    """The one per-seed search loop every executor path shares.
+
+    Serial, thread-pool and process-pool execution all reduce to this:
+    search from each seed, intersect with the emit filter, orient the pairs
+    (forward hits are targets, backward hits are sources).  Keeping it in
+    one place means the emit/orientation semantics cannot drift between
+    backends."""
+    pairs: list[tuple[str, str]] = []
+    for seed in seeds:
+        hits = frontier_search(
+            adjacency, dfa, seed, allowed=allowed, macro_successors=macro_successors
+        )
+        if emit_filter is not None:
+            hits &= emit_filter
+        if forward:
+            pairs.extend((seed, hit) for hit in hits)
+        else:
+            pairs.extend((hit, seed) for hit in hits)
+    return pairs
+
+
+def run_chunk(context: SearchContext, seeds: tuple[str, ...]) -> list[tuple[str, str]]:
+    """Search one chunk against a plain-data context (worker side)."""
+    macro_successors = {
+        tag: (lambda node, mapping=mapping: mapping.get(node, ()))
+        for tag, mapping in context.macros.items()
+    } or None
+    return search_seeds(
+        context.adjacency,
+        context.dfa,
+        seeds,
+        allowed=context.allowed,
+        emit_filter=context.emit_filter,
+        macro_successors=macro_successors,
+        forward=context.direction == "forward",
+    )
+
+
+def search_chunk(seeds: tuple[str, ...]) -> list[tuple[str, str]]:
+    """Pool entry point: search one seed chunk against the worker context."""
+    assert _CONTEXT is not None, "worker used before init_worker ran"
+    return run_chunk(_CONTEXT, seeds)

@@ -61,6 +61,7 @@ __all__ = [
     "forward_closure_nodes",
     "backward_closure_nodes",
     "restriction_universe",
+    "frontier_search",
     "product_frontier_targets",
     "evaluate_regex_relation",
 ]
@@ -207,44 +208,35 @@ def restriction_universe(
     return forward & backward
 
 
-def product_frontier_targets(
-    run: Run,
+def frontier_search(
+    adjacency: Mapping[str, Sequence[tuple[str, str]]],
     dfa: DFA,
-    source: str,
+    seed: str,
     *,
     allowed: frozenset[str] | set[str] | None = None,
     macro_successors: Mapping[str, Callable[[str], Iterable[str]]] | None = None,
 ) -> set[str]:
-    """All nodes ``v`` such that some path ``source ⤳ v`` is accepted.
+    """The core product frontier search over an explicit adjacency view.
 
-    A frontier search over the product of the run graph with the query DFA
-    (Mendelzon & Wood), with two production extensions over the baseline in
-    :mod:`repro.baselines.product_bfs`:
-
-    * states whose run node falls outside ``allowed`` are pruned (backward
-      pruning from the requested targets), and dead DFA states are never
-      enqueued, so the search touches only the useful region of the run;
-    * ``macro_successors[tag](node)`` supplies the successors of ``node``
-      under a synthetic *macro* symbol — an edge standing for a whole
-      relation (the decomposition engine maps each label-decoded safe
-      subquery to one macro symbol).  Wildcard transitions never match macro
-      symbols (see :func:`repro.automata.dfa.determinize`).
-
-    Memory is bounded by ``|reachable nodes| × |DFA states|``, never by the
-    run size.
+    ``adjacency[node]`` lists ``(neighbor, tag)`` pairs; passing
+    ``run.successors`` searches forward (see :func:`product_frontier_targets`)
+    and passing ``run.predecessors`` with a reversed DFA searches backward
+    from a target.  The function touches nothing but these plain mappings and
+    the DFA, so the parallel executor's process workers can run it on shipped
+    data without reconstructing a :class:`~repro.workflow.run.Run`.
     """
-    if source not in run.nodes or (allowed is not None and source not in allowed):
+    if seed not in adjacency or (allowed is not None and seed not in allowed):
         return set()
-    successors = run.successors
+    successors = adjacency
     accepting = dfa.accepting
     transitions = dfa.transitions
     dead = dfa.dead_state()
     start_state = dfa.start
     result: set[str] = set()
     if start_state in accepting:
-        result.add(source)
-    seen = {(source, start_state)}
-    stack = [(source, start_state)]
+        result.add(seed)
+    seen = {(seed, start_state)}
+    stack = [(seed, start_state)]
     while stack:
         node, state = stack.pop()
         row = transitions[state]
@@ -272,6 +264,39 @@ def product_frontier_targets(
             if next_state in accepting:
                 result.add(target)
     return result
+
+
+def product_frontier_targets(
+    run: Run,
+    dfa: DFA,
+    source: str,
+    *,
+    allowed: frozenset[str] | set[str] | None = None,
+    macro_successors: Mapping[str, Callable[[str], Iterable[str]]] | None = None,
+) -> set[str]:
+    """All nodes ``v`` such that some path ``source ⤳ v`` is accepted.
+
+    A frontier search over the product of the run graph with the query DFA
+    (Mendelzon & Wood), with two production extensions over the baseline in
+    :mod:`repro.baselines.product_bfs`:
+
+    * states whose run node falls outside ``allowed`` are pruned (backward
+      pruning from the requested targets), and dead DFA states are never
+      enqueued, so the search touches only the useful region of the run;
+    * ``macro_successors[tag](node)`` supplies the successors of ``node``
+      under a synthetic *macro* symbol — an edge standing for a whole
+      relation (the decomposition engine maps each label-decoded safe
+      subquery to one macro symbol).  Wildcard transitions never match macro
+      symbols (see :func:`repro.automata.dfa.determinize`).
+
+    Memory is bounded by ``|reachable nodes| × |DFA states|``, never by the
+    run size.  The direction-agnostic core lives in :func:`frontier_search`;
+    the backward variant of the executor layer calls it with
+    ``run.predecessors`` and a reversed DFA.
+    """
+    return frontier_search(
+        run.successors, dfa, source, allowed=allowed, macro_successors=macro_successors
+    )
 
 
 def evaluate_regex_relation(

@@ -14,6 +14,7 @@ subsystem:
   requests concurrently.
 """
 
+from repro.core.exec import ExecutorConfig, WorkerBudget
 from repro.service.cache import CacheStats, IndexCache
 from repro.service.requests import (
     BatchFormatError,
@@ -29,7 +30,9 @@ from repro.service.service import QueryService
 __all__ = [
     "BatchFormatError",
     "CacheStats",
+    "ExecutorConfig",
     "IndexCache",
+    "WorkerBudget",
     "QueryRequest",
     "QueryResult",
     "QueryService",

@@ -82,6 +82,7 @@ class CacheStats:
     store_writes: int = 0
     store_errors: int = 0
     store_evictions: int = 0
+    store_skipped_writes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -110,12 +111,15 @@ class CacheStats:
 @dataclass
 class _Entry:
     """One cached query: its safety report, (when safe) its index, and (once
-    requested) its decomposition plan."""
+    requested) its decomposition plan.  ``plan_mutations`` is the plan's
+    mutation count at the last persist, so memo growth that changes no cost
+    (direction decisions) still triggers a re-persist."""
 
     report: SafetyReport
     index: QueryIndex | None
     cost: int
     plan: DecompositionPlan | None = None
+    plan_mutations: int = -1
 
 
 class IndexCache:
@@ -225,9 +229,9 @@ class IndexCache:
                 entry.plan = plan
             self._reaccount(key, entry)
             self._persist(key, entry)
-        elif self._reaccount(key, entry):
-            # Macro DFAs memoized since the last call grew the entry's
-            # footprint; re-persist so the store copy carries them too.
+        elif self._reaccount(key, entry) or self._plan_stale(entry):
+            # Macro DFAs or direction decisions memoized since the last call
+            # grew the plan; re-persist so the store copy carries them too.
             self._persist(key, entry)
         return plan
 
@@ -242,7 +246,10 @@ class IndexCache:
         key = self.key_for(spec, query)
         with self._lock:
             entry = self._entries.get(key)
-        if entry is not None and self._reaccount(key, entry):
+        if entry is None:
+            return
+        changed = self._reaccount(key, entry)
+        if changed or self._plan_stale(entry):
             self._persist(key, entry)
 
     def prepare(self, spec: Specification, query: str | RegexNode) -> None:
@@ -290,8 +297,7 @@ class IndexCache:
                         return entry
                 entry = self._restore(spec, key)
                 if entry is None:
-                    entry = self._build(spec, node, key)
-                    self._persist(key, entry)
+                    entry = self._build_coordinated(spec, node, key)
                 with self._lock:
                     self._misses += 1
                     self._insert(key, entry)
@@ -299,6 +305,30 @@ class IndexCache:
             finally:
                 with self._lock:
                     self._build_locks.pop(key, None)
+
+    def _build_coordinated(
+        self, spec: Specification, node: RegexNode, key: CacheKey
+    ) -> _Entry:
+        """Build an entry, coordinating with other *processes* through the
+        store's per-entry lock file when a store is attached.
+
+        The in-process build lock already deduplicates threads; the store
+        lock extends that across a fleet sharing one volume: the loser waits
+        on the winner's lock, then finds the finished artifact on disk and
+        restores it instead of rebuilding.  An unacquirable lock (timeout,
+        read-only volume) degrades to a plain duplicated build.
+        """
+        if self._store is None:
+            return self._build(spec, node, key)
+        with self._store.entry_lock(key[0], key[1]) as acquired:
+            if acquired:
+                # Another process may have finished while we waited.
+                entry = self._restore(spec, key)
+                if entry is not None:
+                    return entry
+            entry = self._build(spec, node, key)
+            self._persist(key, entry)
+        return entry
 
     def _build(self, spec: Specification, node: RegexNode, key: CacheKey) -> _Entry:
         dfa = query_dfa(spec, node)
@@ -336,12 +366,25 @@ class IndexCache:
             return None
         entry = _Entry(report=stored.report, index=stored.index, cost=0, plan=stored.plan)
         entry.cost = self._entry_cost(entry)
+        if entry.plan is not None:
+            # The restored plan *is* the store copy: mark it persisted as-is,
+            # or the first plan()/sync() after every warm restart would
+            # re-serialize the entry only for the content-addressed skip to
+            # throw the write away.
+            entry.plan_mutations = entry.plan.mutations
         return entry
+
+    @staticmethod
+    def _plan_stale(entry: _Entry) -> bool:
+        """Has the attached plan memoized anything since the last persist?"""
+        return entry.plan is not None and entry.plan.mutations != entry.plan_mutations
 
     def _persist(self, key: CacheKey, entry: _Entry) -> None:
         """Write an entry through to the store (no-op without one; the store
         swallows and counts its own failures)."""
         if self._store is not None:
+            if entry.plan is not None:
+                entry.plan_mutations = entry.plan.mutations
             self._store.save(
                 key[0], key[1], report=entry.report, index=entry.index, plan=entry.plan
             )
@@ -427,6 +470,7 @@ class IndexCache:
                 store_writes=store.writes if store else 0,
                 store_errors=store.errors if store else 0,
                 store_evictions=store.evictions if store else 0,
+                store_skipped_writes=store.skipped_writes if store else 0,
             )
 
     def describe(self) -> str:

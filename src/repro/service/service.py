@@ -34,8 +34,11 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
+import dataclasses
+
 from repro.core.decomposition import label_routed_subtrees, warm_frontier_dfa
 from repro.core.engine import ProvenanceQueryEngine
+from repro.core.exec import ExecutorConfig, WorkerBudget
 from repro.errors import ReproError
 from repro.service.cache import CacheStats, IndexCache
 from repro.store import IndexStore
@@ -85,6 +88,14 @@ class QueryService:
         labels included, so no re-labeling — are re-registered on
         construction, which is what lets a restarted service answer its first
         previously-seen query with zero index or plan rebuilds.
+    executor:
+        The default :class:`~repro.core.exec.ExecutorConfig` for unsafe-query
+        evaluation (frontier direction, per-query parallel fan-out, merge
+        order).  The service attaches its own :class:`WorkerBudget` of
+        ``max_workers`` slots, *shared with the batch pool*: each in-flight
+        batch request leases one slot, and a parallel frontier execution
+        leases its fan-out from the free remainder — so a saturated batch
+        degrades frontier searches to serial instead of oversubscribing.
     """
 
     def __init__(
@@ -94,6 +105,7 @@ class QueryService:
         max_workers: int | None = None,
         store_dir: str | Path | None = None,
         store: IndexStore | None = None,
+        executor: ExecutorConfig | None = None,
     ) -> None:
         if store is None and store_dir is not None:
             store = IndexStore(store_dir)
@@ -116,6 +128,8 @@ class QueryService:
         self._max_workers = max_workers if max_workers is not None else _default_workers()
         if self._max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        self._budget = WorkerBudget(self._max_workers)
+        self._executor = self._with_budget(executor or ExecutorConfig())
         self._runs: dict[str, Run] = {}
         self._engines: dict[str, ProvenanceQueryEngine] = {}
         self._lock = threading.Lock()
@@ -125,6 +139,18 @@ class QueryService:
         self._pending_run_ids: set[str] = (
             set(store.run_ids()) if store is not None else set()
         )
+
+    def _with_budget(self, config: ExecutorConfig) -> ExecutorConfig:
+        """A copy of ``config`` leasing its fan-out from this service's
+        shared worker budget (an existing budget is respected)."""
+        if config.budget is not None:
+            return config
+        return dataclasses.replace(config, budget=self._budget)
+
+    @property
+    def executor(self) -> ExecutorConfig:
+        """The default executor configuration (budget attached)."""
+        return self._executor
 
     # -- registration ------------------------------------------------------------
 
@@ -268,10 +294,13 @@ class QueryService:
             routed = label_routed_subtrees(plan, run)
             for subtree in routed:
                 self._cache.index(spec, subtree)
-            # Memoize the frontier strategy's macro DFA for this run's
-            # routing, then re-account/persist the entry so the DFA counts
-            # against the cache budget and survives restarts with the plan.
+            # Memoize the frontier strategy's macro DFAs — forward and
+            # reversed, so backward searches restart warm too — for this
+            # run's routing, then re-account/persist the entry so the DFAs
+            # count against the cache budget and survive restarts with the
+            # plan.
             warm_frontier_dfa(plan, run)
+            warm_frontier_dfa(plan, run, direction="backward")
             self._cache.sync(spec, query)
             warmed = len(routed)
             return (
@@ -321,20 +350,25 @@ class QueryService:
         return generate()
 
     def stream_pairs(
-        self, request: QueryRequest | Mapping[str, Any]
+        self,
+        request: QueryRequest | Mapping[str, Any],
+        *,
+        executor: ExecutorConfig | None = None,
     ) -> Iterator[tuple[str, str]]:
         """Stream the matching pairs of one ``allpairs`` request.
 
         Unlike :meth:`execute`, the pairs are yielded as the evaluator finds
         them (unsorted, each exactly once) without materializing the result
         set, so callers can cap, paginate or pipe arbitrarily large answers.
-        Unsafe queries stream too, through the decomposition engine's
-        per-source frontier search (memory bounded by the reachable region,
-        not the result — see :meth:`ProvenanceQueryEngine.evaluate_iter`).
-        Failures raise instead of becoming error results, since there is no
-        result record to carry them; request validation, run lookup, query
-        parsing and the safety check all happen eagerly, before the first
-        pair is drawn.
+        Unsafe queries stream too, through the executor layer's per-seed
+        frontier search (direction-aware, optionally fanned across a worker
+        pool — memory bounded by the reachable region, not the result; see
+        :meth:`ProvenanceQueryEngine.evaluate_iter`).  ``executor`` overrides
+        the service default for this call; either way the fan-out leases its
+        workers from the budget shared with the batch pool.  Failures raise
+        instead of becoming error results, since there is no result record
+        to carry them; request validation, run lookup, query parsing and the
+        safety check all happen eagerly, before the first pair is drawn.
         """
         request = self._coerce(request)
         if request.op != "allpairs":
@@ -343,12 +377,14 @@ class QueryService:
             )
         run = self.get_run(request.run)
         engine = self.engine_for(request.run)
+        config = self._with_budget(executor) if executor is not None else self._executor
         return engine.evaluate_iter(
             run,
             request.query,
             list(request.sources) if request.sources is not None else None,
             list(request.targets) if request.targets is not None else None,
             use_reachability_filter=request.use_reachability_filter,
+            executor=config,
         )
 
     def _coerce(self, request: QueryRequest | Mapping[str, Any]) -> QueryRequest:
@@ -421,13 +457,18 @@ class QueryService:
             else:  # allpairs — the only remaining validated op
                 # Materializing anyway, so let evaluate() cost-route the
                 # unsafe remainder instead of forcing the streaming path.
-                matches = engine.evaluate(
-                    run,
-                    request.query,
-                    list(request.sources) if request.sources is not None else None,
-                    list(request.targets) if request.targets is not None else None,
-                    use_reachability_filter=request.use_reachability_filter,
-                )
+                # The request leases one budget slot for its own thread;
+                # a parallel frontier execution inside leases its fan-out
+                # from whatever the rest of the batch leaves free.
+                with self._budget.lease(1):
+                    matches = engine.evaluate(
+                        run,
+                        request.query,
+                        list(request.sources) if request.sources is not None else None,
+                        list(request.targets) if request.targets is not None else None,
+                        use_reachability_filter=request.use_reachability_filter,
+                        executor=self._executor,
+                    )
                 pairs = tuple(sorted(matches))
         except Exception as error:
             return fail(f"{type(error).__name__}: {error}")
@@ -447,7 +488,10 @@ class QueryService:
         with self._lock:
             runs = len(set(self._runs) | self._pending_run_ids)
             engines = len(self._engines)
+        executor = self._executor
         return (
             f"QueryService({runs} runs, {engines} grammars, "
-            f"workers={self._max_workers}) {self._cache.stats.describe()}"
+            f"workers={self._max_workers}, "
+            f"executor=direction:{executor.direction}/fanout:{executor.workers}) "
+            f"{self._cache.stats.describe()}"
         )

@@ -12,13 +12,18 @@ JSON-ready dictionaries here, and rebuilt from them:
   λ matrices exactly like a freshly built one;
 * a :class:`~repro.core.decomposition.DecompositionPlan` — the canonical
   query, its maximal safe subtrees (as query text that parses back to equal
-  syntax trees) and the memoized macro DFAs of the frontier strategy.
+  syntax trees), the memoized macro DFAs of the frontier strategy (forward
+  *and* reversed, under distinct memo keys) and the memoized direction
+  decisions of the executor layer.
 
-Boolean matrices serialize as their integer row bitmasks
-(:meth:`~repro.automata.boolean_matrix.BooleanMatrix.to_rows`), which JSON
-carries losslessly at any size.  The specification itself is *not* stored:
-the caller always has it (it is half of the cache key), so payloads stay
-small and a stored entry can never smuggle in a stale grammar.
+Boolean matrices serialize as ``[size, base64]`` pairs: the row bitmasks
+packed into fixed-width little-endian bytes
+(:meth:`~repro.automata.boolean_matrix.BooleanMatrix.to_packed`), roughly 3x
+smaller than the decimal row lists of format 1 — entry JSON is dominated by
+these tables, so store bytes (and load time) shrink with them.  The
+specification itself is *not* stored: the caller always has it (it is half
+of the cache key), so payloads stay small and a stored entry can never
+smuggle in a stale grammar.
 
 Decoding is strict: missing fields, wrong shapes and inconsistent DFAs raise
 (:class:`~repro.errors.StoreError` or the underlying ``KeyError``/
@@ -28,6 +33,7 @@ clean miss.
 
 from __future__ import annotations
 
+import json
 from typing import Any
 
 from repro.automata.boolean_matrix import BooleanMatrix
@@ -42,6 +48,8 @@ from repro.workflow.spec import Specification
 __all__ = [
     "entry_to_payload",
     "entry_from_payload",
+    "matrix_to_json",
+    "matrix_from_json",
     "report_to_dict",
     "report_from_dict",
     "index_to_dict",
@@ -49,6 +57,45 @@ __all__ = [
     "plan_to_dict",
     "plan_from_dict",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Boolean matrices (the packed binary-in-base64 encoding of format 2)
+# ---------------------------------------------------------------------------
+
+
+#: Matrices at least this wide always render smaller packed than as decimal
+#: rows; below it the two encodings are compared byte-for-byte.
+_ALWAYS_PACK = 24
+
+
+def matrix_to_json(matrix: BooleanMatrix) -> list[Any]:
+    """A matrix as either its integer row list or a ``[size, base64]`` pair
+    of packed little-endian row bytes — whichever renders smaller.
+
+    Query DFAs range from 2 states to dozens: tiny matrices are cheaper as
+    ``[3, 1]``-style row lists (the base64 pair costs ~12 bytes of
+    scaffolding), while the big λ/crossing tables that dominate entry JSON
+    shrink ~2x packed.  The two shapes are distinguishable on decode — a
+    packed pair is exactly ``[int, str]`` — so readers need no flag.
+    """
+    if matrix.size >= _ALWAYS_PACK:
+        return [matrix.size, matrix.to_packed()]
+    rows = matrix.to_rows()
+    packed = [matrix.size, matrix.to_packed()]
+    return packed if _json_len(packed) < _json_len(rows) else rows
+
+
+def _json_len(value: Any) -> int:
+    return len(json.dumps(value, separators=(",", ":")))
+
+
+def matrix_from_json(value: Any) -> BooleanMatrix:
+    """Inverse of :func:`matrix_to_json` (strict; bad shapes raise)."""
+    if len(value) == 2 and isinstance(value[1], str):
+        size, packed = value
+        return BooleanMatrix.from_packed(int(size), packed)
+    return BooleanMatrix.from_rows(value)
 
 
 # ---------------------------------------------------------------------------
@@ -61,14 +108,15 @@ def report_to_dict(report: SafetyReport) -> dict[str, Any]:
     return {
         "dfa": report.dfa.to_dict(),
         "lambdas": {
-            module: matrix.to_rows() for module, matrix in sorted(report.lambdas.items())
+            module: matrix_to_json(matrix)
+            for module, matrix in sorted(report.lambdas.items())
         },
         "violations": [
             {
                 "module": violation.module,
                 "production": violation.production,
-                "established": violation.established.to_rows(),
-                "conflicting": violation.conflicting.to_rows(),
+                "established": matrix_to_json(violation.established),
+                "conflicting": matrix_to_json(violation.conflicting),
             }
             for violation in report.violations
         ],
@@ -79,15 +127,15 @@ def report_from_dict(spec: Specification, payload: dict[str, Any]) -> SafetyRepo
     """Rebuild a safety report against the caller-supplied specification."""
     dfa = DFA.from_dict(payload["dfa"])
     lambdas = {
-        str(module): BooleanMatrix.from_rows(rows)
+        str(module): matrix_from_json(rows)
         for module, rows in payload["lambdas"].items()
     }
     violations = [
         SafetyViolation(
             module=str(entry["module"]),
             production=int(entry["production"]),
-            established=BooleanMatrix.from_rows(entry["established"]),
-            conflicting=BooleanMatrix.from_rows(entry["conflicting"]),
+            established=matrix_from_json(entry["established"]),
+            conflicting=matrix_from_json(entry["conflicting"]),
         )
         for entry in payload["violations"]
     ]
@@ -105,11 +153,11 @@ def index_to_dict(index: QueryIndex) -> dict[str, Any]:
     return {
         "query_text": index.query_text,
         "cross": [
-            [[source, target, matrix.to_rows()] for (source, target), matrix in sorted(table.items())]
+            [[source, target, matrix_to_json(matrix)] for (source, target), matrix in sorted(table.items())]
             for table in cross
         ],
-        "to_sink": [[matrix.to_rows() for matrix in row] for row in to_sink],
-        "from_source": [[matrix.to_rows() for matrix in row] for row in from_source],
+        "to_sink": [[matrix_to_json(matrix) for matrix in row] for row in to_sink],
+        "from_source": [[matrix_to_json(matrix) for matrix in row] for row in from_source],
     }
 
 
@@ -120,14 +168,14 @@ def index_from_dict(
     exactly like the cache's build path does."""
     cross = [
         {
-            (int(source), int(target)): BooleanMatrix.from_rows(rows)
+            (int(source), int(target)): matrix_from_json(rows)
             for source, target, rows in table
         }
         for table in payload["cross"]
     ]
-    to_sink = [[BooleanMatrix.from_rows(rows) for rows in row] for row in payload["to_sink"]]
+    to_sink = [[matrix_from_json(rows) for rows in row] for row in payload["to_sink"]]
     from_source = [
-        [BooleanMatrix.from_rows(rows) for rows in row] for row in payload["from_source"]
+        [matrix_from_json(rows) for rows in row] for row in payload["from_source"]
     ]
     if not (len(cross) == len(to_sink) == len(from_source) == len(spec.productions)):
         raise StoreError(
@@ -161,7 +209,14 @@ def _render_stable(node: RegexNode) -> str | None:
 
 def plan_to_dict(plan: DecompositionPlan) -> dict[str, Any] | None:
     """A JSON-ready representation of a plan, or ``None`` when its trees do
-    not render/parse round-trip (then the entry is stored without a plan)."""
+    not render/parse round-trip (then the entry is stored without a plan).
+
+    The macro DFA snapshot carries both forward and reversed automata (the
+    memo keys distinguish them), and ``directions`` carries the executor
+    layer's memoized direction decisions, so a restarted service picks the
+    same search direction — and skips the DFA reversal — on the first
+    repeated workload.
+    """
     root_text = _render_stable(plan.root)
     subtree_texts = [_render_stable(node) for node in plan.safe_subtrees]
     if root_text is None or any(text is None for text in subtree_texts):
@@ -172,12 +227,14 @@ def plan_to_dict(plan: DecompositionPlan) -> dict[str, Any] | None:
         "macro_dfas": [
             [key, dfa.to_dict()] for key, dfa in sorted(plan.macro_dfas().items())
         ],
+        "directions": dict(sorted(plan.direction_hints().items())),
     }
 
 
 def plan_from_dict(spec: Specification, payload: dict[str, Any]) -> DecompositionPlan:
     """Rebuild a plan (run-dependent routing memos start empty and are cheap
-    to recompute; the macro DFAs are restored)."""
+    to recompute; the macro DFAs — forward and reversed — and the direction
+    decisions are restored)."""
     plan = DecompositionPlan(
         spec=spec,
         root=parse_regex(str(payload["root"])),
@@ -185,6 +242,9 @@ def plan_from_dict(spec: Specification, payload: dict[str, Any]) -> Decompositio
     )
     plan.restore_macro_dfas(
         {str(key): DFA.from_dict(entry) for key, entry in payload["macro_dfas"]}
+    )
+    plan.restore_direction_hints(
+        {str(key): str(value) for key, value in payload["directions"].items()}
     )
     return plan
 

@@ -13,17 +13,26 @@ labeled runs — in a directory of versioned, checksummed JSON files:
 Entries are keyed exactly like :class:`~repro.service.cache.IndexCache`:
 ``(specification fingerprint, canonical query text)``, so anything one
 process builds is a disk hit for every later process (or instance) serving
-the same grammar.  Each file is a small envelope
+the same grammar.  Each file is a small envelope whose payload —
+``{"report": ..., "index": ..., "plan": ...}`` for entries, the serialized
+run for runs — travels as one compressed blob, and every write is atomic (temp file in the same directory + ``os.replace``),
+so readers never observe a half-written artifact even under concurrent
+writers or a crash mid-write.
 
 .. code-block:: json
 
-    {"format": 1, "kind": "store-entry", "fingerprint": "...",
-     "query": "...", "checksum": "sha256 of the payload JSON",
-     "payload": {"report": ..., "index": ..., "plan": ...}}
+    {"format": 2, "kind": "store-entry", "fingerprint": "...",
+     "query": "...", "checksum": "sha256 of the canonical payload JSON",
+     "payload64": "base64(zlib(canonical payload JSON))"}
 
-and every write is atomic (temp file in the same directory + ``os.replace``),
-so readers never observe a half-written artifact even under concurrent
-writers or a crash mid-write.
+Format 2 stores the payload deflated (entry JSON is highly redundant; with
+the packed matrix encoding of :mod:`repro.store.codec` entries shrink
+5-10x), and run envelopes carry their specification fingerprint so
+``gc_orphans`` never has to reconstruct a run.  Concurrent writers on a
+shared volume are coordinated two ways: ``save`` skips rewriting artifacts
+whose on-disk payload checksum already matches (content-addressed), and
+``entry_lock`` lets the cache layer serialize cross-process *builds* of the
+same entry so only one process pays for the safety fixpoint.
 
 The read path *never raises for bad data*: a missing file is a miss, and a
 truncated file, checksum mismatch, format-version bump, foreign fingerprint
@@ -34,12 +43,16 @@ mtime, which is what the size-budgeted ``gc`` uses as its LRU clock.
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
 import os
 import tempfile
 import threading
+import time
 import urllib.parse
+import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
@@ -55,7 +68,11 @@ from repro.workflow.spec import Specification
 
 __all__ = ["FORMAT_VERSION", "EntryInfo", "GcResult", "IndexStore", "StoreCounters", "StoredEntry"]
 
-FORMAT_VERSION = 1
+#: Format 2 packs boolean matrices as base64 row bytes (~3x smaller entries),
+#: adds the reversed macro DFAs + direction decisions to plan payloads, and
+#: stamps run artifacts with their specification fingerprint (orphan gc).
+#: Format-1 artifacts fail the version check and degrade to a clean rebuild.
+FORMAT_VERSION = 2
 
 _ENTRY_KIND = "store-entry"
 _RUN_KIND = "store-run"
@@ -72,13 +89,19 @@ class StoredEntry:
 
 @dataclass(frozen=True)
 class StoreCounters:
-    """Per-process effectiveness counters of one store instance."""
+    """Per-process effectiveness counters of one store instance.
+
+    ``skipped_writes`` counts content-addressed saves: the artifact on disk
+    already carried the same payload checksum (or another writer held the
+    entry lock), so the write — and the fsync — was elided.
+    """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
     errors: int = 0
     evictions: int = 0
+    skipped_writes: int = 0
 
 
 @dataclass(frozen=True)
@@ -109,6 +132,24 @@ def _canonical_json(payload: Any) -> str:
 
 def _checksum(payload: Any) -> str:
     return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _encode_payload(payload: Any) -> str:
+    """The format-2 payload blob: canonical JSON, zlib-deflated, base64.
+
+    Entry payloads are highly redundant JSON (repeated keys, row tables);
+    deflate cuts them 5-10x on top of the packed matrix encoding, which is
+    where the bulk of the format-2 size win comes from.
+    """
+    return base64.b64encode(
+        zlib.compress(_canonical_json(payload).encode("utf-8"), 6)
+    ).decode("ascii")
+
+
+def _decode_payload(blob: Any) -> Any:
+    if not isinstance(blob, str):
+        raise StoreError("artifact payload blob is not a string")
+    return json.loads(zlib.decompress(base64.b64decode(blob.encode("ascii"))))
 
 
 def _atomic_write(path: Path, text: str) -> None:
@@ -162,6 +203,7 @@ class IndexStore:
         self._writes = 0
         self._errors = 0
         self._evictions = 0
+        self._skipped_writes = 0
 
     # -- paths -------------------------------------------------------------------
 
@@ -217,21 +259,32 @@ class IndexStore:
     ) -> bool:
         """Persist (or overwrite) one entry atomically; returns success.
 
+        Content-addressed: when the file already on disk carries the same
+        payload checksum the write is skipped (and counted), so concurrent
+        writers on a shared volume re-saving identical artifacts — the
+        common case, since the cache key determines the content — cost one
+        small read instead of a write + fsync each.
+
         Failures — a full disk, a read-only volume, a serialization bug —
         are counted and swallowed: persistence is an optimization, and the
         in-memory tier keeps serving either way.
         """
         try:
             payload = entry_to_payload(report, index, plan)
+            checksum = _checksum(payload)
+            path = self.entry_path(fingerprint, query_text)
+            if self._existing_checksum(path) == checksum:
+                self._count("_skipped_writes")
+                return True
             envelope = {
                 "format": FORMAT_VERSION,
                 "kind": _ENTRY_KIND,
                 "fingerprint": fingerprint,
                 "query": query_text,
-                "checksum": _checksum(payload),
-                "payload": payload,
+                "checksum": checksum,
+                "payload64": _encode_payload(payload),
             }
-            _atomic_write(self.entry_path(fingerprint, query_text), json.dumps(envelope))
+            _atomic_write(path, json.dumps(envelope))
         except Exception:
             self._count("_errors")
             return False
@@ -239,6 +292,84 @@ class IndexStore:
         if self.max_bytes is not None:
             self.gc()
         return True
+
+    def _existing_checksum(self, path: Path) -> str | None:
+        """The *verified* payload checksum of an on-disk artifact, or
+        ``None`` when the file is absent, unreadable, of another format, or
+        lying about its payload (a corrupted payload under an intact
+        checksum field must not suppress the overwrite that repairs it)."""
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+            if envelope.get("format") != FORMAT_VERSION:
+                return None
+            checksum = envelope.get("checksum")
+            if not isinstance(checksum, str):
+                return None
+            payload = _decode_payload(envelope.get("payload64"))
+            return checksum if _checksum(payload) == checksum else None
+        except Exception:
+            return None
+
+    @contextmanager
+    def entry_lock(
+        self, fingerprint: str, query_text: str, *, timeout: float = 10.0,
+        stale_after: float = 60.0,
+    ) -> Iterator[bool]:
+        """Advisory cross-process build lock for one entry (yields whether it
+        was acquired).
+
+        The cache layer wraps an entry *build* in this lock so two processes
+        sharing a store volume do not redo the same safety fixpoint and
+        index sweep in parallel: the loser waits, then re-checks the store
+        and finds the winner's artifact.  Lock files older than
+        ``stale_after`` (a crashed writer) are broken; a lock that cannot be
+        acquired within ``timeout`` — or created at all, e.g. on a read-only
+        volume — degrades to duplicated work, never to a stuck query.
+        """
+        path = self.entry_path(fingerprint, query_text)
+        lock_path = path.with_name(path.name + ".lock")
+        acquired = False
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                lock_path.parent.mkdir(parents=True, exist_ok=True)
+                descriptor = os.open(
+                    lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+                os.close(descriptor)
+                acquired = True
+                break
+            except FileExistsError:
+                if time.monotonic() > deadline:
+                    break
+                try:
+                    first = lock_path.stat()
+                except OSError:
+                    continue  # holder just released; retry immediately
+                if time.time() - first.st_mtime > stale_after:
+                    # Break the stale lock of a crashed writer — but only if
+                    # it is still the *same* file we statted (inode check),
+                    # so a waiter that lost the race does not unlink the
+                    # winner's freshly created lock.  The residual stat-to-
+                    # unlink window merely duplicates a build, never breaks
+                    # data (writes stay atomic).
+                    try:
+                        if lock_path.stat().st_ino == first.st_ino:
+                            lock_path.unlink()
+                    except OSError:
+                        pass
+                    continue
+                time.sleep(0.05)
+            except OSError:
+                break  # unwritable volume: proceed without coordination
+        try:
+            yield acquired
+        finally:
+            if acquired:
+                try:
+                    lock_path.unlink()
+                except OSError:
+                    pass
 
     def entries(self) -> list[EntryInfo]:
         """Metadata of every readable entry file (unreadable ones skipped)."""
@@ -253,7 +384,7 @@ class IndexStore:
         try:
             stat = path.stat()
             envelope = json.loads(path.read_text(encoding="utf-8"))
-            payload = envelope["payload"]
+            payload = _decode_payload(envelope["payload64"])
             return EntryInfo(
                 fingerprint=str(envelope["fingerprint"]),
                 query=str(envelope["query"]),
@@ -301,6 +432,62 @@ class IndexStore:
             self._evictions += removed
         return GcResult(removed=removed, freed_bytes=freed, remaining_bytes=total - freed)
 
+    def registered_fingerprints(self) -> frozenset[str]:
+        """Specification fingerprints of the persisted runs, read from the
+        run envelopes alone (no run is reconstructed); unreadable artifacts
+        contribute nothing."""
+        fingerprints = set()
+        for path in self._runs_dir.glob("*.json"):
+            try:
+                envelope = json.loads(path.read_text(encoding="utf-8"))
+                if envelope.get("kind") != _RUN_KIND:
+                    continue
+                fingerprint = envelope.get("fingerprint")
+                if isinstance(fingerprint, str) and fingerprint:
+                    fingerprints.add(fingerprint)
+            except Exception:
+                self._count("_errors")
+        return frozenset(fingerprints)
+
+    def gc_orphans(self) -> GcResult:
+        """Delete entries whose specification fingerprint matches no
+        registered run (``repro store gc --orphans``).
+
+        Long-lived stores accumulate entries of grammars whose runs were
+        re-derived or retired; those entries can never be served again
+        through the run registry, so they are reclaimed here.  Entry files
+        too corrupt to reveal their fingerprint are reclaimed too — they
+        would only ever produce counted misses.  Runs are never touched.
+        """
+        registered = self.registered_fingerprints()
+        removed = 0
+        freed = 0
+        remaining = 0
+        for path in list(self._entries_dir.glob("*/*.json")):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            try:
+                envelope = json.loads(path.read_text(encoding="utf-8"))
+                fingerprint = envelope.get("fingerprint")
+                orphaned = fingerprint not in registered
+            except Exception:
+                orphaned = True
+            if not orphaned:
+                remaining += size
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                remaining += size
+                continue
+            removed += 1
+            freed += size
+        with self._lock:
+            self._evictions += removed
+        return GcResult(removed=removed, freed_bytes=freed, remaining_bytes=remaining)
+
     def total_bytes(self) -> int:
         """Bytes used by the entry tier (excludes the run registry)."""
         return sum(
@@ -320,8 +507,11 @@ class IndexStore:
                 "format": FORMAT_VERSION,
                 "kind": _RUN_KIND,
                 "run_id": run_id,
+                # The grammar fingerprint rides in the envelope so orphan gc
+                # can read it without reconstructing the run.
+                "fingerprint": run.spec.fingerprint,
                 "checksum": _checksum(payload),
-                "payload": payload,
+                "payload64": _encode_payload(payload),
             }
             _atomic_write(self.run_path(run_id), json.dumps(envelope))
         except Exception:
@@ -381,6 +571,7 @@ class IndexStore:
                 writes=self._writes,
                 errors=self._errors,
                 evictions=self._evictions,
+                skipped_writes=self._skipped_writes,
             )
 
     def describe(self) -> str:
@@ -392,8 +583,8 @@ class IndexStore:
             f"IndexStore({str(self.root)!r}{bounds}) "
             f"{len(entries)} entries ({self.total_bytes()} bytes), {len(runs)} runs, "
             f"hits={counters.hits}, misses={counters.misses}, "
-            f"writes={counters.writes}, errors={counters.errors}, "
-            f"evictions={counters.evictions}"
+            f"writes={counters.writes} (+{counters.skipped_writes} skipped), "
+            f"errors={counters.errors}, evictions={counters.evictions}"
         )
 
     # -- internals ----------------------------------------------------------------
@@ -421,7 +612,7 @@ class IndexStore:
             raise StoreError("artifact belongs to a different specification")
         if query is not None and envelope.get("query") != query:
             raise StoreError("artifact belongs to a different query")
-        payload = envelope.get("payload")
+        payload = _decode_payload(envelope.get("payload64"))
         if _checksum(payload) != envelope.get("checksum"):
             raise StoreError("artifact checksum mismatch")
         return payload

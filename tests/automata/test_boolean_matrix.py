@@ -153,3 +153,36 @@ class TestProperties:
     @settings(max_examples=60, deadline=None)
     def test_propagate_column_is_transposed_row_propagation(self, a, mask):
         assert a.propagate_column(mask) == a.transpose().propagate_row(mask)
+
+
+class TestPackedEncoding:
+    @given(matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_packed_round_trip(self, matrix):
+        assert BooleanMatrix.from_packed(matrix.size, matrix.to_packed()) == matrix
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_large_identity_round_trips(self, size):
+        matrix = BooleanMatrix.identity(size)
+        assert BooleanMatrix.from_packed(size, matrix.to_packed()) == matrix
+
+    def test_empty_matrix(self):
+        assert BooleanMatrix.from_packed(0, BooleanMatrix.zero(0).to_packed()).size == 0
+
+    def test_size_mismatch_raises(self):
+        packed = BooleanMatrix.identity(4).to_packed()
+        with pytest.raises(ValueError):
+            BooleanMatrix.from_packed(5, packed)
+
+    def test_bad_base64_raises(self):
+        with pytest.raises(Exception):
+            BooleanMatrix.from_packed(2, "not base64 !!!")
+
+    def test_packed_is_smaller_than_rows_for_big_matrices(self):
+        import json
+
+        matrix = BooleanMatrix.full(64)
+        rows_len = len(json.dumps(matrix.to_rows()))
+        packed_len = len(json.dumps([matrix.size, matrix.to_packed()]))
+        assert packed_len < rows_len

@@ -9,6 +9,7 @@ from repro.core.engine import ProvenanceQueryEngine
 from repro.datasets.paper_example import paper_specification
 from repro.service import IndexCache, QueryService
 from repro.store import FORMAT_VERSION, IndexStore
+from repro.store import store as store_module
 from repro.workflow.derivation import derive_run
 
 SAFE_QUERY = "_* e _*"
@@ -116,9 +117,11 @@ class TestCorruption:
         store = _warmed_store(tmp_path, spec, queries=(SAFE_QUERY,))
         path = self._entry_file(store)
         envelope = json.loads(path.read_text())
-        envelope["payload"]["report"]["dfa"]["start"] = 1 - int(
-            envelope["payload"]["report"]["dfa"]["start"]
-        )
+        # Flip a bit inside the payload (decode, mutate, re-encode) while
+        # leaving the recorded checksum untouched.
+        payload = store_module._decode_payload(envelope["payload64"])
+        payload["report"]["dfa"]["start"] = 1 - int(payload["report"]["dfa"]["start"])
+        envelope["payload64"] = store_module._encode_payload(payload)
         path.write_text(json.dumps(envelope))
         self._assert_clean_rebuild(store, spec)
 
@@ -201,3 +204,115 @@ class TestRunRegistry:
         store = IndexStore(tmp_path / "store")
         store.save_run("team/a run", run)
         assert store.run_ids() == ["team/a run"]
+
+
+class TestOrphanGc:
+    def test_orphaned_grammar_entries_are_dropped(self, tmp_path, spec, run):
+        """Entries of grammars with no registered run are reclaimed; entries
+        of registered grammars survive (the gc --orphans satellite)."""
+        from repro.datasets.myexperiment import bioaid_specification
+
+        store = IndexStore(tmp_path / "store")
+        store.save_run("r1", run)  # registers the paper grammar
+        cache = IndexCache(store=store)
+        cache.index(spec, SAFE_QUERY)  # kept: fingerprint has a run
+        orphan_spec = bioaid_specification()
+        cache.index(orphan_spec, "_*")  # orphan: no bioaid run registered
+        result = store.gc_orphans()
+        assert result.removed == 1
+        assert result.freed_bytes > 0
+        surviving = {info.fingerprint for info in store.entries()}
+        assert surviving == {spec.fingerprint}
+        assert store.run_ids() == ["r1"]  # runs are never touched
+        assert store.counters.evictions == 1
+
+    def test_store_with_no_runs_is_all_orphans(self, tmp_path, spec):
+        store = _warmed_store(tmp_path, spec)
+        count = len(store.entries())
+        result = store.gc_orphans()
+        assert result.removed == count
+        assert store.entries() == []
+
+    def test_unreadable_entries_count_as_orphans(self, tmp_path, spec, run):
+        store = IndexStore(tmp_path / "store")
+        store.save_run("r1", run)
+        cache = IndexCache(store=store)
+        cache.index(spec, SAFE_QUERY)
+        path = next(iter(store.entries())).path
+        path.write_text("garbage {")
+        result = store.gc_orphans()
+        assert result.removed == 1
+        assert store.entries() == []
+
+    def test_registered_fingerprints_reads_envelopes_only(self, tmp_path, spec, run):
+        store = IndexStore(tmp_path / "store")
+        store.save_run("r1", run)
+        assert store.registered_fingerprints() == frozenset({spec.fingerprint})
+
+
+class TestWriterCoordination:
+    def test_identical_save_is_skipped(self, tmp_path, spec):
+        """Re-saving byte-identical content is a counted no-op (the shared-
+        volume content-addressed skip)."""
+        store = IndexStore(tmp_path / "store")
+        cache = IndexCache(store=store)
+        report = cache.safety(spec, SAFE_QUERY)
+        index = cache.index(spec, SAFE_QUERY)
+        writes = store.counters.writes
+        assert store.save(spec.fingerprint, "_* . e . _*", report=report, index=index, plan=None)
+        counters = store.counters
+        assert counters.writes == writes  # elided
+        assert counters.skipped_writes >= 1
+
+    def test_corrupted_artifact_is_still_overwritten(self, tmp_path, spec):
+        """A payload corrupted under an intact checksum field must not
+        suppress the repairing overwrite."""
+        store = IndexStore(tmp_path / "store")
+        cache = IndexCache(store=store)
+        report = cache.safety(spec, SAFE_QUERY)
+        index = cache.index(spec, SAFE_QUERY)
+        path = store.entry_path(spec.fingerprint, "_* . e . _*")
+        envelope = json.loads(path.read_text())
+        payload = store_module._decode_payload(envelope["payload64"])
+        payload["report"]["dfa"]["start"] = 1 - int(payload["report"]["dfa"]["start"])
+        envelope["payload64"] = store_module._encode_payload(payload)
+        path.write_text(json.dumps(envelope))
+        writes = store.counters.writes
+        assert store.save(spec.fingerprint, "_* . e . _*", report=report, index=index, plan=None)
+        assert store.counters.writes == writes + 1  # really rewritten
+        restored = IndexStore(store.root).load(spec, "_* . e . _*")
+        assert restored is not None
+
+    def test_entry_lock_is_exclusive_and_degrades(self, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        with store.entry_lock("f" * 64, "q") as acquired:
+            assert acquired
+            with store.entry_lock("f" * 64, "q", timeout=0.2) as second:
+                assert not second  # held elsewhere: degrade, never deadlock
+        with store.entry_lock("f" * 64, "q", timeout=0.2) as again:
+            assert again  # released on exit
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        import os
+        import time
+
+        store = IndexStore(tmp_path / "store")
+        path = store.entry_path("f" * 64, "q")
+        lock = path.with_name(path.name + ".lock")
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.touch()
+        old = time.time() - 3600
+        os.utime(lock, (old, old))  # a crashed writer from an hour ago
+        with store.entry_lock("f" * 64, "q", timeout=1.0) as acquired:
+            assert acquired
+
+    def test_cross_process_build_waits_for_the_winner(self, tmp_path, spec):
+        """A cache losing the entry lock re-checks the store afterwards and
+        restores the winner's artifact instead of rebuilding."""
+        store = IndexStore(tmp_path / "store")
+        IndexCache(store=store).index(spec, SAFE_QUERY)  # the "winner"
+        loser = IndexCache(store=IndexStore(store.root))
+        loser.index(spec, SAFE_QUERY)
+        stats = loser.stats
+        assert stats.index_builds == 0
+        assert stats.store_hits == 1

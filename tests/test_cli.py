@@ -342,3 +342,66 @@ class TestCacheCommand:
     def test_warm_without_runs_is_an_error(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["cache", "--warm", "_*"])
+
+
+class TestDirectionAndWorkersFlags:
+    def test_direction_and_workers_match_default_output(self, tmp_path, run_path, capsys):
+        base = ["query", str(run_path), "_* a _*", "--json"]
+        assert main(base) == 0
+        expected = json.loads(capsys.readouterr().out)
+        for extra in (
+            ["--direction", "forward", "--strategy", "frontier"],
+            ["--direction", "backward", "--strategy", "frontier"],
+            ["--workers", "2", "--strategy", "frontier"],
+        ):
+            assert main(base + extra) == 0
+            assert json.loads(capsys.readouterr().out) == expected, extra
+
+    def test_stream_accepts_direction(self, tmp_path, run_path, capsys):
+        assert main(["query", str(run_path), "_* a _*", "--stream", "--json",
+                     "--direction", "backward"]) == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.splitlines()]
+        assert main(["query", str(run_path), "_* a _*", "--json"]) == 0
+        expected = json.loads(capsys.readouterr().out)
+        assert sorted(map(tuple, lines)) == sorted(map(tuple, expected))
+
+    def test_invalid_direction_is_rejected(self, tmp_path, run_path):
+        with pytest.raises(SystemExit):
+            main(["query", str(run_path), "_* a _*", "--direction", "sideways"])
+
+
+class TestStoreGcOrphans:
+    def test_gc_orphans_drops_unregistered_grammars(self, tmp_path, run_path, capsys):
+        store = tmp_path / "store"
+        # Entries for a grammar with no registered run (build registers none).
+        assert main(["store", "build", str(store), "--spec", "qblast", "_* B1 _*"]) == 0
+        # Entries + registered run for the paper grammar.
+        assert main(["store", "warm", str(store), "--run", str(run_path),
+                     "_* e _*"]) == 0
+        capsys.readouterr()
+        assert main(["store", "gc", str(store), "--orphans"]) == 0
+        out = capsys.readouterr().out
+        assert "orphans: removed 1 entries" in out
+        assert main(["store", "ls", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "B1" not in out
+        assert "1 entries, 1 runs" in out
+
+    def test_gc_without_mode_is_an_error(self, tmp_path, run_path, capsys):
+        store = tmp_path / "store"
+        assert main(["store", "build", str(store), "--spec", "paper-example", "_*"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="--max-bytes"):
+            main(["store", "gc", str(store)])
+
+    def test_gc_orphans_composes_with_max_bytes(self, tmp_path, run_path, capsys):
+        store = tmp_path / "store"
+        assert main(["store", "warm", str(store), "--run", str(run_path),
+                     "_* e _*", "_* b _*"]) == 0
+        capsys.readouterr()
+        assert main(["store", "gc", str(store), "--orphans", "--max-bytes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "orphans: removed 0 entries" in out  # both grammars registered
+        assert main(["store", "ls", str(store)]) == 0
+        assert "0 entries" in capsys.readouterr().out  # LRU sweep took the rest
