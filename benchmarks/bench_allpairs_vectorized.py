@@ -1,113 +1,16 @@
-"""Group-at-a-time vectorized decoding (optRPL-G) vs per-pair decodes.
+"""Vectorized group-at-a-time all-pairs decoding (optRPL-G) — ported to the scenario catalog.
 
-Three all-pairs strategies over the full node universe of synthetic runs at
-increasing scale:
-
-* **per-pair S1** — the pairwise decode on every pair of the cross product;
-* **per-pair S2** — the reachability filter of Algorithm 2, then the
-  pairwise decode on each surviving pair;
-* **vectorized S2** — the same structural join, decoded one group at a time
-  with memoized per-trie-node state vectors (one matrix-vector product per
-  group member, one bitmask intersection per pair).
-
-``test_all_strategies_agree_at_largest_scale`` asserts the answer-set
-equivalence of all strategies (including the streaming iterator);
-``test_vectorized_speedup_at_largest_scale`` asserts the headline ratio —
-vectorized S2 at least 3x faster than per-pair S2 at the largest scale (in
-practice the gap is 15-25x) — and is skipped under ``--benchmark-disable``
-so smoke runs stay free of wall-clock assertions.
+The workload formerly hand-rolled here is now the declarative catalog
+entries ``fig13e-allpairs-ifq-bioaid``, ``fig13f-allpairs-ifq-qblast`` in :mod:`repro.bench.catalog`.  Timing and
+regression gating moved to ``repro bench run`` / ``repro bench gate``
+(see ``benchmarks/trajectory/``); the test below only exercises the
+catalog entries at smoke scale so ``pytest benchmarks/`` keeps
+covering the same code paths.
 """
 
-import time
+from repro.bench.shim import scenario_smoke_tests
 
-import pytest
-
-from repro.core.allpairs import (
-    AllPairsOptions,
-    all_pairs_iter,
-    all_pairs_safe_query,
+test_smoke = scenario_smoke_tests(
+    "fig13e-allpairs-ifq-bioaid",
+    "fig13f-allpairs-ifq-qblast",
 )
-from repro.core.query_index import build_query_index
-from repro.core.safety import is_safe_query
-from repro.datasets.synthetic import generate_synthetic_specification
-from repro.workflow.derivation import derive_run
-
-SCALES = [100, 200, 400]
-LARGEST = SCALES[-1]
-
-_VECTORIZED = AllPairsOptions()
-_PER_PAIR_S2 = AllPairsOptions(vectorized=False)
-_PER_PAIR_S1 = AllPairsOptions(use_reachability_filter=False)
-
-
-def _case(target_edges):
-    spec = generate_synthetic_specification(300, seed=7, recursion_fraction=0.5)
-    run = derive_run(spec, seed=7, target_edges=target_edges)
-    query = next(
-        q
-        for q in ("op1* op2*", "_* op2 _*", "op3*", "_*")
-        if is_safe_query(spec, q)
-    )
-    return run, list(run.node_ids()), build_query_index(spec, query)
-
-
-@pytest.fixture(scope="module", params=SCALES)
-def scale_case(request):
-    return request.param, _case(request.param)
-
-
-@pytest.mark.parametrize("strategy", ["s1", "s2", "vectorized"])
-def test_all_pairs_strategies(benchmark, scale_case, strategy):
-    scale, (run, nodes, index) = scale_case
-    options = {
-        "s1": _PER_PAIR_S1,
-        "s2": _PER_PAIR_S2,
-        "vectorized": _VECTORIZED,
-    }[strategy]
-    benchmark.group = f"all-pairs decode strategies (target_edges={scale})"
-    benchmark(lambda: all_pairs_safe_query(run, nodes, nodes, index, options))
-
-
-def test_streamed_consumption(benchmark, scale_case):
-    """Draining the streaming iterator costs the same as materializing."""
-    scale, (run, nodes, index) = scale_case
-    benchmark.group = f"all-pairs decode strategies (target_edges={scale})"
-    benchmark(lambda: sum(1 for _ in all_pairs_iter(run, nodes, nodes, index)))
-
-
-def _best_time(fn, repeat):
-    best = float("inf")
-    for _ in range(repeat):
-        started = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - started)
-    return best
-
-
-def test_all_strategies_agree_at_largest_scale():
-    run, nodes, index = _case(LARGEST)
-    vectorized = all_pairs_safe_query(run, nodes, nodes, index, _VECTORIZED)
-    per_pair_s2 = all_pairs_safe_query(run, nodes, nodes, index, _PER_PAIR_S2)
-    per_pair_s1 = all_pairs_safe_query(run, nodes, nodes, index, _PER_PAIR_S1)
-    streamed = list(all_pairs_iter(run, nodes, nodes, index))
-    assert vectorized == per_pair_s2 == per_pair_s1 == set(streamed)
-    assert len(streamed) == len(set(streamed))
-
-
-def test_vectorized_speedup_at_largest_scale(request):
-    if request.config.getoption("--benchmark-disable"):
-        # Smoke runs (CI's "no timing loops" job) must not depend on
-        # wall-clock ratios measured on shared, noisy runners.
-        pytest.skip("timing assertion skipped when benchmarks are disabled")
-    run, nodes, index = _case(LARGEST)
-    t_vectorized = _best_time(
-        lambda: all_pairs_safe_query(run, nodes, nodes, index, _VECTORIZED), repeat=3
-    )
-    t_per_pair = _best_time(
-        lambda: all_pairs_safe_query(run, nodes, nodes, index, _PER_PAIR_S2), repeat=2
-    )
-    speedup = t_per_pair / t_vectorized
-    assert speedup >= 3.0, (
-        f"vectorized S2 only {speedup:.1f}x faster than per-pair S2 "
-        f"({t_vectorized * 1000:.1f}ms vs {t_per_pair * 1000:.1f}ms)"
-    )

@@ -1,171 +1,18 @@
-"""Direction-aware and parallel frontier execution — the executor-layer PR.
+"""Direction-aware and parallel frontier execution — ported to the scenario catalog.
 
-Two claims of the planner/executor split are tracked (and asserted) here, on
-one QBLast run large enough that frontier searches dominate:
-
-* **direction**: on a small-``l2``/large-``l1`` workload (every node as a
-  source, three high-fan-in targets), the backward executor — product
-  searches from the targets over the *reversed* macro DFA — beats the
-  forward sweep, and ``direction=auto`` actually picks it;
-* **parallelism**: the per-seed searches are embarrassingly parallel, so the
-  process-pool executor at 4 workers returns the identical pair set at
-  ≥ 2x the serial wall-clock (asserted only where ≥ 4 CPUs exist; the
-  thread/process merge correctness is asserted everywhere).
-
-CI captures this file's timings as ``BENCH_direction_parallel.json``.
+The workload formerly hand-rolled here is now the declarative catalog
+entries ``frontier-forward``, ``frontier-backward``, ``frontier-serial``, ``frontier-parallel-4w`` in :mod:`repro.bench.catalog`.  Timing and
+regression gating moved to ``repro bench run`` / ``repro bench gate``
+(see ``benchmarks/trajectory/``); the test below only exercises the
+catalog entries at smoke scale so ``pytest benchmarks/`` keeps
+covering the same code paths.
 """
 
-import os
-import time
+from repro.bench.shim import scenario_smoke_tests
 
-import pytest
-
-from repro.core.decomposition import evaluate_general_query, plan_decomposition
-from repro.core.exec import ExecutorConfig, build_physical_plan
-from repro.core.query_index import build_query_index
-from repro.core.relations import backward_closure_nodes
-from repro.datasets.runs import generate_run
-
-#: ``_* qx_b _*`` is unsafe for the QBLast grammar and mentions a frequent
-#: tag, so the product search stays alive across the whole run (a rare-tag
-#: query would die at the first transition and measure nothing).
-QUERY = "_* qx_b _*"
-RUN_EDGES = 12_000
-MIN_PARALLEL_SPEEDUP = 2.0
-PARALLEL_WORKERS = 4
-
-
-@pytest.fixture(scope="module")
-def big_run(qblast_spec):
-    return generate_run(qblast_spec, RUN_EDGES, seed=5)
-
-
-@pytest.fixture(scope="module")
-def plan(qblast_spec):
-    return plan_decomposition(qblast_spec, QUERY)
-
-
-@pytest.fixture(scope="module")
-def workload(big_run):
-    """Large ``l1`` (every node), small ``l2`` (the three targets with the
-    biggest backward closures, so the pruned universe stays run-sized and
-    the forward sweep has real work to lose)."""
-    nodes = list(big_run.node_ids())
-    targets = sorted(
-        nodes, key=lambda node: len(backward_closure_nodes(big_run, [node])), reverse=True
-    )[:3]
-    return nodes, targets
-
-
-def _evaluate(run, plan, l1, l2, **kwargs):
-    return evaluate_general_query(
-        run, QUERY, l1, l2, plan=plan, strategy="frontier", **kwargs
-    )
-
-
-@pytest.fixture(scope="module", autouse=True)
-def warm_dfas(big_run, plan, workload):
-    """Memoize forward + reversed macro DFAs so the benchmarks time pure
-    execution, not planning."""
-    l1, l2 = workload
-    _evaluate(big_run, plan, l1[:1], l2, direction="forward")
-    _evaluate(big_run, plan, l1[:1], l2, direction="backward")
-
-
-def test_forward_direction(benchmark, big_run, plan, workload):
-    l1, l2 = workload
-    benchmark.group = "direction (small l2, large l1)"
-    result = benchmark(lambda: _evaluate(big_run, plan, l1, l2, direction="forward"))
-    assert result
-
-
-def test_backward_direction(benchmark, big_run, plan, workload):
-    l1, l2 = workload
-    benchmark.group = "direction (small l2, large l1)"
-    result = benchmark(lambda: _evaluate(big_run, plan, l1, l2, direction="backward"))
-    assert result
-
-
-def test_serial_frontier(benchmark, big_run, plan, workload):
-    l1, l2 = workload
-    benchmark.group = f"parallel frontier ({PARALLEL_WORKERS} workers)"
-    benchmark(lambda: _evaluate(big_run, plan, l1, l2, direction="forward"))
-
-
-def test_parallel_frontier(benchmark, big_run, plan, workload):
-    l1, l2 = workload
-    config = ExecutorConfig(workers=PARALLEL_WORKERS)
-    benchmark.group = f"parallel frontier ({PARALLEL_WORKERS} workers)"
-    benchmark(
-        lambda: _evaluate(big_run, plan, l1, l2, direction="forward", executor=config)
-    )
-
-
-def _best_of(repeats, action):
-    elapsed, outcome = [], None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        outcome = action()
-        elapsed.append(time.perf_counter() - start)
-    return min(elapsed), outcome
-
-
-def test_direction_acceptance(big_run, plan, workload):
-    """Backward beats forward on the small-``l2`` workload, ``auto`` picks
-    backward, and all directions agree pairwise."""
-    l1, l2 = workload
-    forward_time, forward = _best_of(
-        2, lambda: _evaluate(big_run, plan, l1, l2, direction="forward")
-    )
-    backward_time, backward = _best_of(
-        2, lambda: _evaluate(big_run, plan, l1, l2, direction="backward")
-    )
-    auto = evaluate_general_query(big_run, QUERY, l1, l2, plan=plan)
-    assert forward == backward == auto
-    physical = build_physical_plan(
-        big_run, plan, l1, l2,
-        indexes=lambda node: build_query_index(big_run.spec, node),
-    )
-    assert physical.strategy == "frontier"
-    assert physical.direction == "backward"
-    print(
-        f"\ndirection: forward {forward_time * 1000:.0f} ms, "
-        f"backward {backward_time * 1000:.0f} ms "
-        f"({forward_time / backward_time:.1f}x), auto picks backward"
-    )
-    assert backward_time < forward_time, (
-        f"backward ({backward_time:.3f}s) should beat forward ({forward_time:.3f}s) "
-        f"when |l2|=3 and |l1|={len(l1)}"
-    )
-
-
-def test_parallel_acceptance(big_run, plan, workload):
-    """The parallel executor returns the identical pair set at ≥ 2x the
-    serial wall-clock with 4 workers (skipped below 4 CPUs, where the
-    hardware cannot express the speedup; equality is asserted regardless)."""
-    l1, l2 = workload
-    serial_time, serial = _best_of(
-        2, lambda: _evaluate(big_run, plan, l1, l2, direction="forward")
-    )
-    config = ExecutorConfig(workers=PARALLEL_WORKERS)
-    parallel_time, parallel = _best_of(
-        2,
-        lambda: _evaluate(
-            big_run, plan, l1, l2, direction="forward", executor=config
-        ),
-    )
-    assert parallel == serial  # identical results, always
-    cpus = os.cpu_count() or 1
-    speedup = serial_time / parallel_time
-    print(
-        f"\nparallel: serial {serial_time:.2f} s, "
-        f"{PARALLEL_WORKERS} workers {parallel_time:.2f} s "
-        f"({speedup:.1f}x on {cpus} CPUs)"
-    )
-    if cpus < PARALLEL_WORKERS:
-        pytest.skip(f"only {cpus} CPUs: cannot express a {PARALLEL_WORKERS}-worker speedup")
-    assert speedup >= MIN_PARALLEL_SPEEDUP, (
-        f"parallel frontier only {speedup:.2f}x faster than serial "
-        f"({serial_time:.3f}s vs {parallel_time:.3f}s); expected >= {MIN_PARALLEL_SPEEDUP}x "
-        f"at {PARALLEL_WORKERS} workers"
-    )
+test_smoke = scenario_smoke_tests(
+    "frontier-forward",
+    "frontier-backward",
+    "frontier-serial",
+    "frontier-parallel-4w",
+)

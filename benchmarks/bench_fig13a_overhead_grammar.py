@@ -1,28 +1,15 @@
-"""Fig. 13a — safety-check overhead as the grammar grows.
+"""Index-build overhead vs grammar size (Fig. 13a) — ported to the scenario catalog.
 
-The benchmarked operation is the full query-time overhead of the labeling
-approach (minimal DFA + safety check + query-index construction) for IFQs of
-size k=3 over synthetic workflows of increasing size.
+The workload formerly hand-rolled here is now the declarative catalog
+entry ``fig13a-overhead-synthetic`` in :mod:`repro.bench.catalog`.  Timing and
+regression gating moved to ``repro bench run`` / ``repro bench gate``
+(see ``benchmarks/trajectory/``); the test below only exercises the
+catalog entry at smoke scale so ``pytest benchmarks/`` keeps
+covering the same code paths.
 """
 
-import pytest
+from repro.bench.shim import scenario_smoke_tests
 
-from repro.core.query_index import build_query_index
-from repro.core.safety import analyze_safety, query_dfa
-from repro.datasets.queries import generate_ifq
-from repro.datasets.synthetic import generate_synthetic_specification
-
-
-@pytest.mark.parametrize("grammar_size", [200, 400, 800])
-def test_overhead_vs_grammar_size(benchmark, grammar_size):
-    spec = generate_synthetic_specification(grammar_size, seed=0)
-    query = generate_ifq(spec, 3, seed=1)
-
-    def overhead():
-        report = analyze_safety(spec, query_dfa(spec, query))
-        if report.is_safe:
-            build_query_index(spec, query)
-        return report.is_safe
-
-    benchmark.group = "fig13a overhead vs grammar size"
-    benchmark(overhead)
+test_smoke = scenario_smoke_tests(
+    "fig13a-overhead-synthetic",
+)

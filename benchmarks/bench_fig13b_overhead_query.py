@@ -1,23 +1,15 @@
-"""Fig. 13b — safety-check overhead as the query grows (BioAID / QBLast)."""
+"""Index-build overhead vs query size on BioAID (Fig. 13b) — ported to the scenario catalog.
 
-import pytest
+The workload formerly hand-rolled here is now the declarative catalog
+entry ``fig13b-overhead-bioaid`` in :mod:`repro.bench.catalog`.  Timing and
+regression gating moved to ``repro bench run`` / ``repro bench gate``
+(see ``benchmarks/trajectory/``); the test below only exercises the
+catalog entry at smoke scale so ``pytest benchmarks/`` keeps
+covering the same code paths.
+"""
 
-from repro.core.query_index import build_query_index
-from repro.core.safety import analyze_safety, query_dfa
-from repro.datasets.queries import generate_ifq
+from repro.bench.shim import scenario_smoke_tests
 
-
-@pytest.mark.parametrize("k", [0, 3, 6, 10])
-@pytest.mark.parametrize("workflow", ["bioaid", "qblast"])
-def test_overhead_vs_query_size(benchmark, workflow, k, bioaid_spec, qblast_spec):
-    spec = bioaid_spec if workflow == "bioaid" else qblast_spec
-    query = generate_ifq(spec, k, seed=k)
-
-    def overhead():
-        report = analyze_safety(spec, query_dfa(spec, query))
-        if report.is_safe:
-            build_query_index(spec, query)
-        return report.is_safe
-
-    benchmark.group = f"fig13b overhead vs query size ({workflow})"
-    benchmark(overhead)
+test_smoke = scenario_smoke_tests(
+    "fig13b-overhead-bioaid",
+)

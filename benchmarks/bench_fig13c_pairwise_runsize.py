@@ -1,55 +1,15 @@
-"""Fig. 13c — pairwise IFQ time versus run size (RPL vs G3 vs G2).
+"""Pairwise query latency vs run size on BioAID (Fig. 13c) — ported to the scenario catalog.
 
-Each benchmark answers a fixed batch of pairwise queries over BioAID runs of
-increasing size; the labeling approach should stay flat while the baselines
-grow with the run.
+The workload formerly hand-rolled here is now the declarative catalog
+entry ``fig13c-pairwise-bioaid`` in :mod:`repro.bench.catalog`.  Timing and
+regression gating moved to ``repro bench run`` / ``repro bench gate``
+(see ``benchmarks/trajectory/``); the test below only exercises the
+catalog entry at smoke scale so ``pytest benchmarks/`` keeps
+covering the same code paths.
 """
 
-import random
+from repro.bench.shim import scenario_smoke_tests
 
-import pytest
-
-from repro.baselines.g2_rare_labels import g2_pairwise_batch
-from repro.baselines.g3_label_index import g3_pairwise_batch
-from repro.core.pairwise import answer_pairwise_query
-from repro.core.query_index import build_query_index
-from repro.bench.experiments import _safe_path_ifq
-from repro.datasets.index import EdgeTagIndex
-from repro.datasets.runs import generate_run
-
-RUN_SIZES = [300, 600, 1200]
-PAIRS = 300
-
-
-def _setup(bioaid_spec, run_edges):
-    run = generate_run(bioaid_spec, run_edges, seed=run_edges)
-    index = EdgeTagIndex.from_run(run)
-    query = _safe_path_ifq(run, 3, index, base_seed=7)
-    rng = random.Random(run_edges)
-    nodes = list(run.node_ids())
-    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(PAIRS)]
-    return run, index, query, pairs
-
-
-@pytest.mark.parametrize("run_edges", RUN_SIZES)
-def test_rpl_pairwise(benchmark, bioaid_spec, run_edges):
-    run, _, query, pairs = _setup(bioaid_spec, run_edges)
-    query_index = build_query_index(bioaid_spec, query)
-    labels = [(run.label_of(u), run.label_of(v)) for u, v in pairs]
-
-    benchmark.group = f"fig13c pairwise (run={run_edges})"
-    benchmark(lambda: [answer_pairwise_query(query_index, lu, lv) for lu, lv in labels])
-
-
-@pytest.mark.parametrize("run_edges", RUN_SIZES)
-def test_g3_pairwise(benchmark, bioaid_spec, run_edges):
-    run, index, query, pairs = _setup(bioaid_spec, run_edges)
-    benchmark.group = f"fig13c pairwise (run={run_edges})"
-    benchmark(lambda: g3_pairwise_batch(run, pairs, query, index=index))
-
-
-@pytest.mark.parametrize("run_edges", RUN_SIZES)
-def test_g2_pairwise(benchmark, bioaid_spec, run_edges):
-    run, index, query, pairs = _setup(bioaid_spec, run_edges)
-    benchmark.group = f"fig13c pairwise (run={run_edges})"
-    benchmark(lambda: g2_pairwise_batch(run, pairs, query, index=index))
+test_smoke = scenario_smoke_tests(
+    "fig13c-pairwise-bioaid",
+)

@@ -1,48 +1,15 @@
-"""Fig. 13d — pairwise IFQ time versus query size k (RPL vs G3 vs G2)."""
+"""Pairwise query latency vs query size on QBLast (Fig. 13d) — ported to the scenario catalog.
 
-import random
+The workload formerly hand-rolled here is now the declarative catalog
+entry ``fig13d-pairwise-qblast`` in :mod:`repro.bench.catalog`.  Timing and
+regression gating moved to ``repro bench run`` / ``repro bench gate``
+(see ``benchmarks/trajectory/``); the test below only exercises the
+catalog entry at smoke scale so ``pytest benchmarks/`` keeps
+covering the same code paths.
+"""
 
-import pytest
+from repro.bench.shim import scenario_smoke_tests
 
-from repro.baselines.g2_rare_labels import g2_pairwise_batch
-from repro.baselines.g3_label_index import g3_pairwise_batch
-from repro.core.pairwise import answer_pairwise_query
-from repro.bench.experiments import _safe_path_ifq
-from repro.core.query_index import build_query_index
-
-QUERY_SIZES = [0, 3, 6, 10]
-PAIRS = 300
-
-
-def _pairs(run, count, seed=5):
-    rng = random.Random(seed)
-    nodes = list(run.node_ids())
-    return [(rng.choice(nodes), rng.choice(nodes)) for _ in range(count)]
-
-
-@pytest.mark.parametrize("k", QUERY_SIZES)
-def test_rpl_pairwise(benchmark, bioaid_spec, bioaid_run, bioaid_index, k):
-    query = _safe_path_ifq(bioaid_run, k, bioaid_index, base_seed=11 + k)
-    query_index = build_query_index(bioaid_spec, query)
-    labels = [
-        (bioaid_run.label_of(u), bioaid_run.label_of(v))
-        for u, v in _pairs(bioaid_run, PAIRS)
-    ]
-    benchmark.group = f"fig13d pairwise (k={k})"
-    benchmark(lambda: [answer_pairwise_query(query_index, lu, lv) for lu, lv in labels])
-
-
-@pytest.mark.parametrize("k", QUERY_SIZES)
-def test_g3_pairwise(benchmark, bioaid_run, bioaid_index, k):
-    query = _safe_path_ifq(bioaid_run, k, bioaid_index, base_seed=11 + k)
-    pairs = _pairs(bioaid_run, PAIRS)
-    benchmark.group = f"fig13d pairwise (k={k})"
-    benchmark(lambda: g3_pairwise_batch(bioaid_run, pairs, query, index=bioaid_index))
-
-
-@pytest.mark.parametrize("k", QUERY_SIZES)
-def test_g2_pairwise(benchmark, bioaid_run, bioaid_index, k):
-    query = _safe_path_ifq(bioaid_run, k, bioaid_index, base_seed=11 + k)
-    pairs = _pairs(bioaid_run, PAIRS)
-    benchmark.group = f"fig13d pairwise (k={k})"
-    benchmark(lambda: g2_pairwise_batch(bioaid_run, pairs, query, index=bioaid_index))
+test_smoke = scenario_smoke_tests(
+    "fig13d-pairwise-qblast",
+)

@@ -1,49 +1,15 @@
-"""Fig. 13e — all-pairs IFQs on BioAID (baseline G3 vs RPL vs optRPL).
+"""All-pairs safe IFQ evaluation on BioAID (Fig. 13e) — ported to the scenario catalog.
 
-Two selectivity regimes are benchmarked: a highly selective IFQ (rare tags,
-few matches — the baseline's best case) and a lowly selective IFQ (frequent
-tags, many matches — where intermediate results blow up for the baseline).
+The workload formerly hand-rolled here is now the declarative catalog
+entry ``fig13e-allpairs-ifq-bioaid`` in :mod:`repro.bench.catalog`.  Timing and
+regression gating moved to ``repro bench run`` / ``repro bench gate``
+(see ``benchmarks/trajectory/``); the test below only exercises the
+catalog entry at smoke scale so ``pytest benchmarks/`` keeps
+covering the same code paths.
 """
 
-import pytest
+from repro.bench.shim import scenario_smoke_tests
 
-from repro.baselines.g3_label_index import g3_all_pairs
-from repro.core.allpairs import AllPairsOptions, all_pairs_safe_query
-from repro.core.decomposition import evaluate_general_query, plan_decomposition
-from repro.core.query_index import build_query_index
-from repro.datasets.queries import generate_ifq_along_path
-
-SELECTIVITIES = ["high", "low"]
-
-
-def _query(run, index, selectivity):
-    prefer = "rare" if selectivity == "high" else "frequent"
-    return generate_ifq_along_path(run, 3, seed=2, prefer=prefer, index=index)
-
-
-@pytest.mark.parametrize("selectivity", SELECTIVITIES)
-def test_baseline_g3(benchmark, bioaid_run, bioaid_index, bioaid_lists, selectivity):
-    l1, l2 = bioaid_lists
-    query = _query(bioaid_run, bioaid_index, selectivity)
-    benchmark.group = f"fig13e all-pairs IFQ ({selectivity} selectivity)"
-    benchmark(lambda: g3_all_pairs(bioaid_run, l1, l2, query, index=bioaid_index))
-
-
-@pytest.mark.parametrize("selectivity", SELECTIVITIES)
-@pytest.mark.parametrize("engine", ["rpl", "optrpl"])
-def test_labeling_engines(benchmark, bioaid_run, bioaid_index, bioaid_lists, selectivity, engine):
-    l1, l2 = bioaid_lists
-    query = _query(bioaid_run, bioaid_index, selectivity)
-    use_filter = engine == "optrpl"
-    plan = plan_decomposition(bioaid_run.spec, query)
-    benchmark.group = f"fig13e all-pairs IFQ ({selectivity} selectivity)"
-    if plan.is_fully_safe:
-        index = build_query_index(bioaid_run.spec, query)
-        options = AllPairsOptions(use_reachability_filter=use_filter)
-        benchmark(lambda: all_pairs_safe_query(bioaid_run, l1, l2, index, options))
-    else:
-        benchmark(
-            lambda: evaluate_general_query(
-                bioaid_run, query, l1, l2, use_reachability_filter=use_filter
-            )
-        )
+test_smoke = scenario_smoke_tests(
+    "fig13e-allpairs-ifq-bioaid",
+)

@@ -1,44 +1,15 @@
-"""Fig. 13f — all-pairs IFQs on QBLast (baseline G3 vs RPL vs optRPL)."""
+"""All-pairs safe IFQ evaluation on QBLast (Fig. 13f) — ported to the scenario catalog.
 
-import pytest
+The workload formerly hand-rolled here is now the declarative catalog
+entry ``fig13f-allpairs-ifq-qblast`` in :mod:`repro.bench.catalog`.  Timing and
+regression gating moved to ``repro bench run`` / ``repro bench gate``
+(see ``benchmarks/trajectory/``); the test below only exercises the
+catalog entry at smoke scale so ``pytest benchmarks/`` keeps
+covering the same code paths.
+"""
 
-from repro.baselines.g3_label_index import g3_all_pairs
-from repro.core.allpairs import AllPairsOptions, all_pairs_safe_query
-from repro.core.decomposition import evaluate_general_query, plan_decomposition
-from repro.core.query_index import build_query_index
-from repro.datasets.queries import generate_ifq_along_path
+from repro.bench.shim import scenario_smoke_tests
 
-SELECTIVITIES = ["high", "low"]
-
-
-def _query(run, index, selectivity):
-    prefer = "rare" if selectivity == "high" else "frequent"
-    return generate_ifq_along_path(run, 3, seed=2, prefer=prefer, index=index)
-
-
-@pytest.mark.parametrize("selectivity", SELECTIVITIES)
-def test_baseline_g3(benchmark, qblast_run, qblast_index, qblast_lists, selectivity):
-    l1, l2 = qblast_lists
-    query = _query(qblast_run, qblast_index, selectivity)
-    benchmark.group = f"fig13f all-pairs IFQ ({selectivity} selectivity)"
-    benchmark(lambda: g3_all_pairs(qblast_run, l1, l2, query, index=qblast_index))
-
-
-@pytest.mark.parametrize("selectivity", SELECTIVITIES)
-@pytest.mark.parametrize("engine", ["rpl", "optrpl"])
-def test_labeling_engines(benchmark, qblast_run, qblast_index, qblast_lists, selectivity, engine):
-    l1, l2 = qblast_lists
-    query = _query(qblast_run, qblast_index, selectivity)
-    use_filter = engine == "optrpl"
-    plan = plan_decomposition(qblast_run.spec, query)
-    benchmark.group = f"fig13f all-pairs IFQ ({selectivity} selectivity)"
-    if plan.is_fully_safe:
-        index = build_query_index(qblast_run.spec, query)
-        options = AllPairsOptions(use_reachability_filter=use_filter)
-        benchmark(lambda: all_pairs_safe_query(qblast_run, l1, l2, index, options))
-    else:
-        benchmark(
-            lambda: evaluate_general_query(
-                qblast_run, query, l1, l2, use_reachability_filter=use_filter
-            )
-        )
+test_smoke = scenario_smoke_tests(
+    "fig13f-allpairs-ifq-qblast",
+)

@@ -1,36 +1,15 @@
-"""Fig. 13h — all-pairs Kleene star (a*) on loop-heavy QBLast runs."""
+"""All-pairs Kleene star on loop-heavy QBLast runs (Fig. 13h) — ported to the scenario catalog.
 
-import pytest
+The workload formerly hand-rolled here is now the declarative catalog
+entry ``fig13h-kleene-qblast`` in :mod:`repro.bench.catalog`.  Timing and
+regression gating moved to ``repro bench run`` / ``repro bench gate``
+(see ``benchmarks/trajectory/``); the test below only exercises the
+catalog entry at smoke scale so ``pytest benchmarks/`` keeps
+covering the same code paths.
+"""
 
-from repro.baselines.g1_parse_tree_joins import g1_all_pairs
-from repro.core.allpairs import AllPairsOptions, all_pairs_safe_query
-from repro.core.query_index import build_query_index
-from repro.datasets.myexperiment import QBLAST_KLEENE_TAG, fork_production_indices
-from repro.datasets.runs import generate_fork_heavy_run, node_lists
+from repro.bench.shim import scenario_smoke_tests
 
-RUN_SIZES = [300, 600, 1200]
-QUERY = f"{QBLAST_KLEENE_TAG}*"
-
-
-def _workload(spec, run_edges):
-    forks = fork_production_indices(spec, QBLAST_KLEENE_TAG)
-    run = generate_fork_heavy_run(spec, run_edges, forks, seed=run_edges)
-    l1, l2 = node_lists(run, limit=150, seed=run_edges)
-    return run, l1, l2
-
-
-@pytest.mark.parametrize("run_edges", RUN_SIZES)
-def test_baseline_g1(benchmark, qblast_spec, run_edges):
-    run, l1, l2 = _workload(qblast_spec, run_edges)
-    benchmark.group = f"fig13h kleene star (run={run_edges})"
-    benchmark(lambda: g1_all_pairs(run, l1, l2, QUERY))
-
-
-@pytest.mark.parametrize("run_edges", RUN_SIZES)
-@pytest.mark.parametrize("engine", ["rpl", "optrpl"])
-def test_labeling_engines(benchmark, qblast_spec, run_edges, engine):
-    run, l1, l2 = _workload(qblast_spec, run_edges)
-    index = build_query_index(qblast_spec, QUERY)
-    options = AllPairsOptions(use_reachability_filter=(engine == "optrpl"))
-    benchmark.group = f"fig13h kleene star (run={run_edges})"
-    benchmark(lambda: all_pairs_safe_query(run, l1, l2, index, options))
+test_smoke = scenario_smoke_tests(
+    "fig13h-kleene-qblast",
+)

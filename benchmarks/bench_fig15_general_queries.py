@@ -1,99 +1,16 @@
-"""Fig. 15 — general (unsafe) queries: decomposition vs the G1 baseline.
+"""General (unsafe) queries with and without restriction pushdown (Fig. 15) — ported to the scenario catalog.
 
-For a fixed set of unsafe queries over BioAID and QBLast runs, benchmark the
-join-only baseline (G1) against the safe-subtree decomposition (our
-approach).  The improvement percentages of the paper's Fig. 15 are produced
-by ``python -m repro.bench fig15a fig15b``.
-
-The ``restricted`` group tracks the restriction-pushdown engine: the same
-unsafe queries asked for small (5×5) node lists, once with the pre-pushdown
-evaluate-the-whole-run-then-restrict behaviour and once with the pushdown
-evaluator, whose work is bounded by the nodes reachable from the requested
-sources.  CI captures this file's timings as ``BENCH_general_queries.json``.
+The workload formerly hand-rolled here is now the declarative catalog
+entries ``fig15-unsafe-bioaid``, ``fig15-restricted-pushdown-qblast`` in :mod:`repro.bench.catalog`.  Timing and
+regression gating moved to ``repro bench run`` / ``repro bench gate``
+(see ``benchmarks/trajectory/``); the test below only exercises the
+catalog entries at smoke scale so ``pytest benchmarks/`` keeps
+covering the same code paths.
 """
 
-import pytest
+from repro.bench.shim import scenario_smoke_tests
 
-from repro.baselines.g1_parse_tree_joins import g1_all_pairs
-from repro.core.decomposition import evaluate_general_query, plan_decomposition
-from repro.datasets.queries import generate_query_suite
-from repro.datasets.runs import node_lists
-
-
-def _unsafe_queries(spec, count=3):
-    queries = []
-    seed = 0
-    while len(queries) < count and seed < 200:
-        query = generate_query_suite(spec, count=1, seed=seed, depth=2)[0]
-        seed += 1
-        plan = plan_decomposition(spec, query)
-        if not plan.is_fully_safe and plan.has_safe_parts:
-            queries.append(query)
-    return queries
-
-
-def _workload(run):
-    return node_lists(run, limit=120, seed=4)
-
-
-@pytest.mark.parametrize("workflow", ["bioaid", "qblast"])
-@pytest.mark.parametrize("query_id", [0, 1, 2])
-def test_baseline_g1(benchmark, workflow, query_id, bioaid_run, qblast_run):
-    run = bioaid_run if workflow == "bioaid" else qblast_run
-    queries = _unsafe_queries(run.spec)
-    if query_id >= len(queries):
-        pytest.skip("not enough unsafe queries generated")
-    l1, l2 = _workload(run)
-    benchmark.group = f"fig15 general queries ({workflow}, q{query_id})"
-    benchmark(lambda: g1_all_pairs(run, l1, l2, queries[query_id]))
-
-
-@pytest.mark.parametrize("workflow", ["bioaid", "qblast"])
-@pytest.mark.parametrize("query_id", [0, 1, 2])
-def test_decomposition(benchmark, workflow, query_id, bioaid_run, qblast_run):
-    run = bioaid_run if workflow == "bioaid" else qblast_run
-    queries = _unsafe_queries(run.spec)
-    if query_id >= len(queries):
-        pytest.skip("not enough unsafe queries generated")
-    l1, l2 = _workload(run)
-    plan = plan_decomposition(run.spec, queries[query_id])
-    benchmark.group = f"fig15 general queries ({workflow}, q{query_id})"
-    benchmark(lambda: evaluate_general_query(run, queries[query_id], l1, l2, plan=plan))
-
-
-def _restricted_workload(run):
-    l1, l2 = node_lists(run, limit=120, seed=4)
-    return l1[:5], l2[:5]
-
-
-@pytest.mark.parametrize("workflow", ["bioaid", "qblast"])
-@pytest.mark.parametrize("query_id", [0, 1, 2])
-def test_restricted_pre_pushdown(benchmark, workflow, query_id, bioaid_run, qblast_run):
-    """The pre-pushdown evaluator: whole-run relations, then restrict."""
-    run = bioaid_run if workflow == "bioaid" else qblast_run
-    queries = _unsafe_queries(run.spec)
-    if query_id >= len(queries):
-        pytest.skip("not enough unsafe queries generated")
-    l1, l2 = _restricted_workload(run)
-    plan = plan_decomposition(run.spec, queries[query_id])
-    benchmark.group = f"fig15 restricted 5x5 ({workflow}, q{query_id})"
-    benchmark(
-        lambda: evaluate_general_query(
-            run, queries[query_id], l1, l2, plan=plan,
-            strategy="join", push_restrictions=False,
-        )
-    )
-
-
-@pytest.mark.parametrize("workflow", ["bioaid", "qblast"])
-@pytest.mark.parametrize("query_id", [0, 1, 2])
-def test_restricted_pushdown(benchmark, workflow, query_id, bioaid_run, qblast_run):
-    """The restriction-pushdown evaluator on the same 5×5 lists."""
-    run = bioaid_run if workflow == "bioaid" else qblast_run
-    queries = _unsafe_queries(run.spec)
-    if query_id >= len(queries):
-        pytest.skip("not enough unsafe queries generated")
-    l1, l2 = _restricted_workload(run)
-    plan = plan_decomposition(run.spec, queries[query_id])
-    benchmark.group = f"fig15 restricted 5x5 ({workflow}, q{query_id})"
-    benchmark(lambda: evaluate_general_query(run, queries[query_id], l1, l2, plan=plan))
+test_smoke = scenario_smoke_tests(
+    "fig15-unsafe-bioaid",
+    "fig15-restricted-pushdown-qblast",
+)

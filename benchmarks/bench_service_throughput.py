@@ -1,109 +1,17 @@
-"""Service throughput — batched queries/sec with cold vs warm index cache.
+"""Service throughput with cold vs warm index cache — ported to the scenario catalog.
 
-The service's claim is architectural rather than a paper figure: once the
-per-query index work is shared across a batch (and across batches, for a
-long-lived service), throughput is governed by the constant-time per-pair
-decode instead of by index rebuilding.  Three configurations are measured
-over the same mixed pairwise/reachability batch:
-
-* ``bare-engines``  — a fresh :class:`ProvenanceQueryEngine` per request,
-  the pre-service behaviour where every request pays the index build;
-* ``service-cold``  — a fresh :class:`QueryService` per round (first-contact
-  cost: the batch itself deduplicates builds);
-* ``service-warm``  — one long-lived service, cache already hot (steady
-  state of a serving deployment).
-
-``extra_info["requests"]`` holds the batch size, so queries/sec is
-``requests / mean``.
+The workload formerly hand-rolled here is now the declarative catalog
+entries ``service-throughput-cold``, ``service-throughput-warm``, ``mixed-batch-qblast`` in :mod:`repro.bench.catalog`.  Timing and
+regression gating moved to ``repro bench run`` / ``repro bench gate``
+(see ``benchmarks/trajectory/``); the test below only exercises the
+catalog entries at smoke scale so ``pytest benchmarks/`` keeps
+covering the same code paths.
 """
 
-import itertools
+from repro.bench.shim import scenario_smoke_tests
 
-import pytest
-
-from repro.core.engine import ProvenanceQueryEngine
-from repro.service import QueryRequest, QueryService
-
-QUERIES = ["_* B1 _*", "_* q_prep _*", "(_* B1 _*) | (_* q_prep _*)"]
-BATCH_SIZE = 120
-
-
-def _batch(run_id, run):
-    """A mixed batch cycling through a few distinct (and safe) queries."""
-    nodes = run.node_ids()
-    sources = nodes[: BATCH_SIZE // 4]
-    targets = nodes[-(BATCH_SIZE // 4):]
-    queries = itertools.cycle(QUERIES)
-    requests = []
-    for position in range(BATCH_SIZE):
-        source = sources[position % len(sources)]
-        target = targets[position % len(targets)]
-        if position % 4 == 3:
-            requests.append(
-                QueryRequest(op="reachability", run=run_id, source=source, target=target)
-            )
-        else:
-            requests.append(
-                QueryRequest(
-                    op="pairwise",
-                    run=run_id,
-                    query=next(queries),
-                    source=source,
-                    target=target,
-                )
-            )
-    return requests
-
-
-@pytest.fixture(scope="module")
-def qblast_batch(qblast_run):
-    return _batch("qblast", qblast_run)
-
-
-def test_bare_engines(benchmark, qblast_run, qblast_batch):
-    """Pre-service baseline: every pairwise request rebuilds its index."""
-
-    def evaluate():
-        answers = []
-        for request in qblast_batch:
-            engine = ProvenanceQueryEngine(qblast_run.spec)
-            if request.op == "reachability":
-                answers.append(
-                    engine.reachable(qblast_run, request.source, request.target)
-                )
-            else:
-                answers.append(
-                    engine.pairwise(
-                        qblast_run, request.source, request.target, request.query
-                    )
-                )
-        return answers
-
-    benchmark.group = "service throughput (batch of %d)" % BATCH_SIZE
-    benchmark.extra_info["requests"] = BATCH_SIZE
-    benchmark(evaluate)
-
-
-def test_service_cold(benchmark, qblast_run, qblast_batch):
-    """Fresh service per round: batch-level dedup but an empty cache."""
-
-    def evaluate():
-        service = QueryService(max_workers=4)
-        service.register_run(qblast_run, "qblast")
-        return service.run_batch(qblast_batch)
-
-    benchmark.group = "service throughput (batch of %d)" % BATCH_SIZE
-    benchmark.extra_info["requests"] = BATCH_SIZE
-    benchmark(evaluate)
-
-
-def test_service_warm(benchmark, qblast_run, qblast_batch):
-    """Long-lived service: the steady state where the cache is already hot."""
-    service = QueryService(max_workers=4)
-    service.register_run(qblast_run, "qblast")
-    service.run_batch(qblast_batch)  # warm the cache
-
-    benchmark.group = "service throughput (batch of %d)" % BATCH_SIZE
-    benchmark.extra_info["requests"] = BATCH_SIZE
-    results = benchmark(lambda: service.run_batch(qblast_batch))
-    assert all(result.ok for result in results)
+test_smoke = scenario_smoke_tests(
+    "service-throughput-cold",
+    "service-throughput-warm",
+    "mixed-batch-qblast",
+)

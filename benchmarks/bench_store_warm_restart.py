@@ -1,140 +1,16 @@
-"""Store warm restarts — cold-start vs warm-start first-query latency.
+"""Warm service restarts from the persistent index store — ported to the scenario catalog.
 
-The persistent store's claim: a restarted ``QueryService(store_dir=...)``
-pays JSON reconstruction instead of the per-query overhead of Fig. 13a/b
-(minimal DFA + safety fixpoint + transition-matrix sweep) for every
-previously-seen query.  Two configurations answer the same first-contact
-batch of pairwise queries from a fresh service instance:
-
-* ``cold-restart`` — no store: every query rebuilds its index/plan;
-* ``warm-restart`` — a store pre-built by a previous service instance: the
-  run registry and all per-query artifacts load from disk, zero rebuilds.
-
-Pairwise requests keep the per-pair decode negligible, so the measured time
-is dominated by exactly the work the store elides.  ``test_speedup_…``
-additionally asserts the ≥4.5x acceptance bound and that the warm service
-rebuilt nothing; CI captures this file's timings as
-``BENCH_store_warm_restart.json``.
+The workload formerly hand-rolled here is now the declarative catalog
+entries ``store-restart-cold``, ``store-restart-warm`` in :mod:`repro.bench.catalog`.  Timing and
+regression gating moved to ``repro bench run`` / ``repro bench gate``
+(see ``benchmarks/trajectory/``); the test below only exercises the
+catalog entries at smoke scale so ``pytest benchmarks/`` keeps
+covering the same code paths.
 """
 
-import time
+from repro.bench.shim import scenario_smoke_tests
 
-import pytest
-
-from repro.service import QueryService
-
-# First-contact queries in the Fig. 13b overhead regime (multi-state DFAs):
-# the per-query build cost the store elides grows with DFA size, while the
-# store's JSON reconstruction is bound by the grammar's table sizes.
-QUERIES = [
-    "_* B1 _* B2 _* B3 _* B4 _* B5 _*",
-    "_* q_prep _* B1 _* B2 _* B3 _* B4 _*",
-    "(_* B1 _* q_prep _* B2 _*) | (_* B3 _* B4 _* B5 _*)",
-    "(B1 | q_prep)+ . _* . (B2 | B3)+ . _* . (B4 | B5)+",
-    "_* B5 _* B4 _* B3 _* B2 _* B1 _*",
-    "(_* q_prep _* B5 _*) | (_* B1 _* B2 _* B3 _* B4 _*)",
-]
-# Store format 2 deflates every artifact (5-10x smaller entries); the warm
-# path pays the decompression back, ~10% of its latency, so the asserted
-# floor sits a notch under the ~5.5-6x now measured.
-MIN_SPEEDUP = 4.5
-
-
-@pytest.fixture(scope="module")
-def first_contact_batch(qblast_run):
-    nodes = qblast_run.node_ids()
-    return [
-        {
-            "op": "pairwise",
-            "run": "qblast",
-            "query": query,
-            "source": nodes[position],
-            "target": nodes[-1 - position],
-        }
-        for position, query in enumerate(QUERIES)
-    ]
-
-
-@pytest.fixture(scope="module")
-def run_file(tmp_path_factory, qblast_run):
-    from repro.workflow.serialization import save_run
-
-    path = tmp_path_factory.mktemp("runs") / "qblast.json"
-    save_run(qblast_run, path)
-    return path
-
-
-@pytest.fixture(scope="module")
-def store_dir(tmp_path_factory, qblast_run):
-    """A store pre-built by a 'previous instance' of the service."""
-    path = tmp_path_factory.mktemp("warm") / "store"
-    service = QueryService(store_dir=path)
-    service.register_run(qblast_run, "qblast")
-    statuses = service.warm("qblast", QUERIES)
-    assert all(not status.startswith("error") for status in statuses.values())
-    return path
-
-
-def _cold_start(run_file, batch):
-    service = QueryService()
-    service.load_run_file(run_file, run_id="qblast")
-    return service, service.run_batch(batch)
-
-
-def _warm_start(store_dir, batch):
-    service = QueryService(store_dir=store_dir)  # run registry loads from disk
-    return service, service.run_batch(batch)
-
-
-def test_cold_restart(benchmark, run_file, first_contact_batch):
-    """Fresh process, no store: first queries pay the full per-query cost."""
-    benchmark.group = "store warm restart (first %d queries)" % len(QUERIES)
-    benchmark.extra_info["requests"] = len(QUERIES)
-    _, results = benchmark(lambda: _cold_start(run_file, first_contact_batch))
-    assert all(result.ok for result in results)
-
-
-def test_warm_restart(benchmark, store_dir, first_contact_batch):
-    """Fresh process, pre-built store: first queries are store hits only."""
-    benchmark.group = "store warm restart (first %d queries)" % len(QUERIES)
-    benchmark.extra_info["requests"] = len(QUERIES)
-    _, results = benchmark(lambda: _warm_start(store_dir, first_contact_batch))
-    assert all(result.ok for result in results)
-
-
-def test_speedup_and_zero_rebuilds(run_file, store_dir, first_contact_batch):
-    """The acceptance bound: ≥5x cold-vs-warm first-query latency, with the
-    warm service rebuilding nothing and answering identically."""
-
-    def best_of(repeats, action):
-        elapsed, outcome = [], None
-        for _ in range(repeats):
-            start = time.perf_counter()
-            outcome = action()
-            elapsed.append(time.perf_counter() - start)
-        return min(elapsed), outcome
-
-    cold_time, (_, cold_results) = best_of(
-        3, lambda: _cold_start(run_file, first_contact_batch)
-    )
-    warm_time, (warm_service, warm_results) = best_of(
-        3, lambda: _warm_start(store_dir, first_contact_batch)
-    )
-
-    stats = warm_service.cache_stats
-    assert stats.index_builds == 0
-    assert stats.safety_checks == 0
-    assert stats.plan_builds == 0
-    assert stats.store_hits > 0
-    assert [(r.request_id, r.ok, r.answer) for r in warm_results] == [
-        (r.request_id, r.ok, r.answer) for r in cold_results
-    ]
-    speedup = cold_time / warm_time
-    print(
-        f"\nstore warm restart: cold {cold_time * 1000:.1f} ms, "
-        f"warm {warm_time * 1000:.1f} ms, speedup {speedup:.1f}x"
-    )
-    assert speedup >= MIN_SPEEDUP, (
-        f"warm restart only {speedup:.1f}x faster than cold ({cold_time:.4f}s vs "
-        f"{warm_time:.4f}s); expected >= {MIN_SPEEDUP}x"
-    )
+test_smoke = scenario_smoke_tests(
+    "store-restart-cold",
+    "store-restart-warm",
+)

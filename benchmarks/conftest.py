@@ -1,73 +1,15 @@
-"""Shared fixtures for the pytest-benchmark suite.
+"""Path bootstrap for the benchmark shims.
 
-The benchmark files mirror the harness experiments (one file per paper
-figure) but run at a reduced, fixed size so the whole suite finishes in a few
-minutes of pure-Python time.  The figure-shaped tables — the actual
-reproduction artifacts — are produced by ``python -m repro.bench``; these
-pytest benchmarks exist for regression tracking of the individual code paths.
+The files in this directory are thin pytest pointers into the declarative
+scenario catalog (:mod:`repro.bench.catalog`); each one runs its catalog
+entries at smoke scale so ``pytest benchmarks/`` exercises every ported
+workload without timing anything.  Timed runs and regression gating live in
+``repro bench run`` / ``repro bench gate``.
 """
 
 import sys
 from pathlib import Path
 
-import pytest
-
 _SRC = Path(__file__).parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
-
-from repro.datasets.index import EdgeTagIndex  # noqa: E402
-from repro.datasets.myexperiment import (  # noqa: E402
-    BIOAID_KLEENE_TAG,
-    bioaid_specification,
-    fork_production_indices,
-    qblast_specification,
-)
-from repro.datasets.runs import generate_fork_heavy_run, generate_run, node_lists  # noqa: E402
-
-
-@pytest.fixture(scope="session")
-def bioaid_spec():
-    return bioaid_specification()
-
-
-@pytest.fixture(scope="session")
-def qblast_spec():
-    return qblast_specification()
-
-
-@pytest.fixture(scope="session")
-def bioaid_run(bioaid_spec):
-    """A medium BioAID run shared by the benchmark files."""
-    return generate_run(bioaid_spec, 600, seed=1)
-
-
-@pytest.fixture(scope="session")
-def bioaid_index(bioaid_run):
-    return EdgeTagIndex.from_run(bioaid_run)
-
-
-@pytest.fixture(scope="session")
-def bioaid_lists(bioaid_run):
-    return node_lists(bioaid_run, limit=150, seed=2)
-
-
-@pytest.fixture(scope="session")
-def qblast_run(qblast_spec):
-    return generate_run(qblast_spec, 600, seed=1)
-
-
-@pytest.fixture(scope="session")
-def qblast_index(qblast_run):
-    return EdgeTagIndex.from_run(qblast_run)
-
-
-@pytest.fixture(scope="session")
-def qblast_lists(qblast_run):
-    return node_lists(qblast_run, limit=150, seed=2)
-
-
-@pytest.fixture(scope="session")
-def bioaid_fork_run(bioaid_spec):
-    forks = fork_production_indices(bioaid_spec, BIOAID_KLEENE_TAG)
-    return generate_fork_heavy_run(bioaid_spec, 800, forks, seed=3)

@@ -1,26 +1,42 @@
-"""Benchmark harness reproducing the paper's evaluation (Section V).
+"""Benchmarking: declarative scenarios, trajectory gating, paper figures.
 
-Every table/figure of the paper has a corresponding experiment function in
-:mod:`repro.bench.experiments`; ``python -m repro.bench <figure>`` (or
-``repro bench <figure>`` via the CLI) runs it and prints the same series the
-paper plots.  ``pytest benchmarks/ --benchmark-only`` exercises the same
-code paths under pytest-benchmark for regression tracking.
+The declarative layer (:mod:`repro.bench.scenarios`,
+:mod:`repro.bench.catalog`, :mod:`repro.bench.gate`) expresses every
+benchmark as a config object — grammar family × run size × query class ×
+executor configuration — executed by one generic harness into a uniform
+``repro-bench-trajectory/1`` run table, which ``repro bench gate`` compares
+against the stored trajectory under ``benchmarks/trajectory/``.
 
+The legacy layer (:mod:`repro.bench.experiments`) reproduces the paper's
+evaluation figures (Section V); ``repro bench figures fig13a`` (or the
+shorthand ``repro bench fig13a``) prints the same series the paper plots.
 Because this reproduction runs pure Python rather than the paper's Java
-implementation, absolute times differ; the harness therefore defaults to a
-scaled-down workload (the ``small`` scale) that preserves the comparisons —
-who wins, how costs grow, where the crossovers are.  Set the environment
-variable ``REPRO_BENCH_SCALE=paper`` to run the paper-sized workloads.
+implementation, absolute times differ; the comparisons — who wins, how costs
+grow, where the crossovers are — are what the tables preserve.
 """
 
-from repro.bench.harness import BenchScale, ExperimentResult, current_scale, format_table
 from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.harness import BenchScale, ExperimentResult, current_scale, format_table
+from repro.bench.scenarios import (
+    ExecutorFactors,
+    Invariant,
+    Scenario,
+    ScenarioResult,
+    run_scenario,
+    run_suite,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "BenchScale",
+    "ExecutorFactors",
     "ExperimentResult",
+    "Invariant",
+    "Scenario",
+    "ScenarioResult",
     "current_scale",
     "format_table",
     "run_experiment",
+    "run_scenario",
+    "run_suite",
 ]

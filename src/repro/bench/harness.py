@@ -1,4 +1,15 @@
-"""Shared benchmarking utilities: timing, scales and table formatting."""
+"""Shared benchmarking utilities: timing, scales and table formatting.
+
+Two layers use this module:
+
+* the **legacy figure experiments** (:mod:`repro.bench.experiments`) take a
+  :class:`BenchScale` (``small`` / ``paper`` workload sizes) and produce
+  :class:`ExperimentResult` tables mirroring the paper's plots;
+* the **declarative scenario framework** (:mod:`repro.bench.scenarios`)
+  renders its uniform run table through :func:`format_table` and has its own
+  scale system (``smoke`` / ``ci`` / ``full``) — see
+  :class:`~repro.bench.scenarios.ScenarioScale`.
+"""
 
 from __future__ import annotations
 

@@ -9,7 +9,8 @@ Subcommands cover the typical workflow of the library:
 * ``repro batch``     — stream a JSONL batch of queries through the query service,
 * ``repro store``     — manage a persistent index store (build/warm/ls/stats/gc),
 * ``repro cache``     — inspect a warmed service's cache/store statistics,
-* ``repro bench``     — run the paper's experiments (same as ``python -m repro.bench``).
+* ``repro bench``     — benchmark scenarios and trajectory gating (``run`` /
+  ``gate`` / ``check`` / ``list`` / ``figures``; same as ``python -m repro.bench``).
 
 Library errors (unsafe queries, malformed regexes, broken input files) exit
 non-zero with a one-line ``repro: error: ...`` message instead of a
@@ -217,6 +218,18 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"{stats.index_builds} index builds, cache hit rate {stats.hit_rate:.1%}",
         file=sys.stderr,
     )
+    if args.stats_json:
+        # A machine-readable run summary, so CI and scripts assert on fields
+        # (e.g. index_builds == 0 after a warm restart) instead of grepping
+        # the human-oriented stderr line.
+        summary = dataclasses.asdict(stats)
+        summary.update(
+            requests=ok_count + failed,
+            ok=ok_count,
+            failed=failed,
+            hit_rate=stats.hit_rate,
+        )
+        Path(args.stats_json).write_text(json.dumps(summary, sort_keys=True) + "\n")
     return 0 if failed == 0 else 1
 
 
@@ -351,10 +364,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.__main__ import main as bench_main
 
-    forwarded = list(args.experiments)
-    if args.scale:
-        forwarded += ["--scale", args.scale]
-    return bench_main(forwarded)
+    return bench_main(list(args.args))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -464,6 +474,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.add_argument(
         "--cache-entries", type=int, default=512, help="index cache entry bound"
+    )
+    batch_parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help=(
+            "write a machine-readable JSON run summary (request/ok/failed "
+            "counts plus every cache/store counter) to this file"
+        ),
     )
     batch_parser.add_argument(
         "--store",
@@ -579,9 +597,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_parser.set_defaults(handler=_cmd_cache)
 
-    bench_parser = sub.add_parser("bench", help="run the paper's experiments")
-    bench_parser.add_argument("experiments", nargs="*", default=["all"])
-    bench_parser.add_argument("--scale", choices=["small", "paper"])
+    bench_parser = sub.add_parser(
+        "bench",
+        help="benchmark scenarios, trajectory gating, and the paper's figures",
+        description=(
+            "Everything after 'bench' is forwarded to the benchmark front-end: "
+            "'run' executes catalog scenarios, 'gate' compares a run against "
+            "the stored trajectory, 'check' validates the catalog, 'list' "
+            "prints it, 'figures' (or a bare figure name like fig13a) runs "
+            "the legacy paper experiments."
+        ),
+    )
+    bench_parser.add_argument("args", nargs=argparse.REMAINDER)
     bench_parser.set_defaults(handler=_cmd_bench)
 
     return parser

@@ -104,9 +104,32 @@ class TestDeriveAndQuery:
 
 class TestBenchCommand:
     def test_single_experiment_runs(self, capsys):
+        """The pre-catalog invocation style still reaches the legacy figures."""
         assert main(["bench", "fig13a", "--scale", "small"]) == 0
         out = capsys.readouterr().out
         assert "fig13a" in out and "grammar_size" in out
+
+    def test_bench_list_prints_the_catalog(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13a-overhead-synthetic" in out and "frontier-backward" in out
+
+    def test_bench_check_static(self, capsys):
+        assert main(["bench", "check", "--static", "--quiet"]) == 0
+        assert "statically valid" in capsys.readouterr().out
+
+    def test_bench_run_single_scenario_writes_trajectory(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_trajectory.json"
+        assert main(["bench", "run", "--scenario", "fig13d-pairwise-qblast",
+                     "--scale", "smoke", "--json", str(out_path), "--quiet"]) == 0
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "repro-bench-trajectory/1"
+        assert [entry["id"] for entry in document["scenarios"]] == ["fig13d-pairwise-qblast"]
+
+    def test_bench_gate_error_is_clean(self, tmp_path, capsys):
+        assert main(["bench", "gate", str(tmp_path / "none.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro bench: error:") and err.count("\n") == 1
 
 
 class TestVersionFlag:
@@ -196,6 +219,27 @@ class TestBatchCommand:
         assert main(["batch", str(requests), "--run", str(run_path)]) == 1
         lines = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
         assert [line["ok"] for line in lines] == [True, False]
+
+    def test_batch_stats_json_summary(self, tmp_path, run_path, capsys):
+        """--stats-json gives CI a machine-readable cache summary (replacing
+        the old practice of grepping the human stderr line)."""
+        requests = self._write_requests(
+            tmp_path,
+            [
+                {"op": "allpairs", "run": "r1", "query": "A+"},
+                {"op": "allpairs", "run": "r1", "query": "A+"},
+            ],
+        )
+        stats_path = tmp_path / "stats.json"
+        assert main(["batch", str(requests), "--run", str(run_path),
+                     "--stats-json", str(stats_path)]) == 0
+        capsys.readouterr()
+        summary = json.loads(stats_path.read_text())
+        assert summary["requests"] == 2 and summary["ok"] == 2 and summary["failed"] == 0
+        # the duplicate query hits the cache: builds stay below request count
+        assert summary["index_builds"] >= 1
+        assert summary["hits"] >= 1
+        assert 0.0 <= summary["hit_rate"] <= 1.0
 
     def test_batch_malformed_request_is_clean_error(self, tmp_path, run_path, capsys):
         requests = self._write_requests(tmp_path, [{"op": "bogus"}])
