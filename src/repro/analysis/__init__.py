@@ -1,0 +1,44 @@
+"""Project-specific static analysis (``repro lint``).
+
+The PR 1-6 arc grew this reproduction into a concurrent system whose
+correctness rests on invariants that ordinary linters cannot see: cache
+counters guarded by one lock, plain-data process-pool submissions, planner
+purity (plans are cached by canonical key), boundary-only broad exception
+handling, genuinely streaming ``*_iter`` paths, and an executor operator
+protocol that every physical operator must implement.  This package encodes
+those invariants as AST rules and checks them in CI, so the next concurrency
+surface (a multi-process serving tier, a shared-memory kernel) lands on
+machine-checked ground instead of convention.
+
+Entry points
+------------
+
+* :func:`repro.analysis.engine.run_analysis` — analyze paths with the
+  registered rules, returning :class:`~repro.analysis.findings.Finding`
+  objects.
+* :mod:`repro.analysis.baseline` — the committed-findings ratchet: accepted
+  pre-existing findings live in ``lint-baseline.json`` and do not block;
+  anything new fails.
+* ``repro lint`` (:mod:`repro.cli`) — the command-line front-end with
+  ``--json`` output for CI and scripts.
+
+See the README section "Static analysis & typing" for the ``# guarded-by:``
+convention and the rule catalog.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import AnalysisConfig, run_analysis
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, all_rules, rule_ids
+
+__all__ = [
+    "AnalysisConfig",
+    "Baseline",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "rule_ids",
+    "run_analysis",
+]

@@ -1,0 +1,111 @@
+"""The committed-findings ratchet.
+
+A baseline file records the findings the project has accepted — debt that is
+acknowledged but not yet paid down — as ``fingerprint -> count`` (plus a
+human-readable description per fingerprint, so the file reviews well in a
+diff).  ``repro lint`` subtracts the baseline from the current findings:
+
+* a finding whose fingerprint is in the baseline (up to its count) passes;
+* anything beyond the baseline is **new** and fails the run;
+* baselined findings that no longer occur are reported as *stale* so the
+  baseline can be re-tightened (``repro lint --update-baseline``).
+
+Fingerprints exclude line numbers (see :mod:`repro.analysis.findings`), so
+unrelated edits that shift code do not invalidate the baseline; any change
+to a finding's rule, file or message makes it a new finding, which is the
+ratchet working as intended.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineDelta"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineDelta:
+    """The outcome of comparing current findings against a baseline."""
+
+    #: findings not covered by the baseline — these fail the run.
+    new: list[Finding]
+    #: findings absorbed by the baseline.
+    suppressed: list[Finding]
+    #: baselined fingerprints with fewer (or no) current occurrences.
+    stale: dict[str, int]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, keyed by fingerprint with occurrence counts."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    descriptions: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            key = finding.fingerprint
+            baseline.counts[key] = baseline.counts.get(key, 0) + 1
+            baseline.descriptions.setdefault(
+                key, f"{finding.path}: {finding.rule}: {finding.message}"
+            )
+        return baseline
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = payload.get("findings", {})
+        baseline = cls()
+        for fingerprint, entry in entries.items():
+            baseline.counts[fingerprint] = int(entry.get("count", 1))
+            description = entry.get("description")
+            if description:
+                baseline.descriptions[fingerprint] = description
+        return baseline
+
+    def dump(self, path: Path) -> None:
+        entries = {
+            fingerprint: {
+                "count": count,
+                "description": self.descriptions.get(fingerprint, ""),
+            }
+            for fingerprint, count in sorted(self.counts.items())
+        }
+        payload = {
+            "version": _FORMAT_VERSION,
+            "tool": "repro lint",
+            "findings": entries,
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def apply(self, findings: list[Finding]) -> BaselineDelta:
+        """Split findings into new vs. suppressed, and report stale debt."""
+        remaining = dict(self.counts)
+        new: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding in findings:
+            key = finding.fingerprint
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                suppressed.append(finding)
+            else:
+                new.append(finding)
+        stale = {key: count for key, count in remaining.items() if count > 0}
+        return BaselineDelta(new=new, suppressed=suppressed, stale=stale)

@@ -1,0 +1,90 @@
+"""Driving the rules over a project.
+
+:func:`run_analysis` is the one entry point: load the files, run every
+selected rule over every module, and return the findings sorted by
+``(path, line, rule)`` so output (and ``--json``) is stable across runs and
+platforms.  :class:`AnalysisConfig` carries the project-shape knowledge the
+rules need — which modules are planners, which are boundaries, where the
+operator catalog and the executor live — with defaults matching this
+repository, overridable for tests and fixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, load_project
+from repro.analysis.rules import Rule, all_rules
+
+__all__ = ["AnalysisConfig", "analyze_project", "run_analysis"]
+
+
+def _default_determinism_modules() -> frozenset[str]:
+    return frozenset(
+        {
+            "repro.core.decomposition",
+            "repro.core.optimizer",
+            "repro.core.exec.plan",
+        }
+    )
+
+
+def _default_boundary_modules() -> frozenset[str]:
+    return frozenset({"repro.cli", "repro.service.service", "repro.store.store"})
+
+
+def _default_streaming_functions() -> frozenset[str]:
+    return frozenset({"stream_pairs", "iter_batch"})
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Project-shape knowledge shared by the rules."""
+
+    #: planner modules that must stay deterministic (REP103).
+    determinism_modules: frozenset[str] = field(
+        default_factory=_default_determinism_modules
+    )
+    #: modules allowed to catch broad exceptions (REP104).
+    boundary_modules: frozenset[str] = field(default_factory=_default_boundary_modules)
+    #: streaming function names beyond the ``*_iter`` pattern (REP105).
+    streaming_functions: frozenset[str] = field(
+        default_factory=_default_streaming_functions
+    )
+    #: module holding the physical operator catalog (REP106).
+    ops_module: str = "repro.core.exec.ops"
+    #: module whose ``execute()`` must dispatch every operator (REP106).
+    executor_module: str = "repro.core.exec.executor"
+    #: logical-name prefix under which full annotations are required (REP107).
+    typed_prefix: str = "repro."
+
+
+def analyze_project(
+    project: Project,
+    *,
+    config: AnalysisConfig | None = None,
+    rules: list[Rule] | None = None,
+) -> list[Finding]:
+    """Run rules over an already-loaded project (the test-fixture path)."""
+    active_config = config if config is not None else AnalysisConfig()
+    active_rules = rules if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for module in project:
+        for rule in active_rules:
+            findings.extend(rule.check(module, project, active_config))
+    return sorted(findings)
+
+
+def run_analysis(
+    paths: list[Path],
+    *,
+    root: Path | None = None,
+    config: AnalysisConfig | None = None,
+    rules: list[Rule] | None = None,
+) -> list[Finding]:
+    """Load ``paths`` and run the (selected) rules; findings come back
+    sorted by ``(path, line, rule, message)``."""
+    project = load_project(paths, root=root)
+    return analyze_project(project, config=config, rules=rules)

@@ -1,0 +1,48 @@
+"""Findings: what a rule reports, and how findings are identified.
+
+A :class:`Finding` pins a rule violation to ``file:line`` for humans, but its
+*identity* — used by the baseline mechanism — deliberately excludes the line
+number: baselined findings must survive unrelated edits that shift code
+around, and a finding that moves is still the same accepted debt.  Identity
+is the ``(rule, path, message)`` triple, condensed to a short stable
+fingerprint; two identical violations in one file share a fingerprint and
+are tracked by count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one site."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: rule + path + message, no line."""
+        raw = f"{self.rule}\x00{self.path}\x00{self.message}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON shape of one finding (``repro lint --json``); adding
+        keys is allowed, renaming or removing them is a schema break."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }

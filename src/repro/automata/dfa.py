@@ -14,7 +14,7 @@ evaluated (wildcard transitions expand over this alphabet).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.automata.boolean_matrix import BooleanMatrix
 from repro.automata.nfa import NFA, nfa_from_regex
@@ -158,7 +158,7 @@ class DFA:
 
     # -- serialization -------------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """A JSON-ready representation (inverse of :meth:`from_dict`).
 
         Tags are kept verbatim — including the NUL-prefixed macro symbols of
@@ -176,7 +176,7 @@ class DFA:
         }
 
     @classmethod
-    def from_dict(cls, payload: Mapping) -> "DFA":
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DFA":
         """Rebuild a DFA from :meth:`to_dict` output.
 
         Completeness is re-validated by ``__post_init__``, so a corrupted

@@ -21,7 +21,7 @@ check``.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.bench.scenarios import (
     SCALES,
@@ -41,13 +41,13 @@ _CI = ("ci", "full")
 #: The frontier-direction/parallelism workload shared by four entries below:
 #: a large loop-heavy QBLast run, every node as a source, three
 #: high-fan-in targets — the regime where direction and fan-out matter.
-_FRONTIER = dict(
-    grammar="qblast",
-    query_class="unsafe-allpairs",
-    run_edges=9000,
-    params=(("query", "_* qx_b _*"), ("lists", "few-targets")),
-    suites=_CI,
-)
+_FRONTIER = {
+    "grammar": "qblast",
+    "query_class": "unsafe-allpairs",
+    "run_edges": 9000,
+    "params": (("query", "_* qx_b _*"), ("lists", "few-targets")),
+    "suites": _CI,
+}
 
 #: First-contact queries in the Fig. 13b overhead regime (multi-state DFAs),
 #: the workload whose per-query build cost the store elides.
@@ -337,7 +337,10 @@ def select(
 
 
 def check_catalog(
-    *, runnable: bool = False, scale: str = "smoke", progress=None
+    *,
+    runnable: bool = False,
+    scale: str = "smoke",
+    progress: Callable[[str], None] | None = None,
 ) -> list[str]:
     """Validate the catalog; returns a list of problems (empty = healthy).
 

@@ -22,6 +22,7 @@ from typing import Callable
 
 from repro.baselines.g1_parse_tree_joins import g1_all_pairs
 from repro.baselines.g2_rare_labels import g2_pairwise_batch
+from repro.errors import ReproError
 from repro.baselines.g3_label_index import g3_all_pairs, g3_pairwise_batch
 from repro.bench.harness import BenchScale, ExperimentResult, current_scale, time_call
 from repro.core.allpairs import AllPairsOptions, all_pairs_safe_query
@@ -51,6 +52,7 @@ from repro.datasets.queries import (
 )
 from repro.datasets.runs import generate_fork_heavy_run, generate_run, node_lists
 from repro.datasets.synthetic import generate_synthetic_specification
+from repro.workflow.run import Run
 from repro.workflow.spec import Specification
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
@@ -74,7 +76,7 @@ def _safety_overhead_seconds(spec: Specification, query: str) -> float:
     return elapsed
 
 
-def _safe_path_ifq(run, k: int, index: EdgeTagIndex, base_seed: int) -> str:
+def _safe_path_ifq(run: Run, k: int, index: EdgeTagIndex, base_seed: int) -> str:
     """A *safe* IFQ with tags sampled along a run path (retries seeds until
     the safety check passes; the pairwise experiments of Fig. 13c/d measure
     the safe-query engine, so unsafe candidates are skipped)."""
@@ -86,7 +88,7 @@ def _safe_path_ifq(run, k: int, index: EdgeTagIndex, base_seed: int) -> str:
     return generate_ifq(spec, k, tags=[sorted(spec.tags)[0]] * k)
 
 
-def _sample_pairs(run, count: int, seed: int) -> list[tuple[str, str]]:
+def _sample_pairs(run: Run, count: int, seed: int) -> list[tuple[str, str]]:
     rng = random.Random(seed)
     nodes = list(run.node_ids())
     return [(rng.choice(nodes), rng.choice(nodes)) for _ in range(count)]
@@ -145,7 +147,12 @@ def fig13b_overhead_query_size(scale: BenchScale) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def _pairwise_engines(run, index, query, pairs):
+def _pairwise_engines(
+    run: Run,
+    index: EdgeTagIndex,
+    query: str,
+    pairs: list[tuple[str, str]],
+) -> dict[str, float]:
     """Return {engine: seconds per pair} for one query over one run."""
     spec = run.spec
 
@@ -218,7 +225,7 @@ def fig13d_pairwise_vs_query_size(scale: BenchScale) -> ExperimentResult:
 
 
 def _safe_ifq_workload(
-    spec: Specification, run, index: EdgeTagIndex, count: int
+    spec: Specification, run: Run, index: EdgeTagIndex, count: int
 ) -> list[str]:
     """Generate ``count`` distinct *safe* IFQs (k=3) with a spread of
     selectivities, mirroring the workload of Fig. 13e/f (the figure's queries
@@ -261,15 +268,17 @@ def _allpairs_ifq(scale: BenchScale, spec: Specification, figure: str, title: st
             index.count(left) * index.count(right) for left, right in zip(tags, tags[1:])
         ) + sum(index.count(tag) for tag in tags)
         baseline_time, baseline_answer = time_call(
-            lambda: g3_all_pairs(run, l1, l2, query, index=index)
+            lambda query=query: g3_all_pairs(run, l1, l2, query, index=index)
         )
         query_index = build_query_index(spec, query)
         rpl_time, rpl_answer = time_call(
-            lambda: all_pairs_safe_query(
-                run, l1, l2, query_index, AllPairsOptions(use_reachability_filter=False)
+            lambda qi=query_index: all_pairs_safe_query(
+                run, l1, l2, qi, AllPairsOptions(use_reachability_filter=False)
             )
         )
-        opt_time, opt_answer = time_call(lambda: all_pairs_safe_query(run, l1, l2, query_index))
+        opt_time, opt_answer = time_call(
+            lambda qi=query_index: all_pairs_safe_query(run, l1, l2, qi)
+        )
         if not (baseline_answer == rpl_answer == opt_answer):
             result.note(f"ENGINE DISAGREEMENT for {query!r} — investigate")
         rows.append(
@@ -336,14 +345,18 @@ def _allpairs_kleene(
     for run_edges in scale.kleene_run_sizes:
         run = generate_fork_heavy_run(spec, run_edges, forks, seed=run_edges)
         l1, l2 = node_lists(run, limit=scale.kleene_list_limit, seed=run_edges)
-        baseline_time, baseline_answer = time_call(lambda: g1_all_pairs(run, l1, l2, query))
+        baseline_time, baseline_answer = time_call(
+            lambda run=run, l1=l1, l2=l2: g1_all_pairs(run, l1, l2, query)
+        )
         query_index = build_query_index(spec, query)
         rpl_time, rpl_answer = time_call(
-            lambda: all_pairs_safe_query(
-                run, l1, l2, query_index, AllPairsOptions(use_reachability_filter=False)
+            lambda run=run, l1=l1, l2=l2, qi=query_index: all_pairs_safe_query(
+                run, l1, l2, qi, AllPairsOptions(use_reachability_filter=False)
             )
         )
-        opt_time, opt_answer = time_call(lambda: all_pairs_safe_query(run, l1, l2, query_index))
+        opt_time, opt_answer = time_call(
+            lambda run=run, l1=l1, l2=l2, qi=query_index: all_pairs_safe_query(run, l1, l2, qi)
+        )
         if not (baseline_answer == rpl_answer == opt_answer):
             result.note(f"ENGINE DISAGREEMENT at run size {run_edges} — investigate")
         result.add(
@@ -416,9 +429,11 @@ def _general_queries(
     restricted_speedups = []
     for query_id, (query, plan) in enumerate(unsafe_queries):
         routed = len(label_routed_subtrees(plan, run))
-        baseline_time, baseline_answer = time_call(lambda: g1_all_pairs(run, l1, l2, query))
+        baseline_time, baseline_answer = time_call(
+            lambda query=query: g1_all_pairs(run, l1, l2, query)
+        )
         ours_time, ours_answer = time_call(
-            lambda: evaluate_general_query(run, query, l1, l2, plan=plan)
+            lambda query=query, plan=plan: evaluate_general_query(run, query, l1, l2, plan=plan)
         )
         if baseline_answer != ours_answer:
             result.note(f"ENGINE DISAGREEMENT for {query!r} — investigate")
@@ -431,13 +446,15 @@ def _general_queries(
         # evaluator paid the whole-run price regardless of the lists).
         small1, small2 = l1[:5], l2[:5]
         old_restricted_time, old_restricted = time_call(
-            lambda: evaluate_general_query(
+            lambda query=query, plan=plan, small1=small1, small2=small2: evaluate_general_query(
                 run, query, small1, small2, plan=plan,
                 strategy="join", push_restrictions=False,
             )
         )
         new_restricted_time, new_restricted = time_call(
-            lambda: evaluate_general_query(run, query, small1, small2, plan=plan)
+            lambda query=query, plan=plan, small1=small1, small2=small2: evaluate_general_query(
+                run, query, small1, small2, plan=plan
+            )
         )
         if old_restricted != new_restricted:
             result.note(f"RESTRICTED-ENGINE DISAGREEMENT for {query!r} — investigate")
@@ -528,11 +545,13 @@ def ablation_s1_vs_s2(scale: BenchScale) -> ExperimentResult:
             continue
         query_index = build_query_index(spec, query)
         s1_time, s1_answer = time_call(
-            lambda: all_pairs_safe_query(
-                run, l1, l2, query_index, AllPairsOptions(use_reachability_filter=False)
+            lambda qi=query_index: all_pairs_safe_query(
+                run, l1, l2, qi, AllPairsOptions(use_reachability_filter=False)
             )
         )
-        s2_time, s2_answer = time_call(lambda: all_pairs_safe_query(run, l1, l2, query_index))
+        s2_time, s2_answer = time_call(
+            lambda qi=query_index: all_pairs_safe_query(run, l1, l2, qi)
+        )
         assert s1_answer == s2_answer
         result.add(
             query=label,
@@ -563,8 +582,10 @@ def ablation_dfa_minimization(scale: BenchScale) -> ExperimentResult:
         query = generate_ifq(spec, k, seed=k)
         minimal = dfa_from_regex(query, spec.tags, minimal=True)
         raw = dfa_from_regex(query, spec.tags, minimal=False)
-        minimal_time, minimal_report = time_call(lambda: analyze_safety(spec, minimal))
-        raw_time, raw_report = time_call(lambda: analyze_safety(spec, raw))
+        minimal_time, minimal_report = time_call(
+            lambda minimal=minimal: analyze_safety(spec, minimal)
+        )
+        raw_time, raw_report = time_call(lambda raw=raw: analyze_safety(spec, raw))
         # Lemma 3.2 direction: if any DFA of the query is safe, the minimal one is.
         assert minimal_report.is_safe or not raw_report.is_safe
         result.add(
@@ -600,10 +621,13 @@ def ablation_optimizer(scale: BenchScale) -> ExperimentResult:
         choice = model.choose(query, input_pairs=len(l1) * len(l2), run_edges=run.edge_count)
         g3_time: float | None = None
         try:
-            g3_time, _ = time_call(lambda: g3_all_pairs(run, l1, l2, query, index=index))
-        except Exception:
+            g3_time, _ = time_call(
+                lambda query=query: g3_all_pairs(run, l1, l2, query, index=index)
+            )
+        except ReproError:
+            # G3 only supports ifq workloads; kleene rows report "n/a".
             g3_time = None
-        ours_time, _ = time_call(lambda: evaluate_general_query(run, query, l1, l2))
+        ours_time, _ = time_call(lambda query=query: evaluate_general_query(run, query, l1, l2))
         measured_best = "G3" if g3_time is not None and g3_time < ours_time else "labels"
         result.add(
             query=label,
@@ -641,5 +665,7 @@ def run_experiment(name: str, scale_name: str | None = None) -> ExperimentResult
     try:
         experiment = EXPERIMENTS[name]
     except KeyError:
-        raise ValueError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
     return experiment(current_scale(scale_name))

@@ -29,7 +29,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.bench.scenarios import SCHEMA, Invariant
 from repro.errors import ReproError
@@ -89,15 +89,17 @@ class GateReport:
         return "\n".join([*lines, summary])
 
 
-def load_trajectory(path: str | Path) -> dict:
+def load_trajectory(path: str | Path) -> dict[str, Any]:
     """Read and validate one trajectory document (clean one-line errors)."""
     path = Path(path)
     try:
         document = json.loads(path.read_text())
     except OSError as error:
-        raise TrajectoryError(f"cannot read trajectory {path}: {error.strerror or error}")
+        raise TrajectoryError(
+            f"cannot read trajectory {path}: {error.strerror or error}"
+        ) from error
     except json.JSONDecodeError as error:
-        raise TrajectoryError(f"trajectory {path} is not valid JSON ({error})")
+        raise TrajectoryError(f"trajectory {path} is not valid JSON ({error})") from error
     if not isinstance(document, dict) or document.get("schema") != SCHEMA:
         raise TrajectoryError(
             f"trajectory {path} has schema {document.get('schema') if isinstance(document, dict) else None!r}; "
@@ -111,17 +113,17 @@ def load_trajectory(path: str | Path) -> dict:
     return document
 
 
-def write_trajectory(document: Mapping, path: str | Path) -> None:
+def write_trajectory(document: Mapping[str, Any], path: str | Path) -> None:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
 
 
-def _by_id(document: Mapping) -> dict[str, dict]:
+def _by_id(document: Mapping[str, Any]) -> dict[str, dict[str, Any]]:
     return {entry["id"]: entry for entry in document.get("scenarios", [])}
 
 
-def _normalizer(baseline: Mapping, current: Mapping) -> float:
+def _normalizer(baseline: Mapping[str, Any], current: Mapping[str, Any]) -> float:
     """current-to-baseline machine-speed ratio from the calibration loops."""
     base = baseline.get("calibration_s") or 0.0
     cur = current.get("calibration_s") or 0.0
@@ -131,8 +133,8 @@ def _normalizer(baseline: Mapping, current: Mapping) -> float:
 
 
 def compare(
-    baseline: Mapping,
-    current: Mapping,
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
     *,
     invariants: Sequence[Invariant] = (),
     max_regression: float = DEFAULT_MAX_REGRESSION,

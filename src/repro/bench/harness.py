@@ -98,7 +98,9 @@ def current_scale(name: str | None = None) -> BenchScale:
     try:
         return _SCALES[chosen]
     except KeyError:
-        raise ValueError(f"unknown benchmark scale {chosen!r}; choose from {sorted(_SCALES)}")
+        raise ValueError(
+            f"unknown benchmark scale {chosen!r}; choose from {sorted(_SCALES)}"
+        ) from None
 
 
 def time_call(function: Callable[[], object]) -> tuple[float, object]:
@@ -114,11 +116,11 @@ class ExperimentResult:
 
     figure: str
     title: str
-    rows: list[dict] = field(default_factory=list)
+    rows: list[dict[str, object]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     expected_shape: str = ""
 
-    def add(self, **row) -> None:
+    def add(self, **row: object) -> None:
         self.rows.append(row)
 
     def note(self, text: str) -> None:
@@ -142,7 +144,9 @@ def _format_value(value: object) -> str:
     return str(value)
 
 
-def format_table(rows: Sequence[dict], columns: Iterable[str] | None = None) -> str:
+def format_table(
+    rows: Sequence[dict[str, object]], columns: Iterable[str] | None = None
+) -> str:
     """Render a list of dictionaries as an aligned text table."""
     if not rows:
         return "(no rows)"

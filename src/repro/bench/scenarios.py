@@ -32,9 +32,16 @@ import os
 import statistics
 import time
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.exec import ExecutorConfig
+    from repro.core.relations import NodePairs
+    from repro.service.requests import QueryRequest, QueryResult
+    from repro.workflow.run import Run
+    from repro.workflow.spec import Specification
 
 __all__ = [
     "SCHEMA",
@@ -77,7 +84,7 @@ class ExecutorFactors:
     strategy: str = "auto"
     store: bool = False
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         return {
             "direction": self.direction,
             "workers": self.workers,
@@ -133,10 +140,10 @@ class Scenario:
     params: tuple[tuple[str, object], ...] = ()
     seed: int = 0
 
-    def param(self, key: str, default=None):
+    def param(self, key: str, default: Any = None) -> Any:
         return dict(self.params).get(key, default)
 
-    def factors(self) -> dict:
+    def factors(self) -> dict[str, object]:
         return {
             "grammar": self.grammar,
             "query_class": self.query_class,
@@ -173,7 +180,7 @@ class ScenarioResult:
     """One uniform run-table row."""
 
     scenario_id: str
-    factors: dict
+    factors: dict[str, object]
     repetitions: int
     times_s: list[float]
     checksum: str
@@ -193,7 +200,7 @@ class ScenarioResult:
         high = min(low + 1, len(ordered) - 1)
         return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         return {
             "id": self.scenario_id,
             "factors": self.factors,
@@ -210,19 +217,19 @@ class ScenarioResult:
 # Grammar families
 # ---------------------------------------------------------------------------
 
-_FAMILY_KWARGS: dict[str, dict] = {
+_FAMILY_KWARGS: dict[str, dict[str, float]] = {
     # Long self-recursive chains: stresses closure/Kleene machinery.
-    "deep-recursion": dict(recursion_fraction=0.85, alternative_fraction=0.1),
+    "deep-recursion": {"recursion_fraction": 0.85, "alternative_fraction": 0.1},
     # Almost every composite has an alternative implementation: a rich
     # source of unsafe queries and decomposition work.
-    "wide-alternation": dict(recursion_fraction=0.1, alternative_fraction=0.9),
+    "wide-alternation": {"recursion_fraction": 0.1, "alternative_fraction": 0.9},
     # A tiny tag vocabulary makes every tag frequent, so `_*`-heavy queries
     # match densely and frontier searches stay alive across the whole run.
-    "dense-wildcard": dict(tag_vocabulary_size=5, branchiness=0.5),
+    "dense-wildcard": {"tag_vocabulary_size": 5, "branchiness": 0.5},
 }
 
 
-def resolve_grammar(token: str):
+def resolve_grammar(token: str) -> "Specification":
     """Resolve a grammar factor into a specification.
 
     Accepts the built-in names (``bioaid``, ``qblast``, ``paper-example``),
@@ -249,7 +256,7 @@ def resolve_grammar(token: str):
     try:
         size = int(size_text)
     except ValueError:
-        raise ScenarioError(f"grammar factor {token!r} has a non-integer size")
+        raise ScenarioError(f"grammar factor {token!r} has a non-integer size") from None
     if family == "synthetic":
         return generate_synthetic_specification(size, seed=1)
     try:
@@ -258,7 +265,7 @@ def resolve_grammar(token: str):
         raise ScenarioError(
             f"unknown grammar family {family!r}; "
             f"use one of {['synthetic', *sorted(_FAMILY_KWARGS)]}"
-        )
+        ) from None
     return generate_synthetic_specification(size, seed=1, name=f"{family}-{size}", **kwargs)
 
 
@@ -267,7 +274,7 @@ def resolve_grammar(token: str):
 # ---------------------------------------------------------------------------
 
 
-def _canonical(value):
+def _canonical(value: Any) -> Any:
     if isinstance(value, (set, frozenset)):
         return sorted(_canonical(item) for item in value)
     if isinstance(value, tuple):
@@ -279,7 +286,7 @@ def _canonical(value):
     return value
 
 
-def result_checksum(value) -> str:
+def result_checksum(value: Any) -> str:
     """A short stable digest of a workload result (size + content hash).
 
     Pair sets, counts and batch summaries all reduce to canonical JSON, so
@@ -312,7 +319,9 @@ def _edges(scenario: Scenario, scale: ScenarioScale) -> int:
     return max(scale.min_edges, scenario.run_edges // scale.edge_divisor)
 
 
-def _lists(run, scenario: Scenario, scale: ScenarioScale):
+def _lists(
+    run: "Run", scenario: Scenario, scale: ScenarioScale
+) -> tuple[list[str], list[str]]:
     from repro.datasets.runs import node_lists
 
     limit = scale.list_limit
@@ -324,7 +333,7 @@ def _lists(run, scenario: Scenario, scale: ScenarioScale):
     return node_lists(run, limit=limit, seed=scenario.seed + 2)
 
 
-def _executor_config(scenario: Scenario):
+def _executor_config(scenario: Scenario) -> "ExecutorConfig":
     from repro.core.exec import ExecutorConfig
 
     return ExecutorConfig(
@@ -332,7 +341,9 @@ def _executor_config(scenario: Scenario):
     )
 
 
-def _make_run(scenario: Scenario, scale: ScenarioScale, spec=None):
+def _make_run(
+    scenario: Scenario, scale: ScenarioScale, spec: "Specification | None" = None
+) -> "Run":
     from repro.datasets.runs import generate_run
 
     spec = spec if spec is not None else resolve_grammar(scenario.grammar)
@@ -352,7 +363,7 @@ def _build_overhead(scenario: Scenario, scale: ScenarioScale) -> _Prepared:
     k = int(scenario.param("k", 3))
     queries = [generate_ifq(spec, k, seed=scenario.seed + index * 31) for index in range(count)]
 
-    def action():
+    def action() -> dict[str, int]:
         safe = 0
         for query in queries:
             report = analyze_safety(spec, query_dfa(spec, query))
@@ -380,7 +391,7 @@ def _build_pairwise(scenario: Scenario, scale: ScenarioScale) -> _Prepared:
     query = _resolved_query(scenario, run, require_safe=True)
     query_index = build_query_index(spec, query)
 
-    def action():
+    def action() -> dict[str, int]:
         matched = 0
         for source, target in pairs:
             if answer_pairwise_query(query_index, run.label_of(source), run.label_of(target)):
@@ -390,7 +401,13 @@ def _build_pairwise(scenario: Scenario, scale: ScenarioScale) -> _Prepared:
     return _Prepared(action, detail=f"{pair_count} pairs, query {query!r}")
 
 
-def _resolved_query(scenario: Scenario, run, *, require_safe=False, require_unsafe=False) -> str:
+def _resolved_query(
+    scenario: Scenario,
+    run: "Run",
+    *,
+    require_safe: bool = False,
+    require_unsafe: bool = False,
+) -> str:
     """The scenario's query: explicit ``params['query']``, or a generated
     IFQ (``params['prefer']`` biases tag frequency) filtered by safety."""
     from repro.core.decomposition import plan_decomposition
@@ -463,14 +480,14 @@ def _build_allpairs(scenario: Scenario, scale: ScenarioScale) -> _Prepared:
     else:
         l1, l2 = _lists(run, scenario, scale)
     executor = _executor_config(scenario)
-    kwargs = dict(
-        plan=plan,
-        strategy=scenario.executor.strategy,
-        direction=scenario.executor.direction,
-        executor=executor,
-    )
+    kwargs = {
+        "plan": plan,
+        "strategy": scenario.executor.strategy,
+        "direction": scenario.executor.direction,
+        "executor": executor,
+    }
 
-    def action():
+    def action() -> "NodePairs":
         return evaluate_general_query(run, query, l1, l2, **kwargs)
 
     # Warm the plan's memoized (possibly reversed) macro DFAs so repetitions
@@ -497,13 +514,15 @@ def _build_kleene(scenario: Scenario, scale: ScenarioScale) -> _Prepared:
     l1, l2 = _lists(run, scenario, scale)
     query = f"{tag}*"
 
-    def action():
+    def action() -> "NodePairs":
         return evaluate_general_query(run, query, l1, l2)
 
     return _Prepared(action, detail=f"query {query!r}, |l1|={len(l1)}")
 
 
-def _mixed_batch(scenario: Scenario, scale: ScenarioScale, run_id: str, run):
+def _mixed_batch(
+    scenario: Scenario, scale: ScenarioScale, run_id: str, run: "Run"
+) -> "list[QueryRequest]":
     """A deterministic service batch: pairwise + reachability + (optionally)
     unsafe all-pairs requests, per ``params['unsafe_query']``."""
     import itertools
@@ -546,7 +565,7 @@ def _mixed_batch(scenario: Scenario, scale: ScenarioScale, run_id: str, run):
     return requests
 
 
-def _batch_summary(results) -> dict:
+def _batch_summary(results: "Sequence[QueryResult]") -> dict[str, object]:
     return {
         "requests": len(results),
         "ok": sum(result.ok for result in results),
@@ -575,7 +594,7 @@ def _build_service_batch(scenario: Scenario, scale: ScenarioScale) -> _Prepared:
 
     if mode == "cold":
 
-        def action():
+        def action() -> dict[str, object]:
             service = QueryService(max_workers=4)
             service.register_run(run, "bench")
             return _batch_summary(service.run_batch(requests))
@@ -585,7 +604,7 @@ def _build_service_batch(scenario: Scenario, scale: ScenarioScale) -> _Prepared:
         service.register_run(run, "bench")
         service.run_batch(requests)  # warm the cache
 
-        def action():
+        def action() -> dict[str, object]:
             return _batch_summary(service.run_batch(requests))
 
     return _Prepared(action, detail=f"{len(requests)} requests, mode={mode}")
@@ -627,7 +646,7 @@ def _build_warm_restart(scenario: Scenario, scale: ScenarioScale) -> _Prepared:
         if bad:
             raise ScenarioError(f"scenario {scenario.id!r}: store warm-up failed: {bad}")
 
-    def action():
+    def action() -> dict[str, object]:
         if store_dir is not None:
             service = QueryService(store_dir=store_dir)
         else:
@@ -663,7 +682,7 @@ def calibrate() -> float:
     Stored in every trajectory document; the gate normalizes medians by the
     calibration ratio so a slower CI runner does not read as a regression.
     """
-    def busy():
+    def busy() -> int:
         total = 0
         for value in range(120_000):
             total += value * 3 & 0xFFFF
@@ -682,7 +701,7 @@ def resolve_scale(name: str) -> ScenarioScale:
     try:
         return SCALES[name]
     except KeyError:
-        raise ScenarioError(f"unknown scale {name!r}; choose from {sorted(SCALES)}")
+        raise ScenarioError(f"unknown scale {name!r}; choose from {sorted(SCALES)}") from None
 
 
 def run_scenario(
@@ -699,7 +718,7 @@ def run_scenario(
         raise ScenarioError(
             f"scenario {scenario.id!r} has unknown query class "
             f"{scenario.query_class!r}; use one of {sorted(WORKLOADS)}"
-        )
+        ) from None
     prepared = builder(scenario, profile)
     reps = repetitions if repetitions is not None else profile.repetitions
     times: list[float] = []
@@ -731,7 +750,7 @@ def run_suite(
     suite: str = "ci",
     repetitions: int | None = None,
     progress: Callable[[str], None] | None = None,
-) -> dict:
+) -> dict[str, Any]:
     """Run a scenario list and assemble the trajectory document."""
     profile = resolve_scale(scale)
     results: list[ScenarioResult] = []
@@ -755,7 +774,7 @@ def run_suite(
     }
 
 
-def run_table(document: Mapping) -> list[dict]:
+def run_table(document: Mapping[str, Any]) -> list[dict[str, object]]:
     """Flatten a trajectory document into printable run-table rows."""
     rows = []
     for entry in document.get("scenarios", []):

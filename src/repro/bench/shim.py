@@ -9,14 +9,16 @@ thin pointers so ``pytest benchmarks/`` keeps exercising the same code paths
 
 from __future__ import annotations
 
+from typing import Callable
+
 import pytest
 
 
-def scenario_smoke_tests(*scenario_ids: str):
+def scenario_smoke_tests(*scenario_ids: str) -> Callable[[str], None]:
     """A parametrized pytest function running catalog entries at smoke scale."""
 
     @pytest.mark.parametrize("scenario_id", scenario_ids)
-    def test_scenario_smoke(scenario_id):
+    def test_scenario_smoke(scenario_id: str) -> None:
         from repro.bench.catalog import get_scenario
         from repro.bench.scenarios import run_scenario
 

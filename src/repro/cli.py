@@ -10,7 +10,9 @@ Subcommands cover the typical workflow of the library:
 * ``repro store``     — manage a persistent index store (build/warm/ls/stats/gc),
 * ``repro cache``     — inspect a warmed service's cache/store statistics,
 * ``repro bench``     — benchmark scenarios and trajectory gating (``run`` /
-  ``gate`` / ``check`` / ``list`` / ``figures``; same as ``python -m repro.bench``).
+  ``gate`` / ``check`` / ``list`` / ``figures``; same as ``python -m repro.bench``),
+* ``repro lint``      — the project's own static-analysis rules
+  (:mod:`repro.analysis`), with ``--json`` output and a committed baseline.
 
 Library errors (unsafe queries, malformed regexes, broken input files) exit
 non-zero with a one-line ``repro: error: ...`` message instead of a
@@ -367,6 +369,65 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(list(args.args))
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import all_rules, run_analysis
+    from repro.analysis.baseline import Baseline
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.name}: {rule.description}")
+        return 0
+    if args.select:
+        wanted = {token.strip() for token in args.select.split(",") if token.strip()}
+        known = {rule.id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {sorted(unknown)}; known: {sorted(known)}"
+            )
+        rules = [rule for rule in rules if rule.id in wanted]
+    paths = [Path(p) for p in args.paths] if args.paths else [Path("src/repro")]
+    findings = run_analysis(paths, root=Path.cwd(), rules=rules)
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        Baseline.from_findings(findings).dump(baseline_path)
+        print(f"wrote baseline with {len(findings)} finding(s) to {baseline_path}")
+        return 0
+    delta = Baseline.load(baseline_path).apply(findings)
+    if args.json:
+        status = {id(f): "new" for f in delta.new}
+        payload = {
+            "version": 1,
+            "rules": [rule.id for rule in rules],
+            "summary": {
+                "total": len(findings),
+                "new": len(delta.new),
+                "suppressed": len(delta.suppressed),
+                "stale": len(delta.stale),
+            },
+            "findings": [
+                {**f.to_dict(), "status": status.get(id(f), "baselined")}
+                for f in findings
+            ],
+            "stale": sorted(delta.stale),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in delta.new:
+            print(finding.describe())
+        parts = [f"{len(findings)} finding(s)", f"{len(delta.new)} new"]
+        if delta.suppressed:
+            parts.append(f"{len(delta.suppressed)} baselined")
+        if delta.stale:
+            parts.append(
+                f"{len(delta.stale)} stale baseline entr(y/ies) — "
+                "run 'repro lint --update-baseline' to tighten"
+            )
+        print("; ".join(parts))
+    return 1 if delta.new else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -610,6 +671,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("args", nargs=argparse.REMAINDER)
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the project's static-analysis rules (repro.analysis)",
+        description=(
+            "Run the project-specific AST rules (lock discipline, process-pool "
+            "picklability, planner determinism, exception discipline, "
+            "streaming discipline, operator protocol, typed defs) over the "
+            "given paths. Findings already recorded in the baseline file pass; "
+            "new findings exit 1."
+        ),
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        help="baseline file of accepted findings (default: lint-baseline.json)",
+    )
+    lint_parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept all current findings",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON output"
+    )
+    lint_parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        dest="list_rules",
+        action="store_true",
+        help="list the rule catalog and exit",
+    )
+    lint_parser.set_defaults(handler=_cmd_lint)
 
     return parser
 

@@ -145,14 +145,18 @@ def structural_join(
     every reachable pair of leaves is covered by exactly one group.
     """
 
-    def cross_context(production: int, source: int, target: int):
+    def cross_context(
+        production: int, source: int, target: int
+    ) -> Callable[[QueryIndex], BooleanMatrix]:
         def build(index: QueryIndex) -> BooleanMatrix:
             return index.cross(production, source, target)
 
         return build
 
-    def red_context(production: int, position: int, recursive_position: int,
-                    cycle: int, start: int, first: int, last: int):
+    def red_context(
+        production: int, position: int, recursive_position: int,
+        cycle: int, start: int, first: int, last: int,
+    ) -> Callable[[QueryIndex], BooleanMatrix]:
         # Crossing out of a red branch, then descending the recursion chain
         # to the later member (Algorithm 1's decode for diverging ordinals).
         def build(index: QueryIndex) -> BooleanMatrix:
@@ -163,8 +167,10 @@ def structural_join(
 
         return build
 
-    def blue_context(production: int, position: int, recursive_position: int,
-                     cycle: int, start: int, first: int, last: int):
+    def blue_context(
+        production: int, position: int, recursive_position: int,
+        cycle: int, start: int, first: int, last: int,
+    ) -> Callable[[QueryIndex], BooleanMatrix]:
         # Climbing out of the nesting to the earlier member, then crossing
         # from the recursive position into a blue branch.
         def build(index: QueryIndex) -> BooleanMatrix:

@@ -53,6 +53,7 @@ thin compatibility wrappers over ``build_physical_plan`` + ``execute``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
@@ -112,15 +113,30 @@ class DecompositionPlan:
     the run-statistics-dependent cost routing of their safe subtrees and the
     macro DFAs of the frontier strategy.  Memo keys include coarse run
     statistics, so one plan instance serves many runs of the same grammar.
+
+    One cached plan instance is shared by every thread the service fans a
+    batch out to, so the memos live behind ``_memo_lock`` (an RLock: the
+    reversed-DFA builder memoizes the forward DFA while holding it).  The
+    lock is created in ``__post_init__`` rather than as a field so plan
+    equality and JSON serialization (``plan_to_dict``) never see it.
     """
 
     spec: Specification
     root: RegexNode
     safe_subtrees: list[RegexNode] = field(default_factory=list)
-    _routing_memo: dict = field(default_factory=dict, repr=False, compare=False)
-    _dfa_memo: dict = field(default_factory=dict, repr=False, compare=False)
-    _direction_memo: dict = field(default_factory=dict, repr=False, compare=False)
-    _mutations: int = field(default=0, repr=False, compare=False)
+    _routing_memo: dict[tuple[int, int, int | None, RegexNode], bool] = field(  # guarded-by: _memo_lock
+        default_factory=dict, repr=False, compare=False
+    )
+    _dfa_memo: dict[str, DFA] = field(  # guarded-by: _memo_lock
+        default_factory=dict, repr=False, compare=False
+    )
+    _direction_memo: dict[str, str] = field(  # guarded-by: _memo_lock
+        default_factory=dict, repr=False, compare=False
+    )
+    _mutations: int = field(default=0, repr=False, compare=False)  # guarded-by: _memo_lock
+
+    def __post_init__(self) -> None:
+        self._memo_lock = threading.RLock()
 
     @property
     def mutations(self) -> int:
@@ -128,7 +144,8 @@ class DecompositionPlan:
         decisions) have grown.  The cache layer compares this against the
         count it last persisted to decide whether the store copy is stale —
         direction decisions change no cost, so cost alone cannot tell."""
-        return self._mutations
+        with self._memo_lock:
+            return self._mutations
 
     @property
     def is_fully_safe(self) -> bool:
@@ -142,58 +159,80 @@ class DecompositionPlan:
         """Does the cost model route this safe subtree to the label engine
         for the given run?  Memoized per (run statistics, node)."""
         key = (run.node_count, run.edge_count, run.seed, node)
-        cached = self._routing_memo.get(key)
-        if cached is None:
-            # Plans can outlive many runs (they are cached per spec), so the
-            # memo is reset instead of growing one entry per distinct run.
-            if len(self._routing_memo) >= 1024:
-                self._routing_memo.clear()
-            cached = estimate_join_cost(run, node) > estimate_label_all_pairs_cost(
-                run.node_count
-            )
-            self._routing_memo[key] = cached
-        return cached
+        with self._memo_lock:
+            cached = self._routing_memo.get(key)
+            if cached is None:
+                # Plans can outlive many runs (they are cached per spec), so
+                # the memo is reset instead of growing one entry per run.
+                if len(self._routing_memo) >= 1024:
+                    self._routing_memo.clear()
+                cached = estimate_join_cost(run, node) > estimate_label_all_pairs_cost(
+                    run.node_count
+                )
+                self._routing_memo[key] = cached
+            return cached
 
     def cost(self) -> int:
         """The boolean-matrix cost this plan pins beyond its entry's base DFA:
         the summed ``state_count²`` of the memoized macro DFAs.  Grows as the
         frontier strategy memoizes routing variants, so cache cost accounting
         must be refreshed after evaluations (see ``IndexCache.sync``)."""
-        return sum(dfa.state_count**2 for dfa in self._dfa_memo.values())
+        with self._memo_lock:
+            return sum(dfa.state_count**2 for dfa in self._dfa_memo.values())
+
+    def memoized_dfa(self, key: str, build: Callable[[], DFA]) -> DFA:
+        """The macro DFA for ``key``, building (under the memo lock) and
+        memoizing it on first use.  The memo stays tiny — one entry per
+        routing variant — so it is reset rather than evicted when full."""
+        with self._memo_lock:
+            cached = self._dfa_memo.get(key)
+            if cached is None:
+                if len(self._dfa_memo) >= 16:
+                    self._dfa_memo.clear()
+                cached = build()
+                self._dfa_memo[key] = cached
+                self._mutations += 1
+            return cached
 
     def macro_dfas(self) -> dict[str, DFA]:
         """A snapshot of the memoized macro DFAs, keyed by the rendered
         macro-rewritten query (used by :mod:`repro.store` to persist them)."""
-        return dict(self._dfa_memo)
+        with self._memo_lock:
+            return dict(self._dfa_memo)
 
     def restore_macro_dfas(self, dfas: dict[str, DFA]) -> None:
         """Re-attach macro DFAs persisted by a previous process, so the first
         frontier evaluation after a warm restart skips the determinization."""
-        self._dfa_memo.update(dfas)
+        with self._memo_lock:
+            self._dfa_memo.update(dfas)
 
     def cached_direction(self, key: str) -> str | None:
         """The last frontier direction recorded for one workload shape
         (see :func:`repro.core.exec.plan.build_physical_plan`), or ``None``.
         A record, not a routing input: the executor layer re-derives the
         decision (O(1) arithmetic) on every plan."""
-        return self._direction_memo.get(key)
+        with self._memo_lock:
+            return self._direction_memo.get(key)
 
     def remember_direction(self, key: str, direction: str) -> None:
         """Record a used direction decision; bounded like the routing memo."""
-        if len(self._direction_memo) >= 1024:
-            self._direction_memo.clear()
-        self._direction_memo[key] = direction
-        self._mutations += 1
+        with self._memo_lock:
+            if len(self._direction_memo) >= 1024:
+                self._direction_memo.clear()
+            self._direction_memo[key] = direction
+            self._mutations += 1
 
     def direction_hints(self) -> dict[str, str]:
         """A snapshot of the recorded direction decisions, keyed by
         log-bucketed workload shape (persisted by :mod:`repro.store` as an
         inspectable routing history that survives restarts)."""
-        return dict(self._direction_memo)
+        with self._memo_lock:
+            return dict(self._direction_memo)
 
     def restore_direction_hints(self, hints: dict[str, str]) -> None:
         """Re-attach direction decisions persisted by a previous process."""
-        self._direction_memo.update(hints)
+        with self._memo_lock:
+            self._direction_memo.update(hints)
 
     def describe(self) -> str:
         parts = ", ".join(regex_to_string(node) for node in self.safe_subtrees) or "(none)"
@@ -317,11 +356,7 @@ def _macro_dfa(plan: DecompositionPlan, rewritten: RegexNode, macro_tags: set[st
     Wildcards expand only over the real tags (the specification's edge tags
     plus the tags written in the query), never over the macro symbols.
     """
-    key = regex_to_string(rewritten)
-    cached = plan._dfa_memo.get(key)
-    if cached is None:
-        if len(plan._dfa_memo) >= 16:  # one entry per routing variant; stay tiny
-            plan._dfa_memo.clear()
+    def build() -> DFA:
         real_tags = set(plan.spec.tags) | {
             tag for tag in regex_alphabet(plan.root) if not tag.startswith(_MACRO_PREFIX)
         }
@@ -332,10 +367,9 @@ def _macro_dfa(plan: DecompositionPlan, rewritten: RegexNode, macro_tags: set[st
         )
         from repro.automata.minimize import minimize_dfa
 
-        cached = minimize_dfa(dfa)
-        plan._dfa_memo[key] = cached
-        plan._mutations += 1
-    return cached
+        return minimize_dfa(dfa)
+
+    return plan.memoized_dfa(regex_to_string(rewritten), build)
 
 
 #: Memo-key prefix of *reversed* macro DFAs (backward frontier search).  The
@@ -351,13 +385,10 @@ def _reversed_macro_dfa(
     """The reversed macro DFA (the automaton the backward frontier search
     drives from the requested targets), memoized on the plan alongside the
     forward one so it persists with the entry."""
-    key = _REVERSED_PREFIX + regex_to_string(rewritten)
-    cached = plan._dfa_memo.get(key)
-    if cached is None:
-        cached = _macro_dfa(plan, rewritten, macro_tags).reversed()
-        plan._dfa_memo[key] = cached
-        plan._mutations += 1
-    return cached
+    return plan.memoized_dfa(
+        _REVERSED_PREFIX + regex_to_string(rewritten),
+        lambda: _macro_dfa(plan, rewritten, macro_tags).reversed(),
+    )
 
 
 def warm_frontier_dfa(

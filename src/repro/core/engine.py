@@ -24,7 +24,7 @@ by passing the same cache instance.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from repro.automata.regex import RegexNode, parse_regex
 from repro.core.allpairs import (
@@ -47,6 +47,7 @@ from repro.workflow.run import Run
 from repro.workflow.spec import Specification
 
 if TYPE_CHECKING:
+    from repro.automata.boolean_matrix import BooleanMatrix
     from repro.core.exec import ExecutorConfig
     from repro.service.cache import IndexCache
 
@@ -89,7 +90,9 @@ class ProvenanceQueryEngine:
         """The (possibly shared) index cache backing this engine."""
         return self._cache
 
-    def derive(self, *, seed: int | None = None, target_edges: int | None = None, **kwargs) -> Run:
+    def derive(
+        self, *, seed: int | None = None, target_edges: int | None = None, **kwargs: Any
+    ) -> Run:
         """Derive a labeled run of the specification (see :func:`derive_run`)."""
         return derive_run(self._spec, seed=seed, target_edges=target_edges, **kwargs)
 
@@ -125,7 +128,7 @@ class ProvenanceQueryEngine:
         """
         return self._cache.plan(self._spec, query)
 
-    def _subtree_index_provider(self):
+    def _subtree_index_provider(self) -> Callable[[RegexNode], QueryIndex]:
         """Safe-subquery indexes resolved through the shared cache."""
         return lambda node: self._cache.index(self._spec, node)
 
@@ -147,7 +150,9 @@ class ProvenanceQueryEngine:
         index = self.query_index(query)
         return answer_pairwise_query(index, run.label_of(source), run.label_of(target))
 
-    def pairwise_states(self, run: Run, source: str, target: str, query: str | RegexNode):
+    def pairwise_states(
+        self, run: Run, source: str, target: str, query: str | RegexNode
+    ) -> "BooleanMatrix":
         """The full DFA-state relation realized by paths from source to target."""
         self._check_run(run)
         index = self.query_index(query)

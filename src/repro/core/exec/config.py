@@ -38,8 +38,8 @@ class WorkerBudget:
         if capacity < 1:
             raise ValueError("worker budget capacity must be at least 1")
         self.capacity = capacity
-        self._in_use = 0
         self._lock = threading.Lock()
+        self._in_use = 0  # guarded-by: _lock
 
     @property
     def in_use(self) -> int:

@@ -24,15 +24,19 @@ from __future__ import annotations
 
 from concurrent.futures import (
     Executor,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
     as_completed,
 )
+from pickle import PicklingError
 import multiprocessing
 import threading
 from contextlib import contextmanager
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Mapping
 
+from repro.automata.regex import RegexNode
 from repro.core.allpairs import all_pairs_iter, all_pairs_safe_query
 from repro.core.exec.ops import (
     FrontierSearchOp,
@@ -103,7 +107,7 @@ def _execute_join(plan: PhysicalPlan, op: JoinOp) -> NodePairs:
     run, options, indexes = plan.run, plan.options, plan.indexes
     universe: list[str] | None = None
 
-    def subquery_evaluator(node) -> NodePairs | None:
+    def subquery_evaluator(node: RegexNode) -> NodePairs | None:
         nonlocal universe
         if node not in op.routed:
             return None
@@ -159,11 +163,15 @@ def _iter_frontier(plan: PhysicalPlan, op: FrontierSearchOp) -> Iterator[tuple[s
         release()
 
 
-def _graph_adjacency(plan: PhysicalPlan, op: FrontierSearchOp):
+def _graph_adjacency(
+    plan: PhysicalPlan, op: FrontierSearchOp
+) -> Mapping[str, tuple[tuple[str, str], ...]]:
     return plan.run.successors if op.direction == "forward" else plan.run.predecessors
 
 
-def _lazy_macro_successors(op: FrontierSearchOp):
+def _lazy_macro_successors(
+    op: FrontierSearchOp,
+) -> dict[str, Callable[[str], tuple[str, ...]]] | None:
     return {
         tag: relation.expander(op.direction) for tag, relation in op.macros.items()
     } or None
@@ -194,7 +202,9 @@ def _chunked(seeds: tuple[str, ...], chunk_count: int) -> list[tuple[str, ...]]:
 
 
 @contextmanager
-def _worker_pool(plan: PhysicalPlan, op: FrontierSearchOp, granted: int):
+def _worker_pool(
+    plan: PhysicalPlan, op: FrontierSearchOp, granted: int
+) -> Iterator[tuple[Executor, Callable[[tuple[str, ...]], list[tuple[str, str]]]]]:
     """A ready-to-submit pool plus its chunk function.
 
     Process pools get a plain-data :class:`SearchContext` shipped once per
@@ -246,7 +256,12 @@ def _worker_pool(plan: PhysicalPlan, op: FrontierSearchOp, granted: int):
             # backend, while falling back is still free.
             pool.submit(search_chunk, ()).result(timeout=15)
             task = search_chunk
-        except Exception:
+        except (OSError, RuntimeError, FuturesTimeoutError, PicklingError):
+            # Everything pool creation and the probe actually raise when
+            # process pools are unusable: spawn failures (OSError), a broken
+            # pool / missing start method (RuntimeError and subclasses like
+            # BrokenProcessPool), a wedged worker (timeout), or unpicklable
+            # init arguments.  Anything else is a bug and must propagate.
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
             pool = None
@@ -287,7 +302,7 @@ def _iter_frontier_parallel(
             remaining = len(futures)
             countdown = threading.Lock()
 
-            def on_done(_finished) -> None:
+            def on_done(_finished: "Future[list[tuple[str, str]]]") -> None:
                 nonlocal remaining
                 with countdown:
                     remaining -= 1

@@ -46,37 +46,37 @@ class MacroRelation:
     def __init__(self, decode: Callable[[], Iterable[tuple[str, str]]]) -> None:
         self._decode = decode
         self._lock = threading.Lock()
-        self._forward: dict[str, tuple[str, ...]] | None = None
-        self._backward: dict[str, tuple[str, ...]] | None = None
+        self._forward: dict[str, tuple[str, ...]] | None = None  # guarded-by: _lock
+        self._backward: dict[str, tuple[str, ...]] | None = None  # guarded-by: _lock
 
-    def _materialize(self) -> None:
+    def _materialize(self) -> tuple[
+        dict[str, tuple[str, ...]], dict[str, tuple[str, ...]]
+    ]:
+        """Decode once and return ``(forward, backward)``; readers work off
+        the returned mappings (never the fields) so reads need no lock."""
         with self._lock:
-            if self._forward is not None:
-                return
-            forward: dict[str, list[str]] = {}
-            backward: dict[str, list[str]] = {}
-            for source, target in self._decode():
-                forward.setdefault(source, []).append(target)
-                backward.setdefault(target, []).append(source)
-            self._forward = {node: tuple(out) for node, out in forward.items()}
-            self._backward = {node: tuple(out) for node, out in backward.items()}
+            if self._forward is None or self._backward is None:
+                forward: dict[str, list[str]] = {}
+                backward: dict[str, list[str]] = {}
+                for source, target in self._decode():
+                    forward.setdefault(source, []).append(target)
+                    backward.setdefault(target, []).append(source)
+                self._forward = {node: tuple(out) for node, out in forward.items()}
+                self._backward = {node: tuple(out) for node, out in backward.items()}
+            return self._forward, self._backward
 
     def adjacency(self, direction: str) -> Mapping[str, tuple[str, ...]]:
         """The materialized macro adjacency for one search direction."""
-        self._materialize()
-        mapping = self._forward if direction == "forward" else self._backward
-        assert mapping is not None
-        return mapping
+        forward, backward = self._materialize()
+        return forward if direction == "forward" else backward
 
     def successors(self, node: str) -> tuple[str, ...]:
-        if self._forward is None:
-            self._materialize()
-        return self._forward.get(node, ())
+        forward, _ = self._materialize()
+        return forward.get(node, ())
 
     def predecessors(self, node: str) -> tuple[str, ...]:
-        if self._backward is None:
-            self._materialize()
-        return self._backward.get(node, ())
+        _, backward = self._materialize()
+        return backward.get(node, ())
 
     def expander(self, direction: str) -> Callable[[str], tuple[str, ...]]:
         """The per-node successor callable :func:`frontier_search` expects."""

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Sequence
 
+from repro.automata.regex import RegexNode
 from repro.core.allpairs import AllPairsOptions, all_pairs_iter
 from repro.core.decomposition import (
     DecompositionPlan,
@@ -152,7 +153,7 @@ def _record_direction(
 
 def _macro_decoder(
     run: Run,
-    subtree,
+    subtree: RegexNode,
     indexes: IndexProvider,
     allowed: frozenset[str] | None,
     options: AllPairsOptions,
@@ -171,7 +172,7 @@ def _macro_decoder(
 def _frontier_op(
     run: Run,
     plan: DecompositionPlan,
-    routed: list,
+    routed: list[RegexNode],
     l1: Sequence[str] | None,
     l2: Sequence[str] | None,
     allowed: frozenset[str] | None,

@@ -12,7 +12,7 @@ worker, not once per task.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.automata.dfa import DFA
 from repro.core.relations import frontier_search
@@ -41,13 +41,13 @@ def init_worker(context: SearchContext) -> None:
 
 
 def search_seeds(
-    adjacency,
+    adjacency: Mapping[str, Sequence[tuple[str, str]]],
     dfa: DFA,
-    seeds,
+    seeds: Iterable[str],
     *,
-    allowed,
-    emit_filter,
-    macro_successors,
+    allowed: frozenset[str] | None,
+    emit_filter: frozenset[str] | None,
+    macro_successors: Mapping[str, Callable[[str], Iterable[str]]] | None,
     forward: bool,
 ) -> list[tuple[str, str]]:
     """The one per-seed search loop every executor path shares.

@@ -35,6 +35,7 @@ from repro.automata.dfa import DFA
 from repro.automata.regex import RegexNode, parse_regex, regex_to_string
 from repro.core.safety import analyze_safety, query_dfa
 from repro.errors import UnsafeQueryError
+from repro.workflow.production_graph import Cycle
 from repro.workflow.spec import Specification
 
 __all__ = ["ProductionTables", "QueryIndex", "build_query_index"]
@@ -103,7 +104,7 @@ class QueryIndex:
             self._build_cycle_tables(cycle) for cycle in spec.production_graph.cycles
         )
         # Memoized powers of full-cycle products (used for very long chains).
-        self._chain_cache: dict[tuple, BooleanMatrix] = {}
+        self._chain_cache: dict[tuple[int, int, int, int], BooleanMatrix] = {}
 
     # -- construction ------------------------------------------------------------
 
@@ -157,7 +158,7 @@ class QueryIndex:
                 ]
             )
 
-    def _build_cycle_tables(self, cycle) -> _CycleTables:
+    def _build_cycle_tables(self, cycle: "Cycle") -> _CycleTables:
         descend = []
         ascend = []
         for offset in range(len(cycle)):
@@ -229,7 +230,7 @@ class QueryIndex:
 
     # -- recursion chains ------------------------------------------------------------
 
-    def cycle(self, cycle_index: int):
+    def cycle(self, cycle_index: int) -> "Cycle":
         return self.spec.production_graph.cycles[cycle_index]
 
     def cycle_production(self, cycle_index: int, start: int, ordinal: int) -> tuple[int, int]:

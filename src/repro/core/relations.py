@@ -303,7 +303,7 @@ def evaluate_regex_relation(
     run: Run,
     node: RegexNode,
     *,
-    subquery_evaluator=None,
+    subquery_evaluator: Callable[[RegexNode], "NodePairs | None"] | None = None,
     allowed: frozenset[str] | set[str] | None = None,
 ) -> NodePairs:
     """Bottom-up join-based evaluation of a query over a run (Option G1).

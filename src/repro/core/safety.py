@@ -20,6 +20,7 @@ worklist fixpoint with the same asymptotics up to a factor of ``|P|``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.automata.boolean_matrix import BooleanMatrix
 from repro.automata.dfa import DFA, dfa_from_regex
@@ -88,7 +89,7 @@ def query_dfa(spec: Specification, query: str | RegexNode) -> DFA:
 def body_transition_matrix(
     body: SimpleWorkflow,
     dfa: DFA,
-    node_lambda,
+    node_lambda: Callable[[int], BooleanMatrix],
 ) -> BooleanMatrix:
     """λ of one production body.
 
@@ -144,7 +145,7 @@ def analyze_safety(spec: Specification, dfa: DFA) -> SafetyReport:
             pending.discard(index)
             progress = True
             computed = body_transition_matrix(
-                body, dfa, lambda position: lambdas[body.module_at(position)]
+                body, dfa, lambda position, body=body: lambdas[body.module_at(position)]
             )
             established = lambdas.get(production.head)
             if established is None:

@@ -18,6 +18,8 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
+from repro.datasets.index import EdgeTagIndex
+from repro.workflow.run import Run
 from repro.workflow.spec import Specification
 
 __all__ = [
@@ -62,12 +64,12 @@ def generate_ifq(
 
 
 def generate_ifq_along_path(
-    run,
+    run: Run,
     k: int,
     *,
     seed: int = 0,
     prefer: str | None = None,
-    index=None,
+    index: EdgeTagIndex | None = None,
 ) -> str:
     """An IFQ whose tags are sampled *in order along an actual run path*.
 

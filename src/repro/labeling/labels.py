@@ -71,14 +71,14 @@ def is_strict_prefix(prefix: Label, label: Label) -> bool:
     return len(prefix) < len(label) and label[: len(prefix)] == prefix
 
 
-def label_sort_key(label: Label) -> tuple:
+def label_sort_key(label: Label) -> tuple[tuple[int, int, int, int], ...]:
     """A sort key grouping labels by parse-tree position.
 
     Production steps and recursion steps never occur at the same depth under
     the same parent (a parse-tree node is either composite or recursive), so
     ordering mixed step types only needs to be deterministic, not meaningful.
     """
-    key = []
+    key: list[tuple[int, int, int, int]] = []
     for step in label:
         if isinstance(step, ProductionStep):
             key.append((0, step.production, step.position, 0))

@@ -12,9 +12,12 @@ a trie over *all* node labels of a run yields the tree of Fig. 7.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.labeling.labels import Label, LabelStep, ProductionStep, RecursionStep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workflow.run import Run
 
 __all__ = ["TrieNode", "LabelTrie"]
 
@@ -40,7 +43,7 @@ class TrieNode:
     children: dict[LabelStep, "TrieNode"] = field(default_factory=dict)
     payload: list[str] = field(default_factory=list)
     leaf_count: int = 0
-    memo: dict = field(default_factory=dict, repr=False, compare=False)
+    memo: dict[object, object] = field(default_factory=dict, repr=False, compare=False)
 
     # -- structure ----------------------------------------------------------------
 
@@ -56,7 +59,7 @@ class TrieNode:
         return self.children.get(step)
 
     def sorted_children(self) -> list[tuple[LabelStep, "TrieNode"]]:
-        def key(item: tuple[LabelStep, TrieNode]):
+        def key(item: tuple[LabelStep, TrieNode]) -> tuple[int, int, int, int]:
             step = item[0]
             if isinstance(step, ProductionStep):
                 return (0, step.production, step.position, 0)
@@ -88,7 +91,7 @@ class LabelTrie:
             self.insert(label, identifier)
 
     @classmethod
-    def from_run_nodes(cls, run, node_ids: Iterable[str]) -> "LabelTrie":
+    def from_run_nodes(cls, run: "Run", node_ids: Iterable[str]) -> "LabelTrie":
         """Build a trie for a list of node ids of a run."""
         return cls((run.label_of(node_id), node_id) for node_id in node_ids)
 

@@ -153,17 +153,17 @@ class IndexCache:
             raise ValueError("max_cost must be positive (or None for unbounded)")
         self.max_entries = max_entries
         self.max_cost = max_cost
-        self._store = store
-        self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
-        self._total_cost = 0
         self._lock = threading.Lock()
-        self._build_locks: dict[CacheKey, threading.Lock] = {}
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._index_builds = 0
-        self._safety_checks = 0
-        self._plan_builds = 0
+        self._store = store  # guarded-by: _lock
+        self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()  # guarded-by: _lock
+        self._total_cost = 0  # guarded-by: _lock
+        self._build_locks: dict[CacheKey, threading.Lock] = {}  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._index_builds = 0  # guarded-by: _lock
+        self._safety_checks = 0  # guarded-by: _lock
+        self._plan_builds = 0  # guarded-by: _lock
 
     # -- keys --------------------------------------------------------------------
 
@@ -318,9 +318,10 @@ class IndexCache:
         restores it instead of rebuilding.  An unacquirable lock (timeout,
         read-only volume) degrades to a plain duplicated build.
         """
-        if self._store is None:
+        store = self.store
+        if store is None:
             return self._build(spec, node, key)
-        with self._store.entry_lock(key[0], key[1]) as acquired:
+        with store.entry_lock(key[0], key[1]) as acquired:
             if acquired:
                 # Another process may have finished while we waited.
                 entry = self._restore(spec, key)
@@ -359,9 +360,10 @@ class IndexCache:
         A restored entry increments no build counters — that is the point of
         the store — but its cost is re-derived so the budget stays honest.
         """
-        if self._store is None:
+        store = self.store
+        if store is None:
             return None
-        stored = self._store.load(spec, key[1])
+        stored = store.load(spec, key[1])
         if stored is None:
             return None
         entry = _Entry(report=stored.report, index=stored.index, cost=0, plan=stored.plan)
@@ -382,10 +384,11 @@ class IndexCache:
     def _persist(self, key: CacheKey, entry: _Entry) -> None:
         """Write an entry through to the store (no-op without one; the store
         swallows and counts its own failures)."""
-        if self._store is not None:
+        store = self.store
+        if store is not None:
             if entry.plan is not None:
                 entry.plan_mutations = entry.plan.mutations
-            self._store.save(
+            store.save(
                 key[0], key[1], report=entry.report, index=entry.index, plan=entry.plan
             )
 
@@ -404,7 +407,7 @@ class IndexCache:
                 entry.cost = cost
             return True
 
-    def _insert(self, key: CacheKey, entry: _Entry) -> None:
+    def _insert(self, key: CacheKey, entry: _Entry) -> None:  # holds-lock: _lock
         previous = self._entries.pop(key, None)
         if previous is not None:
             self._total_cost -= previous.cost
@@ -412,7 +415,7 @@ class IndexCache:
         self._total_cost += entry.cost
         self._evict_over_budget()
 
-    def _evict_over_budget(self) -> None:
+    def _evict_over_budget(self) -> None:  # holds-lock: _lock
         """LRU-evict down to the configured bounds (cache lock held)."""
         while len(self._entries) > 1 and (
             len(self._entries) > self.max_entries
@@ -427,7 +430,8 @@ class IndexCache:
     @property
     def store(self) -> "IndexStore | None":
         """The persistent second tier, when one is attached."""
-        return self._store
+        with self._lock:
+            return self._store
 
     def attach_store(self, store: "IndexStore") -> None:
         """Attach a persistent tier after construction (used by
@@ -436,11 +440,12 @@ class IndexCache:
         directory keeps the already-attached instance (and its counters); a
         store for a different directory is refused, because splitting entries
         across stores would silently break warm restarts."""
-        if self._store is not None and self._store is not store:
-            if Path(self._store.root).resolve() != Path(store.root).resolve():
-                raise ValueError("cache already has a different store attached")
-            return
-        self._store = store
+        with self._lock:
+            if self._store is not None and self._store is not store:
+                if Path(self._store.root).resolve() != Path(store.root).resolve():
+                    raise ValueError("cache already has a different store attached")
+                return
+            self._store = store
 
     def __len__(self) -> int:
         with self._lock:
@@ -454,7 +459,8 @@ class IndexCache:
 
     @property
     def stats(self) -> CacheStats:
-        store = self._store.counters if self._store is not None else None
+        attached = self.store
+        store = attached.counters if attached is not None else None
         with self._lock:
             return CacheStats(
                 hits=self._hits,

@@ -130,13 +130,13 @@ class QueryService:
             raise ValueError("max_workers must be at least 1")
         self._budget = WorkerBudget(self._max_workers)
         self._executor = self._with_budget(executor or ExecutorConfig())
-        self._runs: dict[str, Run] = {}
-        self._engines: dict[str, ProvenanceQueryEngine] = {}
         self._lock = threading.Lock()
+        self._runs: dict[str, Run] = {}  # guarded-by: _lock
+        self._engines: dict[str, ProvenanceQueryEngine] = {}  # guarded-by: _lock
         # The persisted registry is adopted by id only (filenames, no
         # parsing); run content loads lazily on first use, so restart cost
         # does not grow with the registry.
-        self._pending_run_ids: set[str] = (
+        self._pending_run_ids: set[str] = (  # guarded-by: _lock
             set(store.run_ids()) if store is not None else set()
         )
 
@@ -235,7 +235,7 @@ class QueryService:
             run = self._materialize(run_id)
         if run is None:
             raise KeyError(
-                f"unknown run id {run_id!r}; registered runs: {sorted(self._runs)}"
+                f"unknown run id {run_id!r}; registered runs: {list(self.run_ids())}"
             )
         return run
 

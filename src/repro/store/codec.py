@@ -42,7 +42,7 @@ from repro.automata.regex import RegexNode, parse_regex, regex_to_string
 from repro.core.decomposition import DecompositionPlan
 from repro.core.query_index import QueryIndex
 from repro.core.safety import SafetyReport, SafetyViolation
-from repro.errors import StoreError
+from repro.errors import ReproError, StoreError
 from repro.workflow.spec import Specification
 
 __all__ = [
@@ -203,7 +203,7 @@ def _render_stable(node: RegexNode) -> str | None:
     text = regex_to_string(node)
     try:
         return text if parse_regex(text) == node else None
-    except Exception:
+    except ReproError:
         return None
 
 

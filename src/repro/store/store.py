@@ -198,12 +198,12 @@ class IndexStore:
         self._entries_dir = self.root / "entries"
         self._runs_dir = self.root / "runs"
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._writes = 0
-        self._errors = 0
-        self._evictions = 0
-        self._skipped_writes = 0
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._writes = 0  # guarded-by: _lock
+        self._errors = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._skipped_writes = 0  # guarded-by: _lock
 
     # -- paths -------------------------------------------------------------------
 

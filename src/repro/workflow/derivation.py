@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.errors import DerivationError
 from repro.labeling.labeler import ChainContext, Labeler
@@ -189,7 +189,9 @@ class Derivation:
         self._steps += 1
         return tuple(new_ids)
 
-    def random_step(self, production_chooser=None) -> tuple[str, ...]:
+    def random_step(
+        self, production_chooser: Callable[[str], int] | None = None
+    ) -> tuple[str, ...]:
         """Replace a uniformly chosen composite node.
 
         ``production_chooser(module_name) -> production index`` selects the

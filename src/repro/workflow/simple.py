@@ -59,7 +59,9 @@ class SimpleWorkflow:
 
     __slots__ = ("_nodes", "_edges", "__dict__")
 
-    def __init__(self, nodes: Sequence[str], edges: Iterable[Edge | tuple] = ()) -> None:
+    def __init__(
+        self, nodes: Sequence[str], edges: Iterable[Edge | tuple[int, int, str]] = ()
+    ) -> None:
         if not nodes:
             raise StructureError("a simple workflow needs at least one node")
         self._nodes: tuple[str, ...] = tuple(nodes)

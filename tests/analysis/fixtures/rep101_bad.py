@@ -1,0 +1,22 @@
+# repro-lint-module: fixtures.rep101_bad
+"""REP101 exhibit: guarded attributes touched outside their lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+        self._entries = {}  # guarded-by: _lock
+
+    def bump(self) -> None:
+        self._count += 1  # BAD: no lock held
+
+    def peek(self) -> int:
+        return self._count  # BAD: unlocked read
+
+    def locked_total(self) -> int:
+        with self._lock:
+            total = self._count
+        return total + len(self._entries)  # BAD: read escaped the with-block

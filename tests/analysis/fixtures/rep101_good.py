@@ -1,0 +1,27 @@
+# repro-lint-module: fixtures.rep101_good
+"""REP101 exhibit: every guarded access is under the lock (or declared)."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+        self._entries = {}  # guarded-by: _lock
+
+    def bump(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def peek(self) -> int:
+        with self._lock:
+            return self._count
+
+    def _evict(self) -> None:  # holds-lock: _lock
+        self._entries.clear()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._count = 0
+            self._evict()

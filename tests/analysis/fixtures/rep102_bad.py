@@ -1,0 +1,22 @@
+# repro-lint-module: fixtures.rep102_bad
+"""REP102 exhibit: unpicklable callables handed to a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Search:
+    def run_chunk(self, chunk):
+        return chunk
+
+
+def run(chunks):
+    search = Search()
+    pool = ProcessPoolExecutor(max_workers=2, initializer=lambda: None)  # BAD
+    futures = [pool.submit(lambda: chunk) for chunk in chunks]  # BAD: lambda
+
+    def local_task(chunk):
+        return chunk
+
+    futures.append(pool.submit(local_task, chunks))  # BAD: nested function
+    futures.append(pool.submit(search.run_chunk, chunks))  # BAD: bound method
+    return futures

@@ -1,0 +1,18 @@
+# repro-lint-module: fixtures.rep102_good
+"""REP102 exhibit: module-level task functions, plain-data arguments."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_chunk(chunk):
+    return chunk
+
+
+def run(chunks):
+    pool = ProcessPoolExecutor(max_workers=2)
+    # A thread pool received as an argument may submit anything.
+    return [pool.submit(run_chunk, chunk) for chunk in chunks]
+
+
+def run_with_foreign_pool(pool, work):
+    return pool.submit(lambda: work)  # fine: not a pool created in this scope

@@ -1,0 +1,16 @@
+# repro-lint-module: repro.core.example
+"""REP104 exhibit: broad handlers swallowing bugs outside a boundary."""
+
+
+def load(path: object) -> int:
+    try:
+        return int(path.read_text())
+    except Exception:  # BAD: swallows everything, returns a default
+        return 0
+
+
+def probe(callback: object) -> object:
+    try:
+        return callback()
+    except BaseException:  # BAD: even broader
+        return None

@@ -1,0 +1,28 @@
+# repro-lint-module: repro.core.example
+"""REP104 exhibit: narrow catches, and broad-catch-then-reraise cleanup."""
+
+
+class ReproError(Exception):
+    pass
+
+
+def load(path: object) -> int:
+    try:
+        return int(path.read_text())
+    except (OSError, ValueError):  # specific: fine
+        return 0
+
+
+def guarded(callback: object, release: object) -> object:
+    try:
+        return callback()
+    except Exception:  # broad but pure cleanup: fine
+        release()
+        raise
+
+
+def translate(callback: object) -> object:
+    try:
+        return callback()
+    except ReproError:  # project error taxonomy: fine
+        return None

@@ -1,0 +1,16 @@
+# repro-lint-module: fixtures.rep105_bad
+"""REP105 exhibit: streaming functions that buffer the whole answer."""
+
+
+def search_iter(run):
+    yield from run
+
+
+def stream_pairs(run):
+    pairs = search_iter(run)
+    for pair in sorted(pairs):  # BAD: materializes the stream to sort it
+        yield pair
+
+
+def frontier_iter(run):
+    return list(search_iter(run))  # BAD: result-sized buffer in a *_iter

@@ -1,0 +1,19 @@
+# repro-lint-module: fixtures.rep105_good
+"""REP105 exhibit: streaming paths stay lazy; eager APIs may materialize."""
+
+
+def search_iter(run):
+    yield from run
+
+
+def stream_pairs(run):
+    seen = set()  # bounded dedup state, not a materialized stream: fine
+    for pair in search_iter(run):
+        if pair not in seen:
+            seen.add(pair)
+            yield pair
+
+
+def collect(run):
+    # Not a streaming function: materializing here is the eager API's job.
+    return sorted(search_iter(run))

@@ -1,0 +1,12 @@
+# repro-lint-module: repro.core.exec.executor
+"""REP106 companion: an executor dispatching ScanOp and JoinOp only."""
+
+from fixtures.ops import JoinOp, ScanOp  # noqa: F401 - fixture, never imported
+
+
+def execute(op):
+    if isinstance(op, ScanOp):
+        return ()
+    if isinstance(op, JoinOp):
+        return ()
+    raise TypeError(op)

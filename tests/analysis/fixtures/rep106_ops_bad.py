@@ -1,0 +1,15 @@
+# repro-lint-module: repro.core.exec.ops
+"""REP106 exhibit: GhostOp exists but is wired into nothing."""
+
+__all__ = ["PhysicalOp", "ScanOp"]
+
+
+class ScanOp:
+    pass
+
+
+class GhostOp:  # BAD: not in the union, not exported, not dispatched
+    pass
+
+
+PhysicalOp = ScanOp

@@ -1,0 +1,15 @@
+# repro-lint-module: repro.core.exec.ops
+"""REP106 exhibit: every operator is unioned, exported and dispatched."""
+
+__all__ = ["JoinOp", "PhysicalOp", "ScanOp"]
+
+
+class ScanOp:
+    pass
+
+
+class JoinOp:
+    pass
+
+
+PhysicalOp = ScanOp | JoinOp

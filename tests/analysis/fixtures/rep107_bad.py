@@ -1,0 +1,11 @@
+# repro-lint-module: repro.fixtures.rep107_bad
+"""REP107 exhibit: functions missing parameter and return annotations."""
+
+
+def count_pairs(pairs, limit=None):  # BAD: nothing annotated
+    return len(pairs[:limit])
+
+
+class Index:
+    def add(self, node, tag: str):  # BAD: 'node' and return missing
+        return (node, tag)

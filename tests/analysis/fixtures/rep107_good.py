@@ -1,0 +1,15 @@
+# repro-lint-module: repro.fixtures.rep107_good
+"""REP107 exhibit: fully annotated functions, *args/**kwargs included."""
+
+
+def count_pairs(pairs: list[tuple[str, str]], limit: int | None = None) -> int:
+    return len(pairs[:limit])
+
+
+class Index:
+    def add(self, node: str, tag: str, *extra: str, **options: bool) -> tuple[str, str]:
+        return (node, tag)
+
+    @classmethod
+    def empty(cls) -> "Index":
+        return cls()

@@ -1,0 +1,97 @@
+"""Baseline ratchet semantics: suppress exactly, surface new, report stale."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import all_rules, run_analysis
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def bad_findings():
+    rules = [rule for rule in all_rules() if rule.id == "REP104"]
+    return run_analysis([FIXTURES / "rep104_bad.py"], root=FIXTURES, rules=rules)
+
+
+class TestFingerprints:
+    def test_fingerprint_ignores_line_numbers(self):
+        a = Finding(path="m.py", line=10, rule="REP104", message="broad")
+        b = Finding(path="m.py", line=99, rule="REP104", message="broad")
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_depends_on_rule_path_and_message(self):
+        base = Finding(path="m.py", line=1, rule="REP104", message="broad")
+        for other in (
+            Finding(path="n.py", line=1, rule="REP104", message="broad"),
+            Finding(path="m.py", line=1, rule="REP105", message="broad"),
+            Finding(path="m.py", line=1, rule="REP104", message="other"),
+        ):
+            assert other.fingerprint != base.fingerprint
+
+
+class TestBaselineApply:
+    def test_baseline_suppresses_exactly_its_findings(self):
+        findings = bad_findings()
+        assert findings
+        baseline = Baseline.from_findings(findings)
+        delta = baseline.apply(findings)
+        assert delta.clean
+        assert delta.new == []
+        assert delta.suppressed == findings
+        assert delta.stale == {}
+
+    def test_extra_occurrence_beyond_count_is_new(self):
+        findings = bad_findings()
+        baseline = Baseline.from_findings(findings)
+        duplicated = findings + [findings[0]]
+        delta = baseline.apply(duplicated)
+        assert [f.fingerprint for f in delta.new] == [findings[0].fingerprint]
+        assert not delta.clean
+
+    def test_fixed_finding_reports_stale_debt(self):
+        findings = bad_findings()
+        baseline = Baseline.from_findings(findings)
+        remaining = findings[1:]
+        delta = baseline.apply(remaining)
+        assert delta.clean  # fixing debt never fails the run
+        assert delta.stale == {findings[0].fingerprint: 1}
+
+    def test_empty_baseline_marks_everything_new(self):
+        findings = bad_findings()
+        delta = Baseline().apply(findings)
+        assert delta.new == findings
+        assert delta.suppressed == []
+
+
+class TestBaselineFile:
+    def test_round_trip(self, tmp_path):
+        findings = bad_findings()
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).dump(path)
+        loaded = Baseline.load(path)
+        assert loaded.apply(findings).clean
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert Baseline.load(tmp_path / "absent.json").counts == {}
+
+    def test_file_format_is_versioned_and_reviewable(self, tmp_path):
+        findings = bad_findings()
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).dump(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert payload["tool"] == "repro lint"
+        for entry in payload["findings"].values():
+            assert entry["count"] >= 1
+            assert "REP104" in entry["description"]
+
+    def test_committed_baseline_matches_current_tree(self):
+        """The repo baseline accepts the tree as-is: zero new findings."""
+        root = Path(__file__).resolve().parents[2]
+        findings = run_analysis([root / "src" / "repro"], root=root)
+        baseline = Baseline.load(root / "lint-baseline.json")
+        delta = baseline.apply(findings)
+        assert delta.new == []
+        assert delta.stale == {}

@@ -1,0 +1,104 @@
+"""The `repro lint` subcommand: exit codes, --json schema stability, the
+--update-baseline flow, and rule selection."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = str(FIXTURES / "rep104_bad.py")
+GOOD = str(FIXTURES / "rep104_good.py")
+
+
+def lint_json(capsys, *argv):
+    code = main(["lint", *argv, "--json"])
+    return code, json.loads(capsys.readouterr().out)
+
+
+class TestExitCodes:
+    def test_new_findings_fail(self, tmp_path):
+        assert main(["lint", BAD, "--baseline", str(tmp_path / "b.json")]) == 1
+
+    def test_clean_tree_passes(self, tmp_path, capsys):
+        assert main(["lint", GOOD, "--baseline", str(tmp_path / "b.json")]) == 0
+        assert "0 new" in capsys.readouterr().out
+
+    def test_human_output_names_file_line_and_rule(self, tmp_path, capsys):
+        main(["lint", BAD, "--baseline", str(tmp_path / "b.json")])
+        out = capsys.readouterr().out
+        assert "rep104_bad.py:8: REP104:" in out
+
+
+class TestJsonSchema:
+    """The --json payload is consumed by CI; its shape is a contract."""
+
+    def test_payload_shape_is_stable(self, tmp_path, capsys):
+        code, payload = lint_json(
+            capsys, BAD, "--baseline", str(tmp_path / "b.json")
+        )
+        assert code == 1
+        assert sorted(payload) == ["findings", "rules", "stale", "summary", "version"]
+        assert payload["version"] == 1
+        assert "REP104" in payload["rules"]
+        assert sorted(payload["summary"]) == ["new", "stale", "suppressed", "total"]
+        assert payload["summary"]["total"] == payload["summary"]["new"] == 2
+        for finding in payload["findings"]:
+            assert sorted(finding) == [
+                "fingerprint", "line", "message", "path", "rule", "status",
+            ]
+            assert finding["status"] == "new"
+
+    def test_baselined_findings_keep_status(self, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        main(["lint", BAD, "--baseline", str(baseline), "--update-baseline"])
+        capsys.readouterr()
+        code, payload = lint_json(capsys, BAD, "--baseline", str(baseline))
+        assert code == 0
+        assert payload["summary"]["new"] == 0
+        assert payload["summary"]["suppressed"] == 2
+        assert {f["status"] for f in payload["findings"]} == {"baselined"}
+
+    def test_output_is_deterministic(self, tmp_path, capsys):
+        first = lint_json(capsys, BAD, "--baseline", str(tmp_path / "b.json"))
+        second = lint_json(capsys, BAD, "--baseline", str(tmp_path / "b.json"))
+        assert first == second
+
+
+class TestUpdateBaseline:
+    def test_update_then_lint_is_clean_and_fix_reports_stale(
+        self, tmp_path, capsys
+    ):
+        baseline = tmp_path / "b.json"
+        assert main(["lint", BAD, "--baseline", str(baseline), "--update-baseline"]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+
+        assert main(["lint", BAD, "--baseline", str(baseline)]) == 0
+        assert "2 baselined" in capsys.readouterr().out
+
+        # "Fixing" the findings (linting the clean twin) passes and nudges
+        # toward tightening the baseline.
+        assert main(["lint", GOOD, "--baseline", str(baseline)]) == 0
+        assert "stale baseline" in capsys.readouterr().out
+
+
+class TestRuleSelection:
+    def test_select_limits_the_rules_run(self, tmp_path, capsys):
+        code, payload = lint_json(
+            capsys, BAD, "--baseline", str(tmp_path / "b.json"),
+            "--select", "REP101",
+        )
+        assert code == 0
+        assert payload["rules"] == ["REP101"]
+        assert payload["findings"] == []
+
+    def test_unknown_rule_id_is_rejected(self, capsys):
+        assert main(["lint", BAD, "--select", "REP999"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP101", "REP104", "REP107"):
+            assert rule_id in out

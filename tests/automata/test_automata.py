@@ -31,7 +31,7 @@ def accepts(query: str, word: str, alphabet=ALPHABET) -> bool:
 
 class TestNFA:
     @pytest.mark.parametrize(
-        "query, word, expected",
+        ("query", "word", "expected"),
         [
             ("a", "a", True),
             ("a", "b", False),
@@ -106,7 +106,7 @@ class TestDFA:
         assert dfa.reachable_states() == frozenset(range(dfa.state_count))
 
     def test_incomplete_transitions_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="lacks transitions"):
             DFA(
                 state_count=1,
                 alphabet=frozenset({"a"}),

@@ -97,7 +97,8 @@ class TestImprovement:
         results = write_document(tmp_path / "results.json", make_document(faster))
         assert bench_main(["gate", str(results), "--trajectory", str(baseline)]) == 0
         out = capsys.readouterr().out
-        assert "improved" in out and "gate: PASS" in out
+        assert 'improved' in out
+        assert 'gate: PASS' in out
 
     def test_slower_machine_is_normalized_by_calibration(self):
         """Everything 3x slower with a 3x slower calibration loop = same
@@ -144,7 +145,8 @@ class TestMalformedTrajectory:
         code = bench_main(["gate", str(results), "--trajectory", str(bad)])
         err = capsys.readouterr().err
         assert code == 2
-        assert err.startswith("repro bench: error:") and err.count("\n") == 1
+        assert err.startswith('repro bench: error:')
+        assert err.count('\n') == 1
 
     def test_wrong_schema_rejected(self, tmp_path):
         path = tmp_path / "t.json"
@@ -162,7 +164,8 @@ class TestMalformedTrajectory:
         code = bench_main(["gate", str(tmp_path / "none.json")])
         err = capsys.readouterr().err
         assert code == 2
-        assert err.startswith("repro bench: error:") and err.count("\n") == 1
+        assert err.startswith('repro bench: error:')
+        assert err.count('\n') == 1
 
 
 class TestCompareRules:

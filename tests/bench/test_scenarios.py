@@ -62,8 +62,10 @@ class TestRunScenario:
         first = run_scenario(scenario, "smoke", repetitions=2)
         second = run_scenario(scenario, "smoke", repetitions=2)
         assert first.checksum == second.checksum
-        assert first.repetitions == 2 and len(first.times_s) == 2
-        assert first.median_s >= 0.0 and first.p95_s >= first.median_s >= 0.0
+        assert first.repetitions == 2
+        assert len(first.times_s) == 2
+        assert first.median_s >= 0.0
+        assert first.p95_s >= first.median_s >= 0.0
 
     def test_result_row_shape(self):
         result = run_scenario(get_scenario(CHEAP_ID), "smoke", repetitions=1)
@@ -88,4 +90,5 @@ class TestRunSuite:
         assert entry["id"] == CHEAP_ID
         [row] = run_table(document)
         assert row["scenario"] == CHEAP_ID
-        assert "median_ms" in row and "checksum" in row
+        assert 'median_ms' in row
+        assert 'checksum' in row

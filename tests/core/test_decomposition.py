@@ -156,7 +156,7 @@ class TestRestrictionPushdown:
 
     def test_unknown_strategy_rejected(self):
         run = paper_run()
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unknown strategy"):
             evaluate_general_query(run, "_* a _*", strategy="magic")
 
     def test_engine_rejects_unknown_strategy_even_for_safe_queries(self):
@@ -164,7 +164,7 @@ class TestRestrictionPushdown:
 
         run = paper_run()
         engine = ProvenanceQueryEngine(run.spec)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unknown strategy"):
             engine.evaluate(run, "_* e _*", strategy="magic")
 
     def test_push_restrictions_off_restores_old_behaviour(self):
@@ -208,3 +208,59 @@ class TestRestrictionPushdown:
         evaluate_general_query(run, "(A)+ . e", plan=plan, strategy="frontier",
                                cost_based_routing=False)
         assert next(iter(plan._dfa_memo.values())) is dfa
+
+
+class TestPlanThreadSafety:
+    """Cached plans are shared by every thread of a batch fan-out; their
+    memos must not lose updates (regression: the memos and the ``mutations``
+    counter used to be unsynchronized)."""
+
+    def test_remember_direction_is_atomic_across_threads(self):
+        import threading
+
+        plan = plan_decomposition(paper_specification(), "_* a _*")
+        threads, per_thread = 8, 100
+        barrier = threading.Barrier(threads)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                plan.remember_direction(f"w{worker}:k{i}", "forward")
+
+        workers = [
+            threading.Thread(target=hammer, args=(worker,)) for worker in range(threads)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        # Every write is a distinct key (and the memo bound of 1024 is never
+        # hit), so a lock-protected counter sees exactly one bump per write.
+        assert plan.mutations == threads * per_thread
+        assert len(plan.direction_hints()) == threads * per_thread
+
+    def test_memoized_dfa_builds_once_under_contention(self):
+        import threading
+
+        from repro.core.decomposition import warm_frontier_dfa
+
+        spec = paper_specification()
+        run = derive_run(spec, seed=11)
+        plan = plan_decomposition(spec, "_* a _*")
+        threads = 8
+        barrier = threading.Barrier(threads)
+        results = []
+
+        def warm() -> None:
+            barrier.wait()
+            results.append(warm_frontier_dfa(plan, run))
+
+        workers = [threading.Thread(target=warm) for _ in range(threads)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        # All threads share the single memoized instance, and the memo
+        # recorded exactly one build per distinct key.
+        assert len({id(dfa) for dfa in results}) == 1
+        assert plan.mutations == len(plan.macro_dfas())

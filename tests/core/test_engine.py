@@ -8,12 +8,12 @@ from repro.datasets.paper_example import paper_run
 from repro.errors import UnsafeQueryError
 
 
-@pytest.fixture()
+@pytest.fixture
 def engine():
     return ProvenanceQueryEngine(paper_specification())
 
 
-@pytest.fixture()
+@pytest.fixture
 def run():
     return paper_run(recursion_depth=3)
 
@@ -120,7 +120,7 @@ class TestEngineQueries:
         with pytest.raises(QuerySyntaxError):
             engine.evaluate_iter(run, "((b")
         foreign = derive_run(bioaid_specification(), seed=0, target_edges=50)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="different specification"):
             engine.evaluate_iter(foreign, "_*")
 
     def test_run_from_other_spec_rejected(self, engine):
@@ -128,5 +128,5 @@ class TestEngineQueries:
         from repro.workflow.derivation import derive_run
 
         foreign = derive_run(bioaid_specification(), seed=0, target_edges=50)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="different specification"):
             engine.reachable(foreign, foreign.node_ids()[0], foreign.node_ids()[1])

@@ -101,22 +101,22 @@ class TestExecutorEquivalence:
         run, query, l1, l2 = data
         reference = restrict(evaluate_regex_relation(run, parse_regex(query)), l1, l2)
         for label, kwargs in (
-            ("forward", dict(strategy="frontier", direction="forward")),
-            ("backward", dict(strategy="frontier", direction="backward")),
-            ("auto", dict()),
+            ("forward", {"strategy": "frontier", "direction": "forward"}),
+            ("backward", {"strategy": "frontier", "direction": "backward"}),
+            ("auto", {}),
             (
                 "parallel-thread",
-                dict(
-                    strategy="frontier",
-                    executor=ExecutorConfig(workers=4, backend="thread"),
-                ),
+                {
+                    "strategy": "frontier",
+                    "executor": ExecutorConfig(workers=4, backend="thread"),
+                },
             ),
             (
                 "parallel-ordered",
-                dict(
-                    strategy="frontier",
-                    executor=ExecutorConfig(workers=3, backend="thread", ordered=True),
-                ),
+                {
+                    "strategy": "frontier",
+                    "executor": ExecutorConfig(workers=3, backend="thread", ordered=True),
+                },
             ),
         ):
             physical = _physical(run, query, l1, l2, **kwargs)
@@ -225,13 +225,13 @@ class TestPlannerResolution:
 
     def test_bad_strategy_and_direction_raise(self):
         run = _RUNS["paper"][0]
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unknown strategy"):
             _physical(run, "_* a _*", None, None, strategy="sideways")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unknown direction"):
             _physical(run, "_* a _*", None, None, direction="sideways")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unknown direction"):
             ExecutorConfig(direction="sideways")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="workers must be at least 1"):
             ExecutorConfig(workers=0)
 
 
@@ -264,7 +264,7 @@ class TestWorkerBudget:
             assert set(execute_iter(physical)) == reference
 
     def test_capacity_must_be_positive(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="capacity must be at least 1"):
             WorkerBudget(0)
 
     def test_lease_releases_before_the_stream_is_drained(self):
@@ -314,7 +314,8 @@ class TestPhysicalPlanReporting:
         nodes = list(run.node_ids())
         physical = _physical(run, "_* a _*", nodes, nodes[:2])
         text = physical.describe()
-        assert "frontier" in text and "backward" in text
+        assert 'frontier' in text
+        assert 'backward' in text
 
     def test_options_flow_through(self):
         run = _RUNS["paper"][0]
@@ -323,3 +324,47 @@ class TestPhysicalPlanReporting:
             options=AllPairsOptions(use_reachability_filter=False, vectorized=False),
         )
         assert physical.options.use_reachability_filter is False
+
+
+class TestMacroRelationThreadSafety:
+    """The lazily decoded macro relation is shared by every seed search of a
+    thread-pool executor (regression: readers used to peek at the half-built
+    fields outside the lock instead of working off the materialized maps)."""
+
+    def test_concurrent_readers_decode_once_and_agree(self):
+        import threading
+
+        from repro.core.exec.ops import MacroRelation
+
+        pairs = [(f"s{i}", f"t{i % 3}") for i in range(30)]
+        decodes = []
+
+        def decode():
+            decodes.append(1)
+            return list(pairs)
+
+        relation = MacroRelation(decode)
+        threads = 8
+        barrier = threading.Barrier(threads)
+        seen = []
+
+        def read(worker: int) -> None:
+            barrier.wait()
+            if worker % 2:
+                seen.append(("succ", relation.successors("s1")))
+            else:
+                seen.append(("pred", relation.predecessors("t1")))
+
+        workers = [
+            threading.Thread(target=read, args=(worker,)) for worker in range(threads)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert len(decodes) == 1  # one shared materialization
+        for kind, result in seen:
+            if kind == "succ":
+                assert result == ("t1",)
+            else:
+                assert set(result) == {f"s{i}" for i in range(30) if i % 3 == 1}

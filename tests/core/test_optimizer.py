@@ -133,4 +133,5 @@ class TestCostModel:
     def test_zero_count_tag_short_circuits(self):
         run, model = self.make_model()
         estimate = model.estimate_g3("_* nonexistent _*", input_pairs=10)
-        assert estimate is not None and estimate.cost == 1.0
+        assert estimate is not None
+        assert estimate.cost == 1.0

@@ -83,7 +83,7 @@ class TestSynthetic:
         assert run.edge_count >= 200
 
     def test_rejects_tiny_target(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="target_size must be at least 10"):
             generate_synthetic_specification(5)
 
 
@@ -105,15 +105,17 @@ class TestRunGeneration:
         assert index.count(BIOAID_KLEENE_TAG) >= 10
 
     def test_fork_heavy_requires_productions(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="fork_productions must not be empty"):
             generate_fork_heavy_run(bioaid_specification(), 100, ())
 
     def test_node_lists_full_and_sampled(self):
         run = paper_run(recursion_depth=10)
         l1, l2 = node_lists(run)
-        assert len(l1) == run.node_count and l1 == l2
+        assert len(l1) == run.node_count
+        assert l1 == l2
         s1, s2 = node_lists(run, limit=5, seed=1)
-        assert len(s1) == 5 and s1 == s2
+        assert len(s1) == 5
+        assert s1 == s2
         assert set(s1) <= set(run.node_ids())
 
 
@@ -132,11 +134,11 @@ class TestQueries:
         assert generate_ifq(paper_specification(), 2, tags=["a", "e"]) == "_* a _* e _*"
 
     def test_ifq_tag_count_mismatch(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="expected 2 tags"):
             generate_ifq(paper_specification(), 2, tags=["a"])
 
     def test_ifq_negative_k(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="k must be non-negative"):
             generate_ifq(paper_specification(), -1)
 
     def test_kleene_star(self):

@@ -70,7 +70,8 @@ class TestLabelerRoot:
         labeler = Labeler(spec)
         label, context = labeler.root()
         assert label == (R(0, 0, 0),)
-        assert context is not None and context.ordinal == 0
+        assert context is not None
+        assert context.ordinal == 0
 
 
 class TestLabelTrie:
@@ -82,7 +83,8 @@ class TestLabelTrie:
         # chain of A hangs under the edge (0, 1)).
         assert len(trie.root.children) == 4
         r_node = trie.root.child(P(0, 1))
-        assert r_node is not None and r_node.is_recursive()
+        assert r_node is not None
+        assert r_node.is_recursive()
         assert len(r_node.children) == 3  # A:1, A:2, A:3
         assert not trie.root.is_recursive()
 
@@ -97,7 +99,8 @@ class TestLabelTrie:
         run = paper_run()
         trie = LabelTrie.from_run_nodes(run, run.node_ids())
         node = trie.find(run.label_of("e:2"))
-        assert node is not None and node.payload == ["e:2"]
+        assert node is not None
+        assert node.payload == ['e:2']
         assert trie.find((P(9, 9),)) is None
         assert trie.height() == 3
 
@@ -111,7 +114,8 @@ class TestLabelTrie:
         run = paper_run()
         trie = LabelTrie.from_run_nodes(run, run.node_ids())
         text = trie.render()
-        assert "<root>" in text and "R(0,0)#0" in text
+        assert '<root>' in text
+        assert 'R(0,0)#0' in text
 
     def test_memo_hooks(self):
         run = paper_run()
@@ -120,7 +124,8 @@ class TestLabelTrie:
         trie.root.memo[("token", 1)] = ["scratch"]
         r_node.memo["other"] = 42
         trie.clear_memos()
-        assert not trie.root.memo and not r_node.memo
+        assert not trie.root.memo
+        assert not r_node.memo
 
     def test_memo_does_not_affect_node_equality(self):
         run = paper_run()

@@ -15,7 +15,7 @@ from repro.workflow.serialization import specification_from_dict, specification_
 SAFE_QUERIES = ["_* e _*", "_*", "A+", "_* b _*", "_* c _*"]
 
 
-@pytest.fixture()
+@pytest.fixture
 def spec():
     return paper_specification()
 
@@ -150,9 +150,9 @@ class TestBounds:
         assert cache.stats.hits == 1
 
     def test_invalid_bounds_are_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="max_entries must be at least 1"):
             IndexCache(max_entries=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="max_cost must be positive"):
             IndexCache(max_cost=0)
 
     def test_clear_keeps_statistics(self, spec):
@@ -234,7 +234,7 @@ class TestStoreTier:
         cache.attach_store(store)
         cache.index(spec, "_*")
         assert cache.stats.store_writes == 1
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="different store attached"):
             cache.attach_store(IndexStore(tmp_path / "other"))
 
 

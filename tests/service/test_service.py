@@ -30,7 +30,7 @@ def run(spec):
     return derive_run(spec, seed=0, target_edges=40)
 
 
-@pytest.fixture()
+@pytest.fixture
 def service(run):
     service = QueryService(max_workers=4)
     service.register_run(run, "r1")
@@ -48,7 +48,7 @@ class TestRegistration:
         service = QueryService()
         service.register_run(run, "r")
         other = derive_run(spec, seed=9, target_edges=40)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="already registered"):
             service.register_run(other, "r")
 
     def test_reregistering_same_run_is_idempotent(self, run):
@@ -94,7 +94,8 @@ class TestRegistration:
         result = service.execute(
             {"op": "reachability", "run": "renamed", "source": source, "target": source}
         )
-        assert result.ok and result.answer is True
+        assert result.ok
+        assert result.answer is True
 
 
 class TestBatchEvaluation:
@@ -123,7 +124,8 @@ class TestBatchEvaluation:
             [{"op": "pairwise", "run": "r1", "query": "e",
               "source": source, "target": target}]
         )
-        assert result.ok and result.answer is True
+        assert result.ok
+        assert result.answer is True
 
     def test_results_keep_request_order_and_ids(self, run, service):
         source = run.node_ids()[0]
@@ -162,14 +164,16 @@ class TestBatchEvaluation:
         result = service.execute(
             {"op": "reachability", "run": "r1", "source": source, "target": source}
         )
-        assert result.ok and result.answer is True
+        assert result.ok
+        assert result.answer is True
 
     def test_stream_pairs_matches_execute(self, run, service):
         request = {"op": "allpairs", "run": "r1", "query": "A+"}
         streamed = list(service.stream_pairs(request))
         assert len(streamed) == len(set(streamed))
         result = service.execute(request)
-        assert result.ok and set(streamed) == set(result.pairs)
+        assert result.ok
+        assert set(streamed) == set(result.pairs)
 
     def test_stream_pairs_handles_unsafe_queries(self, run, service):
         request = {"op": "allpairs", "run": "r1", "query": "_* a _*"}
@@ -216,7 +220,8 @@ class TestBatchEvaluation:
 
     def test_describe(self, service):
         text = service.describe()
-        assert "1 runs" in text and "CacheStats" in text
+        assert '1 runs' in text
+        assert 'CacheStats' in text
 
 
 class TestCacheEffectiveness:
@@ -319,7 +324,7 @@ class TestWarmRestart:
         from repro.store import IndexStore
 
         cache = IndexCache(store=IndexStore(tmp_path / "a"))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="different store attached"):
             QueryService(cache=cache, store_dir=tmp_path / "b")
 
     def test_same_directory_store_is_accepted(self, tmp_path):
@@ -363,7 +368,8 @@ class TestWireFormat:
             json.dumps({"op": "reachability", "run": "r", "source": "a", "target": "b"}),
         ]
         requests = list(read_requests_jsonl(lines))
-        assert len(requests) == 1 and requests[0].op == "reachability"
+        assert len(requests) == 1
+        assert requests[0].op == 'reachability'
 
     @pytest.mark.parametrize(
         "payload",
@@ -391,5 +397,7 @@ class TestWireFormat:
             service.execute({"op": "reachability", "run": "r1",
                              "source": source, "target": source})
         )
-        assert record["ok"] is True and record["answer"] is True
-        assert "elapsed_ms" in record and "pairs" not in record
+        assert record['ok'] is True
+        assert record['answer'] is True
+        assert 'elapsed_ms' in record
+        assert 'pairs' not in record

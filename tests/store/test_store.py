@@ -187,7 +187,7 @@ class TestGc:
         assert len(store) == 0
 
     def test_invalid_budget_rejected(self, tmp_path):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="max_bytes must be positive"):
             IndexStore(tmp_path / "s", max_bytes=0)
 
 

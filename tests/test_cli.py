@@ -35,7 +35,8 @@ class TestSafetyCommand:
     def test_unsafe_query(self, capsys):
         assert main(["safety", "paper-example", "e"]) == 1
         out = capsys.readouterr().out
-        assert "UNSAFE" in out and "A" in out
+        assert 'UNSAFE' in out
+        assert 'A' in out
 
 
 class TestDeriveAndQuery:
@@ -46,7 +47,8 @@ class TestDeriveAndQuery:
 
         assert main(["query", str(run_path), "_*", "--json"]) == 0
         pairs = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
-        assert pairs and all(len(pair) == 2 for pair in pairs)
+        assert pairs
+        assert all((len(pair) == 2 for pair in pairs))
 
     def test_pairwise_query(self, tmp_path, capsys):
         run_path = tmp_path / "run.json"
@@ -69,7 +71,8 @@ class TestDeriveAndQuery:
         for flag in (["--source", "c:1"], ["--target", "b:1"]):
             with pytest.raises(SystemExit) as excinfo:
                 main(["query", str(run_path), "_*", *flag])
-            assert "--source" in str(excinfo.value) and "--target" in str(excinfo.value)
+            assert '--source' in str(excinfo.value)
+            assert '--target' in str(excinfo.value)
 
     def test_stream_matches_materialized_output(self, tmp_path, capsys):
         run_path = tmp_path / "run.json"
@@ -90,7 +93,8 @@ class TestDeriveAndQuery:
         capsys.readouterr()
         assert main(["query", str(run_path), "A+", "--stream"]) == 0
         out = capsys.readouterr().out.strip()
-        assert out and all(" -> " in line for line in out.splitlines())
+        assert out
+        assert all((' -> ' in line for line in out.splitlines()))
 
     def test_stream_rejected_for_pairwise(self, tmp_path, capsys):
         run_path = tmp_path / "run.json"
@@ -107,12 +111,14 @@ class TestBenchCommand:
         """The pre-catalog invocation style still reaches the legacy figures."""
         assert main(["bench", "fig13a", "--scale", "small"]) == 0
         out = capsys.readouterr().out
-        assert "fig13a" in out and "grammar_size" in out
+        assert 'fig13a' in out
+        assert 'grammar_size' in out
 
     def test_bench_list_prints_the_catalog(self, capsys):
         assert main(["bench", "list"]) == 0
         out = capsys.readouterr().out
-        assert "fig13a-overhead-synthetic" in out and "frontier-backward" in out
+        assert 'fig13a-overhead-synthetic' in out
+        assert 'frontier-backward' in out
 
     def test_bench_check_static(self, capsys):
         assert main(["bench", "check", "--static", "--quiet"]) == 0
@@ -129,7 +135,8 @@ class TestBenchCommand:
     def test_bench_gate_error_is_clean(self, tmp_path, capsys):
         assert main(["bench", "gate", str(tmp_path / "none.json")]) == 2
         err = capsys.readouterr().err
-        assert err.startswith("repro bench: error:") and err.count("\n") == 1
+        assert err.startswith('repro bench: error:')
+        assert err.count('\n') == 1
 
 
 class TestVersionFlag:
@@ -146,7 +153,8 @@ class TestCleanErrors:
     def test_malformed_regex_in_safety(self, capsys):
         assert main(["safety", "paper-example", "a |"]) == 2
         err = capsys.readouterr().err
-        assert err.startswith("repro: error:") and err.count("\n") == 1
+        assert err.startswith('repro: error:')
+        assert err.count('\n') == 1
 
     def test_malformed_regex_in_query(self, tmp_path, capsys):
         run_path = tmp_path / "run.json"
@@ -154,7 +162,8 @@ class TestCleanErrors:
         capsys.readouterr()
         assert main(["query", str(run_path), "((b"]) == 2
         err = capsys.readouterr().err
-        assert "missing ')'" in err and err.count("\n") == 1
+        assert "missing ')'" in err
+        assert err.count('\n') == 1
 
     def test_missing_run_file(self, tmp_path, capsys):
         assert main(["query", str(tmp_path / "none.json"), "a"]) == 2
@@ -167,7 +176,7 @@ class TestCleanErrors:
         assert "repro: error:" in capsys.readouterr().err
 
 
-@pytest.fixture()
+@pytest.fixture
 def run_path(tmp_path, capsys):
     """A small derived run, shared by the batch/store/cache command tests."""
     path = tmp_path / "r1.json"
@@ -206,7 +215,8 @@ class TestBatchCommand:
         assert main(["batch", str(requests), "--run", f"mine={run_path}",
                      "--output", str(out_path)]) == 0
         [record] = [json.loads(line) for line in out_path.read_text().splitlines()]
-        assert record["ok"] and record["run"] == "mine"
+        assert record['ok']
+        assert record['run'] == 'mine'
 
     def test_batch_with_failing_request_exits_nonzero(self, tmp_path, run_path, capsys):
         requests = self._write_requests(
@@ -235,7 +245,9 @@ class TestBatchCommand:
                      "--stats-json", str(stats_path)]) == 0
         capsys.readouterr()
         summary = json.loads(stats_path.read_text())
-        assert summary["requests"] == 2 and summary["ok"] == 2 and summary["failed"] == 0
+        assert summary['requests'] == 2
+        assert summary['ok'] == 2
+        assert summary['failed'] == 0
         # the duplicate query hits the cache: builds stay below request count
         assert summary["index_builds"] >= 1
         assert summary["hits"] >= 1
@@ -261,7 +273,8 @@ class TestBatchCommand:
         )
         assert main(["batch", str(requests), "--run", str(odd_path)]) == 0
         [record] = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
-        assert record["ok"] and record["run"] == "scale=big"
+        assert record['ok']
+        assert record['run'] == 'scale=big'
 
     def test_batch_explicit_id_with_equals_in_path(self, tmp_path, run_path, capsys):
         odd_path = tmp_path / "a=b.json"
@@ -271,7 +284,8 @@ class TestBatchCommand:
         )
         assert main(["batch", str(requests), "--run", f"mine={odd_path}"]) == 0
         [record] = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
-        assert record["ok"] and record["run"] == "mine"
+        assert record['ok']
+        assert record['run'] == 'mine'
 
     def test_batch_stdin_and_file_parse_identically(
         self, tmp_path, run_path, capsys, monkeypatch
@@ -367,7 +381,8 @@ class TestCacheCommand:
         assert main(["cache", "--run", str(run_path), "--warm", "_* e _*",
                      "--warm", "_* a _*"]) == 0
         out = capsys.readouterr().out
-        assert "QueryService" in out and "IndexCache" in out
+        assert 'QueryService' in out
+        assert 'IndexCache' in out
 
     def test_json_output_with_store(self, tmp_path, run_path, capsys):
         store = tmp_path / "store"

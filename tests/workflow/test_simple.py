@@ -9,7 +9,8 @@ from repro.workflow.simple import Edge, SimpleWorkflow, chain
 class TestValidation:
     def test_single_node_body(self):
         body = SimpleWorkflow(["a"])
-        assert body.source == 0 and body.sink == 0
+        assert body.source == 0
+        assert body.sink == 0
         assert len(body) == 1
 
     def test_single_node_body_rejects_edges(self):
@@ -81,7 +82,8 @@ class TestStructure:
             [Edge(0, 1, "c"), Edge(0, 2, "c"), Edge(1, 3, "A"), Edge(2, 3, "B")],
         )
         assert body.reaches(0, 3)
-        assert body.reaches(0, 1) and body.reaches(0, 2)
+        assert body.reaches(0, 1)
+        assert body.reaches(0, 2)
         assert not body.reaches(1, 2)
         assert not body.reaches(2, 1)
         assert not body.reaches(3, 0)
@@ -112,5 +114,6 @@ class TestStructure:
     def test_equality_and_hash(self):
         left = chain(["a", "b"])
         right = chain(["a", "b"])
-        assert left == right and hash(left) == hash(right)
+        assert left == right
+        assert hash(left) == hash(right)
         assert left != chain(["a", "c"])
