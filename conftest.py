@@ -1,9 +1,16 @@
-"""Pytest bootstrap.
+"""Pytest bootstrap and the ``--repro-sanitize`` plugin.
 
 Makes the ``src`` layout importable even when the package has not been
 installed (useful in offline environments where ``pip install -e .`` cannot
 build editable wheels).  When the package *is* installed the inserted path is
 harmless because it points at the same source tree.
+
+``pytest --repro-sanitize`` additionally activates the runtime lockset
+sanitizer (:mod:`repro.analysis.runtime`) for the whole session: every
+``threading.Lock``/``RLock`` created by ``repro`` code is tracked, writes to
+``# guarded-by:`` attributes are checked against the declared lock, and any
+violation fails the run.  CI's sanitize arm runs the tier-1 suite under this
+flag.
 """
 
 import sys
@@ -12,3 +19,51 @@ from pathlib import Path
 _SRC = Path(__file__).parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-sanitize",
+        action="store_true",
+        default=False,
+        help=(
+            "activate the repro lockset sanitizer: track repro-created locks, "
+            "check guarded-attribute writes, fail the run on violations"
+        ),
+    )
+
+
+def pytest_configure(config):
+    if not config.getoption("--repro-sanitize"):
+        return
+    from repro.analysis.runtime import get_sanitizer
+
+    sanitizer = get_sanitizer()
+    if not sanitizer.active:
+        sanitizer.activate()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not config.getoption("--repro-sanitize"):
+        return
+    from repro.analysis.runtime import get_sanitizer
+
+    sanitizer = get_sanitizer()
+    violations = sanitizer.violations
+    terminalreporter.section("repro sanitize")
+    terminalreporter.write_line(
+        f"{len(sanitizer.guarded)} guarded class(es) instrumented, "
+        f"{len(violations)} lockset violation(s)"
+    )
+    for violation in violations:
+        terminalreporter.write_line(violation.describe(), red=True)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    config = session.config
+    if not config.getoption("--repro-sanitize"):
+        return
+    from repro.analysis.runtime import get_sanitizer
+
+    if get_sanitizer().violations and session.exitstatus == 0:
+        session.exitstatus = 1

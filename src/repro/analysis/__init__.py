@@ -29,16 +29,25 @@ convention and the rule catalog.
 from __future__ import annotations
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.engine import AnalysisConfig, run_analysis
+from repro.analysis.engine import (
+    AnalysisConfig,
+    AnalysisResult,
+    AnalysisStatistics,
+    analyze_paths,
+    run_analysis,
+)
 from repro.analysis.findings import Finding
 from repro.analysis.rules import Rule, all_rules, rule_ids
 
 __all__ = [
     "AnalysisConfig",
+    "AnalysisResult",
+    "AnalysisStatistics",
     "Baseline",
     "Finding",
     "Rule",
     "all_rules",
+    "analyze_paths",
     "rule_ids",
     "run_analysis",
 ]

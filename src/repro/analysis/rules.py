@@ -25,7 +25,18 @@ REP106    operator protocol — every physical operator class in the ops module
 REP107    typed defs — every function in the package is fully annotated
           (parameters and return), keeping the ``mypy --strict`` gate honest
           even where mypy is not installed
+REP108    lock order — the lock-order graph built from ``with`` nesting
+          propagated along call edges must be acyclic; a cycle is a
+          potential deadlock, reported with the full acquisition path
+REP109    planner purity — no impure effect (clock, randomness, env, file
+          IO, global mutation) may be *reachable* from a planner function
+          through any resolved call chain; the interprocedural arm of the
+          module-scoped REP103
 ========  ====================================================================
+
+REP108 and REP109 (and the caller-aware arm of REP101) are *project* rules:
+they run once over the whole-program :class:`~repro.analysis.semantic.model.
+SemanticModel` via :meth:`Rule.check_project` instead of per module.
 
 Rules are small AST walks over :class:`~repro.analysis.project.Module`
 objects; cross-module rules (REP106) look peers up through the
@@ -43,6 +54,7 @@ from repro.analysis.project import Module, Project
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.engine import AnalysisConfig
+    from repro.analysis.semantic.model import SemanticModel
 
 __all__ = ["Rule", "all_rules", "register", "rule_ids"]
 
@@ -56,11 +68,23 @@ class Rule:
     id: str = ""
     name: str = ""
     description: str = ""
+    #: True when :meth:`check_project` needs the semantic model; the engine
+    #: builds (or loads from cache) the model only if an active rule asks.
+    requires_model: bool = False
 
     def check(
         self, module: Module, project: Project, config: "AnalysisConfig"
     ) -> Iterator[Finding]:
         raise NotImplementedError
+
+    def check_project(
+        self,
+        project: Project,
+        config: "AnalysisConfig",
+        model: "SemanticModel",
+    ) -> Iterator[Finding]:
+        """Whole-program pass, run once after the per-module loop."""
+        return iter(())
 
     def finding(self, module: Module, line: int, message: str) -> Finding:
         return Finding(
@@ -119,8 +143,10 @@ class LockDisciplineRule(Rule):
     description = (
         "attributes annotated '# guarded-by: <lock>' may only be read or "
         "mutated inside a 'with <lock>' block, in __init__/__post_init__, or "
-        "in a function annotated '# holds-lock: <lock>'"
+        "in a function annotated '# holds-lock: <lock>' — and every resolved "
+        "call site of a holds-lock function must actually hold the lock"
     )
+    requires_model = True
 
     def check(
         self, module: Module, project: Project, config: "AnalysisConfig"
@@ -131,6 +157,34 @@ class LockDisciplineRule(Rule):
         for node in ast.walk(module.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield from self._check_function(module, node, guarded)
+
+    def check_project(
+        self,
+        project: Project,
+        config: "AnalysisConfig",
+        model: "SemanticModel",
+    ) -> Iterator[Finding]:
+        """Verify ``# holds-lock:`` against every resolved call site: the
+        annotation is a promise about callers, so the per-module check
+        trusts it and this pass collects the receipts."""
+        for site in model.graph.calls:
+            callee = model.graph.functions.get(site.callee)
+            caller = model.graph.functions.get(site.caller)
+            if callee is None or caller is None or not callee.holds_locks:
+                continue
+            for lock in callee.holds_locks:
+                if lock not in site.bare_held:
+                    yield Finding(
+                        path=caller.display_path,
+                        line=site.line,
+                        rule=self.id,
+                        message=(
+                            f"call to '{callee.qualname}' (annotated "
+                            f"'# holds-lock: {lock}') from '{caller.qualname}' "
+                            f"without holding '{lock}' — the annotation "
+                            "promises every caller already holds it"
+                        ),
+                    )
 
     @staticmethod
     def _guarded_attributes(module: Module) -> dict[str, str]:
@@ -831,3 +885,107 @@ class TypedDefRule(Rule):
         if func.returns is None:
             missing.append("return type")
         return missing
+
+
+# ---------------------------------------------------------------------------
+# REP108 — lock order (whole-program)
+# ---------------------------------------------------------------------------
+
+
+@register
+class LockOrderRule(Rule):
+    """The lock-order graph must be acyclic: cycles are deadlock schedules."""
+
+    id = "REP108"
+    name = "lock-order"
+    description = (
+        "lock acquisitions must follow one global order: the lock-order "
+        "graph (an edge A -> B whenever B is acquired while A is held, "
+        "directly or through any resolved call chain) must be acyclic — a "
+        "cycle is a potential deadlock and is reported with the full "
+        "acquisition path"
+    )
+    requires_model = True
+
+    def check(
+        self, module: Module, project: Project, config: "AnalysisConfig"
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self,
+        project: Project,
+        config: "AnalysisConfig",
+        model: "SemanticModel",
+    ) -> Iterator[Finding]:
+        graph = model.lock_graph
+        for cycle in graph.cycles:
+            members = set(cycle)
+            witnesses = [
+                edge
+                for edge in graph.edges
+                if edge.source in members and edge.target in members
+            ]
+            anchor = min(witnesses, key=lambda e: (e.path, e.line))
+            order = ", ".join(cycle)
+            path = "; ".join(edge.witness for edge in witnesses)
+            yield Finding(
+                path=anchor.path,
+                line=anchor.line,
+                rule=self.id,
+                message=(
+                    f"potential deadlock: lock-order cycle among {{{order}}} "
+                    f"— {path}; pick one global acquisition order and "
+                    "restructure the later acquisition out of the earlier "
+                    "lock's critical section"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP109 — planner purity by reachability (whole-program)
+# ---------------------------------------------------------------------------
+
+
+@register
+class PlannerPurityRule(Rule):
+    """No impure effect reachable from planner entry points."""
+
+    id = "REP109"
+    name = "planner-purity"
+    description = (
+        "no impure effect (clock, randomness, env, file IO, global "
+        "mutation) may be reachable from a planner function through any "
+        "resolved call chain — the interprocedural arm of REP103, which "
+        "only inspects the planner modules themselves"
+    )
+    requires_model = True
+
+    def check(
+        self, module: Module, project: Project, config: "AnalysisConfig"
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self,
+        project: Project,
+        config: "AnalysisConfig",
+        model: "SemanticModel",
+    ) -> Iterator[Finding]:
+        for qualified in sorted(model.graph.functions):
+            info = model.graph.functions[qualified]
+            if info.module not in config.determinism_modules:
+                continue
+            for effect in sorted(model.effects.get(qualified, frozenset())):
+                witness = model.witness(qualified, effect)
+                chain = " -> ".join(witness) if witness else qualified
+                yield Finding(
+                    path=info.display_path,
+                    line=info.lineno,
+                    rule=self.id,
+                    message=(
+                        f"planner function '{info.qualname}' reaches impure "
+                        f"effect '{effect}' via {chain} — cached plans must "
+                        "be pure functions of their inputs"
+                    ),
+                )

@@ -1,0 +1,27 @@
+"""Dynamic (runtime) analysis: the opt-in lockset sanitizer.
+
+Counterpart to :mod:`repro.analysis.semantic`: where the static layer proves
+lock discipline over the source, this package checks it against live
+threads.  :func:`get_sanitizer` returns the process-wide
+:class:`LocksetSanitizer`; the repository-root ``conftest.py`` exposes it as
+the ``pytest --repro-sanitize`` option that CI's sanitize arm runs the
+tier-1 suite under.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runtime.sanitizer import (
+    LocksetSanitizer,
+    TrackedLock,
+    TrackedRLock,
+    Violation,
+    get_sanitizer,
+)
+
+__all__ = [
+    "LocksetSanitizer",
+    "TrackedLock",
+    "TrackedRLock",
+    "Violation",
+    "get_sanitizer",
+]

@@ -1,0 +1,375 @@
+"""Eraser-style lockset sanitizer: dynamic checking of ``# guarded-by:``.
+
+The static arm (REP101 and the caller-aware pass over the call graph) proves
+that every *syntactic* access to a guarded attribute sits under a ``with``
+on the right lock or inside a ``# holds-lock:`` function whose call sites
+all hold it.  This module is the dynamic arm: it verifies the same contract
+against what threads *actually do* at runtime, in the spirit of the Eraser
+lockset algorithm — but instead of inferring candidate locksets it checks
+against the locks the ``# guarded-by:`` annotations already declare.
+
+Three pieces:
+
+* :class:`TrackedLock` / :class:`TrackedRLock` — drop-in wrappers around
+  ``threading.Lock`` / ``threading.RLock`` that record the owning thread.
+  While the sanitizer is active, ``threading.Lock()``/``threading.RLock()``
+  calls made from ``repro`` modules return tracked locks (other callers —
+  the stdlib, test harnesses — keep the raw primitives).
+* Guarded-class instrumentation — :meth:`LocksetSanitizer.activate` builds
+  the semantic model over the installed ``repro`` package, reads the
+  ``# guarded-by:`` declarations it collected, and wraps each guarded
+  class's ``__setattr__``: a write to a guarded attribute outside the
+  declared lock records a :class:`Violation`.  Writes from the instance's
+  own ``__init__`` / ``__post_init__`` / ``__setstate__`` are exempt
+  (objects under construction are thread-confined), matching REP101.
+* The pytest plugin in the repository-root ``conftest.py`` — activates the
+  sanitizer under ``pytest --repro-sanitize`` and fails the run on any
+  recorded violation, which is how CI asserts the tier-1 suite is clean.
+
+Violations are *recorded*, never raised: a sanitizer that throws from
+``__setattr__`` inside someone else's critical section would turn a
+diagnosis into a new failure mode.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import FrameType, TracebackType
+from typing import Any, Callable, Iterator, Mapping
+
+__all__ = [
+    "LocksetSanitizer",
+    "TrackedLock",
+    "TrackedRLock",
+    "Violation",
+    "get_sanitizer",
+]
+
+#: methods allowed to write guarded attributes of their own instance without
+#: the lock: the object is still thread-confined while it is being built
+#: (same exemption the static REP101 rule grants ``__init__``).
+_CONSTRUCTION_METHODS = frozenset({"__init__", "__post_init__", "__setstate__"})
+
+#: modules whose ``threading.Lock()`` calls get tracked replacements.
+_TRACKED_PREFIX = "repro"
+
+#: the sanitizer's own package must keep raw primitives (no self-tracking).
+_SELF_MODULE_PREFIX = "repro.analysis.runtime"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One unguarded write to a ``# guarded-by:`` attribute."""
+
+    cls: str
+    attribute: str
+    lock: str
+    thread: str
+    location: str
+    detail: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.location}: unguarded write to {self.cls}.{self.attribute} "
+            f"(guarded-by: {self.lock}) from thread {self.thread!r}: "
+            f"{self.detail}"
+        )
+
+
+class TrackedLock:
+    """``threading.Lock`` with an owner record for the sanitizer.
+
+    Delegates every operation to a real lock; additionally remembers which
+    thread holds it so guarded-attribute checks can ask "does the *current*
+    thread hold this?" rather than merely "is it locked?".
+    """
+
+    _KIND = "lock"
+
+    def __init__(self) -> None:
+        self._inner = _RAW_LOCK()
+        self._owner: int | None = None
+        self._count = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            self._count = 1
+        return acquired
+
+    def release(self) -> None:
+        self._owner = None
+        self._count = 0
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def held_by_current_thread(self) -> bool:
+        return self._owner == threading.get_ident() and self._count > 0
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self.locked() else "unlocked"
+        return f"<{type(self).__name__} {state} owner={self._owner}>"
+
+
+class TrackedRLock(TrackedLock):
+    """``threading.RLock`` with an owner record: reentrant acquire counts."""
+
+    _KIND = "rlock"
+
+    def __init__(self) -> None:
+        self._inner = _RAW_RLOCK()
+        self._owner = None
+        self._count = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            self._count += 1
+        return acquired
+
+    def release(self) -> None:
+        self._count -= 1
+        if self._count <= 0:
+            self._owner = None
+            self._count = 0
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._owner is not None
+
+
+#: the genuine primitives, captured at import time so activation cannot
+#: recurse through its own patch.
+_RAW_LOCK = threading.Lock
+_RAW_RLOCK = threading.RLock
+
+
+def _caller_module(frame: FrameType | None) -> str:
+    if frame is None:
+        return ""
+    name = frame.f_globals.get("__name__", "")
+    return name if isinstance(name, str) else ""
+
+
+def _wants_tracking(module: str) -> bool:
+    if module.startswith(_SELF_MODULE_PREFIX):
+        return False
+    return module == _TRACKED_PREFIX or module.startswith(_TRACKED_PREFIX + ".")
+
+
+def _tracked_lock_factory() -> Any:
+    if _wants_tracking(_caller_module(sys._getframe(1))):
+        return TrackedLock()
+    return _RAW_LOCK()
+
+
+def _tracked_rlock_factory() -> Any:
+    if _wants_tracking(_caller_module(sys._getframe(1))):
+        return TrackedRLock()
+    return _RAW_RLOCK()
+
+
+def _lock_is_held(lock: object) -> tuple[bool, str]:
+    """Best-effort "does the current thread hold this lock?".
+
+    Tracked locks answer precisely.  Raw primitives (created before
+    activation) can only answer "is anyone holding it" — ``locked()`` for
+    ``Lock``, ``_is_owned()`` for ``RLock`` — which still catches writes
+    with no lock held at all.
+    """
+    if isinstance(lock, TrackedLock):
+        if lock.held_by_current_thread():
+            return True, ""
+        return False, "lock is not held by the writing thread"
+    is_owned = getattr(lock, "_is_owned", None)
+    if callable(is_owned):
+        if bool(is_owned()):
+            return True, ""
+        return False, "RLock is not held by the writing thread"
+    locked = getattr(lock, "locked", None)
+    if callable(locked):
+        if bool(locked()):
+            return True, ""  # raw Lock: cannot attribute, accept any holder
+        return False, "lock is not held by any thread"
+    return True, ""  # not a lock object (method, dict of locks): out of scope
+
+
+class LocksetSanitizer:
+    """Patches ``threading`` and guarded classes; records violations."""
+
+    def __init__(self) -> None:
+        self._active = False
+        self._violations: list[Violation] = []
+        self._mutex = _RAW_LOCK()
+        self._wrapped: list[tuple[type, Callable[..., None] | None]] = []
+        self.guarded: dict[str, dict[str, str]] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    @property
+    def violations(self) -> list[Violation]:
+        with self._mutex:
+            return list(self._violations)
+
+    def activate(self, package: str = "repro") -> int:
+        """Patch threading, instrument every guarded class in ``package``.
+
+        Returns the number of classes instrumented.  Idempotent: a second
+        call while active is a no-op returning 0.
+        """
+        if self._active:
+            return 0
+        threading.Lock = _tracked_lock_factory  # type: ignore[assignment]
+        threading.RLock = _tracked_rlock_factory  # type: ignore[assignment]
+        self._active = True
+        count = 0
+        for module_name, class_name, guards in self._discover(package):
+            try:
+                module = importlib.import_module(module_name)
+                cls = getattr(module, class_name)
+            except (ImportError, AttributeError):
+                continue
+            self.guard_class(cls, guards)
+            count += 1
+        return count
+
+    def deactivate(self) -> None:
+        """Restore threading factories and every wrapped ``__setattr__``."""
+        if not self._active:
+            return
+        threading.Lock = _RAW_LOCK  # type: ignore[assignment]
+        threading.RLock = _RAW_RLOCK  # type: ignore[assignment]
+        for cls, original in reversed(self._wrapped):
+            if original is None:
+                try:
+                    del cls.__setattr__  # type: ignore[misc]
+                except AttributeError:
+                    pass
+            else:
+                cls.__setattr__ = original  # type: ignore[method-assign, assignment]
+        self._wrapped.clear()
+        self.guarded.clear()
+        self._active = False
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._violations.clear()
+
+    @contextmanager
+    def capture(self) -> Iterator[list[Violation]]:
+        """Collect — and claim — the violations recorded inside the block.
+
+        Captured violations are *moved* out of the global record, so a test
+        that deliberately seeds an unguarded write under ``capture()`` does
+        not fail a ``pytest --repro-sanitize`` session around it.
+        """
+        with self._mutex:
+            mark = len(self._violations)
+        captured: list[Violation] = []
+        try:
+            yield captured
+        finally:
+            with self._mutex:
+                captured.extend(self._violations[mark:])
+                del self._violations[mark:]
+
+    # -- instrumentation ---------------------------------------------------
+
+    def _discover(self, package: str) -> list[tuple[str, str, dict[str, str]]]:
+        """``# guarded-by:`` declarations of the installed package, via the
+        same call-graph extraction the static rules use."""
+        from repro.analysis.project import load_project
+        from repro.analysis.semantic.callgraph import build_call_graph
+
+        module = importlib.import_module(package)
+        package_file = getattr(module, "__file__", None)
+        if package_file is None:
+            return []
+        package_dir = Path(package_file).parent
+        project = load_project([package_dir], root=package_dir.parent)
+        graph = build_call_graph(project)
+        return [
+            (guarded.module, guarded.name, dict(guarded.guards))
+            for _, guarded in sorted(graph.guarded_classes.items())
+        ]
+
+    def guard_class(self, cls: type, guards: Mapping[str, str]) -> None:
+        """Wrap ``cls.__setattr__`` to check writes to ``guards`` keys."""
+        guard_map = dict(guards)
+        self.guarded[f"{cls.__module__}.{cls.__qualname__}"] = guard_map
+        original = cls.__dict__.get("__setattr__")
+        previous = original if callable(original) else None
+        delegate: Callable[[Any, str, Any], None] = (
+            previous if previous is not None else object.__setattr__
+        )
+        sanitizer = self
+
+        def checked_setattr(obj: Any, name: str, value: Any) -> None:
+            lock_attr = guard_map.get(name)
+            if lock_attr is not None and sanitizer._active:
+                sanitizer._check_write(obj, cls, name, lock_attr)
+            delegate(obj, name, value)
+
+        cls.__setattr__ = checked_setattr  # type: ignore[method-assign, assignment]
+        self._wrapped.append((cls, previous))
+
+    def _check_write(
+        self, obj: Any, cls: type, attribute: str, lock_attr: str
+    ) -> None:
+        writer = sys._getframe(2)  # the frame performing the assignment
+        if (
+            writer.f_code.co_name in _CONSTRUCTION_METHODS
+            and writer.f_locals.get("self") is obj
+        ):
+            return
+        lock = getattr(obj, "__dict__", {}).get(lock_attr)
+        if lock is None:
+            return  # guard not created yet: object still under construction
+        held, detail = _lock_is_held(lock)
+        if held:
+            return
+        violation = Violation(
+            cls=f"{cls.__module__}.{cls.__qualname__}",
+            attribute=attribute,
+            lock=lock_attr,
+            thread=threading.current_thread().name,
+            location=f"{writer.f_code.co_filename}:{writer.f_lineno}",
+            detail=detail,
+        )
+        with self._mutex:
+            self._violations.append(violation)
+
+
+_SANITIZER: LocksetSanitizer | None = None
+
+
+def get_sanitizer() -> LocksetSanitizer:
+    """The process-wide sanitizer (one patch set per process)."""
+    global _SANITIZER
+    if _SANITIZER is None:
+        _SANITIZER = LocksetSanitizer()
+    return _SANITIZER

@@ -33,6 +33,7 @@ from repro.bench.scenarios import (
     resolve_grammar,
     run_scenario,
 )
+from repro.errors import ReproError
 
 __all__ = ["CATALOG", "INVARIANTS", "check_catalog", "get_scenario", "select"]
 
@@ -391,7 +392,7 @@ def check_catalog(
                 progress(f"running {scenario.id} at scale {scale} ...")
             try:
                 result = run_scenario(scenario, scale, repetitions=1)
-            except Exception as error:  # a broken definition, whatever it raises
+            except (ReproError, ValueError, KeyError) as error:
                 problems.append(f"{scenario.id}: failed at scale {scale}: {error}")
             else:
                 if not result.checksum:

@@ -12,7 +12,10 @@ Subcommands cover the typical workflow of the library:
 * ``repro bench``     — benchmark scenarios and trajectory gating (``run`` /
   ``gate`` / ``check`` / ``list`` / ``figures``; same as ``python -m repro.bench``),
 * ``repro lint``      — the project's own static-analysis rules
-  (:mod:`repro.analysis`), with ``--json`` output and a committed baseline.
+  (:mod:`repro.analysis`), with ``--json`` output and a committed baseline,
+* ``repro analyze``   — the whole-program semantic model behind the lint
+  rules (``call-graph`` / ``lock-graph`` / ``effects``), with ``--json``
+  and Graphviz ``--dot`` output.
 
 Library errors (unsafe queries, malformed regexes, broken input files) exit
 non-zero with a one-line ``repro: error: ...`` message instead of a
@@ -370,7 +373,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import all_rules, run_analysis
+    from repro.analysis import all_rules, analyze_paths
     from repro.analysis.baseline import Baseline
 
     rules = all_rules()
@@ -388,7 +391,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             )
         rules = [rule for rule in rules if rule.id in wanted]
     paths = [Path(p) for p in args.paths] if args.paths else [Path("src/repro")]
-    findings = run_analysis(paths, root=Path.cwd(), rules=rules)
+    cache = Path(args.semantic_cache) if args.semantic_cache else None
+    result = analyze_paths(
+        paths, root=Path.cwd(), rules=rules, semantic_cache=cache
+    )
+    findings = result.findings
     baseline_path = Path(args.baseline)
     if args.update_baseline:
         Baseline.from_findings(findings).dump(baseline_path)
@@ -412,6 +419,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             ],
             "stale": sorted(delta.stale),
         }
+        if args.statistics:
+            payload["statistics"] = result.statistics.to_payload()
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         for finding in delta.new:
@@ -425,7 +434,195 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 "run 'repro lint --update-baseline' to tighten"
             )
         print("; ".join(parts))
+        if args.statistics:
+            stats = result.statistics
+            print(
+                f"analyzed {stats.modules} module(s), {stats.functions} "
+                f"function(s), {stats.call_edges} call edge(s) "
+                f"({stats.unresolved_calls}/{stats.total_calls} calls unresolved)"
+            )
+            print(
+                f"locks: {stats.locks}, lock-order edges: "
+                f"{stats.lock_order_edges}, cycles: {stats.lock_cycles}"
+            )
+            per_rule = ", ".join(
+                f"{rule_id}={count}"
+                for rule_id, count in sorted(stats.rule_findings.items())
+            )
+            print(f"findings by rule: {per_rule}")
     return 1 if delta.new else 0
+
+
+def _analyze_call_graph(args: argparse.Namespace, model: object) -> int:
+    from repro.analysis.semantic import SemanticModel
+
+    assert isinstance(model, SemanticModel)
+    graph = model.graph
+    if args.json:
+        payload = {
+            "version": 1,
+            "functions": [
+                {
+                    "qualified": info.qualified,
+                    "module": info.module,
+                    "line": info.lineno,
+                    "contextmanager": info.is_contextmanager,
+                    "holds_locks": sorted(info.holds_locks),
+                    "acquires_locks": sorted(info.acquires_locks),
+                }
+                for _, info in sorted(graph.functions.items())
+            ],
+            "calls": [
+                {
+                    "caller": site.caller,
+                    "callee": site.callee,
+                    "line": site.line,
+                    "held": sorted(site.held),
+                }
+                for site in sorted(
+                    graph.calls, key=lambda s: (s.caller, s.callee, s.line)
+                )
+            ],
+            "summary": {
+                "modules": graph.modules,
+                "functions": len(graph.functions),
+                "call_edges": len(graph.calls),
+                "total_calls": graph.total_calls,
+                "unresolved_calls": graph.unresolved_calls,
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.dot:
+        print("digraph callgraph {")
+        print("  rankdir=LR;")
+        edges = sorted({(site.caller, site.callee) for site in graph.calls})
+        for caller, callee in edges:
+            print(f'  "{caller}" -> "{callee}";')
+        print("}")
+    else:
+        print(
+            f"{graph.modules} module(s), {len(graph.functions)} "
+            f"function(s), {len(graph.calls)} call edge(s) "
+            f"({graph.unresolved_calls}/{graph.total_calls} calls unresolved)"
+        )
+        annotated = [
+            info
+            for _, info in sorted(graph.functions.items())
+            if info.holds_locks or info.acquires_locks
+        ]
+        for info in annotated:
+            notes: list[str] = []
+            if info.holds_locks:
+                notes.append(f"holds-lock: {', '.join(sorted(info.holds_locks))}")
+            if info.acquires_locks:
+                notes.append(
+                    f"acquires-lock: {', '.join(sorted(info.acquires_locks))}"
+                )
+            print(f"  {info.qualified}  ({'; '.join(notes)})")
+    return 0
+
+
+def _analyze_lock_graph(args: argparse.Namespace, model: object) -> int:
+    from repro.analysis.semantic import SemanticModel
+
+    assert isinstance(model, SemanticModel)
+    lock_graph = model.lock_graph
+    if args.json:
+        payload = {
+            "version": 1,
+            "locks": {
+                name: model.graph.lock_kinds.get(name, "lock")
+                for name in sorted(lock_graph.locks)
+            },
+            "edges": [
+                {
+                    "source": edge.source,
+                    "target": edge.target,
+                    "function": edge.function,
+                    "line": edge.line,
+                    "witness": edge.witness,
+                }
+                for edge in lock_graph.edges
+            ],
+            "cycles": [list(cycle) for cycle in lock_graph.cycles],
+            "acyclic": lock_graph.acyclic,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.dot:
+        print("digraph lockorder {")
+        print("  rankdir=LR;")
+        cyclic = {name for cycle in lock_graph.cycles for name in cycle}
+        for name in sorted(lock_graph.locks):
+            color = ' color="red"' if name in cyclic else ""
+            kind = model.graph.lock_kinds.get(name, "lock")
+            print(f'  "{name}" [label="{name}\\n({kind})"{color}];')
+        for edge in lock_graph.edges:
+            print(f'  "{edge.source}" -> "{edge.target}";')
+        print("}")
+    else:
+        print(
+            f"{len(lock_graph.locks)} lock(s), {len(lock_graph.edges)} "
+            f"order edge(s), {len(lock_graph.cycles)} cycle(s)"
+        )
+        for edge in lock_graph.edges:
+            print(f"  {edge.source} -> {edge.target}  [{edge.witness}]")
+        for cycle in lock_graph.cycles:
+            print(f"  CYCLE: {' -> '.join(cycle)} -> {cycle[0]}")
+    return 0 if lock_graph.acyclic else 1
+
+
+def _analyze_effects(args: argparse.Namespace, model: object) -> int:
+    from repro.analysis.semantic import SemanticModel
+
+    assert isinstance(model, SemanticModel)
+    impure = {
+        qualified: sorted(effects)
+        for qualified, effects in sorted(model.effects.items())
+        if effects
+    }
+    if args.json:
+        counts: dict[str, int] = {}
+        for effects in impure.values():
+            for effect in effects:
+                counts[effect] = counts.get(effect, 0) + 1
+        payload = {
+            "version": 1,
+            "functions": impure,
+            "summary": {
+                "total_functions": len(model.effects),
+                "impure_functions": len(impure),
+                "by_effect": counts,
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{len(impure)} of {len(model.effects)} function(s) reach an "
+            "impure effect"
+        )
+        for qualified, effects in impure.items():
+            print(f"  {qualified}: {', '.join(effects)}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_paths
+
+    paths = [Path(p) for p in args.paths] if args.paths else [Path("src/repro")]
+    cache = Path(args.semantic_cache) if args.semantic_cache else None
+    result = analyze_paths(
+        paths,
+        root=Path.cwd(),
+        rules=[],
+        semantic_cache=cache,
+        want_model=True,
+    )
+    handlers = {
+        "call-graph": _analyze_call_graph,
+        "lock-graph": _analyze_lock_graph,
+        "effects": _analyze_effects,
+    }
+    return handlers[args.view](args, result.model)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -712,7 +909,55 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the rule catalog and exit",
     )
+    lint_parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="report per-rule finding counts and call/lock-graph totals",
+    )
+    lint_parser.add_argument(
+        "--semantic-cache",
+        metavar="PATH",
+        help=(
+            "digest-keyed semantic-model cache file shared with "
+            "'repro analyze' (rebuilt automatically when sources change)"
+        ),
+    )
     lint_parser.set_defaults(handler=_cmd_lint)
+
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="inspect the whole-program semantic model (repro.analysis.semantic)",
+        description=(
+            "Build (or load from --semantic-cache) the whole-program semantic "
+            "model behind REP108/REP109 and print one of its views: the "
+            "cross-module call graph, the lock-order graph (exit 1 on a "
+            "deadlock cycle), or per-function transitive effects."
+        ),
+    )
+    analyze_parser.add_argument(
+        "view",
+        choices=("call-graph", "lock-graph", "effects"),
+        help="which view of the semantic model to print",
+    )
+    analyze_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    analyze_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON output"
+    )
+    analyze_parser.add_argument(
+        "--dot",
+        action="store_true",
+        help="emit a Graphviz digraph (call-graph and lock-graph views)",
+    )
+    analyze_parser.add_argument(
+        "--semantic-cache",
+        metavar="PATH",
+        help="digest-keyed semantic-model cache file shared with 'repro lint'",
+    )
+    analyze_parser.set_defaults(handler=_cmd_analyze)
 
     return parser
 

@@ -311,7 +311,7 @@ class IndexStore:
             return None
 
     @contextmanager
-    def entry_lock(
+    def entry_lock(  # acquires-lock: entry_lock
         self, fingerprint: str, query_text: str, *, timeout: float = 10.0,
         stale_after: float = 60.0,
     ) -> Iterator[bool]:

@@ -1,0 +1,21 @@
+# repro-lint-module: fixtures.rep101_xcall_bad
+"""Caller-aware REP101 exhibit: a ``# holds-lock:`` callee invoked without
+the lock.  The module-local rule cannot see this — only the call graph can."""
+
+import threading
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items = {}  # guarded-by: _lock
+
+    def add(self, key: str) -> None:
+        with self._lock:
+            self._insert(key)
+
+    def add_fast(self, key: str) -> None:
+        self._insert(key)  # BAD: the annotation promises the lock is held
+
+    def _insert(self, key: str) -> None:  # holds-lock: _lock
+        self._items[key] = True

@@ -1,0 +1,23 @@
+# repro-lint-module: fixtures.rep101_xcall_good
+"""Caller-aware REP101 clean twin: every caller of the ``# holds-lock:``
+helper really holds the lock."""
+
+import threading
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items = {}  # guarded-by: _lock
+
+    def add(self, key: str) -> None:
+        with self._lock:
+            self._insert(key)
+
+    def add_many(self, keys: list) -> None:
+        with self._lock:
+            for key in keys:
+                self._insert(key)
+
+    def _insert(self, key: str) -> None:  # holds-lock: _lock
+        self._items[key] = True

@@ -1,0 +1,30 @@
+# repro-lint-module: fixtures.rep108_bad
+"""REP108 exhibit: two locks acquired in opposite orders across classes."""
+
+import threading
+
+
+class A:
+    def __init__(self) -> None:
+        self._lock_a = threading.Lock()
+
+    def one(self, b: "B") -> None:
+        with self._lock_a:  # A then B
+            b.two()
+
+    def four(self) -> None:
+        with self._lock_a:
+            pass
+
+
+class B:
+    def __init__(self) -> None:
+        self._lock_b = threading.Lock()
+
+    def two(self) -> None:
+        with self._lock_b:
+            pass
+
+    def three(self, a: "A") -> None:
+        with self._lock_b:  # BAD: B then A — cycle with A.one
+            a.four()

@@ -1,0 +1,31 @@
+# repro-lint-module: fixtures.rep108_good
+"""REP108 clean twin: every path acquires the locks in the same order."""
+
+import threading
+
+
+class A:
+    def __init__(self) -> None:
+        self._lock_a = threading.Lock()
+
+    def one(self, b: "B") -> None:
+        with self._lock_a:  # A then B, everywhere
+            b.two()
+
+    def four(self) -> None:
+        with self._lock_a:
+            pass
+
+
+class B:
+    def __init__(self) -> None:
+        self._lock_b = threading.Lock()
+
+    def two(self) -> None:
+        with self._lock_b:
+            pass
+
+    def three(self, a: "A") -> None:
+        a.four()  # acquire A's lock first ...
+        with self._lock_b:  # ... and B's only after A's is released
+            pass

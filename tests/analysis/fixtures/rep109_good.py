@@ -1,0 +1,8 @@
+# repro-lint-module: fixtures.rep109_planner
+"""REP109 clean twin: the planner only reaches pure helpers."""
+
+from fixtures.rep109_helpers import canonical
+
+
+def plan_order(nodes: list) -> list:
+    return canonical(nodes)

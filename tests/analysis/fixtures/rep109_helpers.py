@@ -1,0 +1,12 @@
+# repro-lint-module: fixtures.rep109_helpers
+"""Helpers for the REP109 fixtures: one impure, one pure."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # clock effect: planners must not reach this
+
+
+def canonical(nodes: list) -> list:
+    return sorted(nodes)

@@ -153,12 +153,77 @@ class TestTypedDefs:
         assert lint("REP107", "rep107_bad.py", config=config) == []
 
 
+class TestCallerAwareLockDiscipline:
+    """The project-level arm of REP101: a ``# holds-lock:`` callee must be
+    invoked with the lock held at every call site."""
+
+    def test_unlocked_call_site_is_flagged(self):
+        findings = lint("REP101", "rep101_xcall_bad.py")
+        assert len(findings) == 1
+        assert "Registry._insert" in findings[0].message
+        assert "add_fast" in findings[0].message
+        assert "without holding '_lock'" in findings[0].message
+
+    def test_locked_call_sites_are_clean(self):
+        assert lint("REP101", "rep101_xcall_good.py") == []
+
+
+class TestLockOrder:
+    def test_opposite_orders_report_a_cycle_with_both_witnesses(self):
+        findings = lint("REP108", "rep108_bad.py")
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "lock-order cycle" in message
+        assert "A._lock_a" in message and "B._lock_b" in message
+        # both halves of the cycle are spelled out as acquisition paths
+        assert "A.one" in message and "B.three" in message
+
+    def test_consistent_order_is_clean(self):
+        assert lint("REP108", "rep108_good.py") == []
+
+
+class TestPlannerPurity:
+    CONFIG = AnalysisConfig(
+        determinism_modules=frozenset({"fixtures.rep109_planner"})
+    )
+
+    def test_transitive_clock_reach_is_flagged_with_its_path(self):
+        findings = lint(
+            "REP109", "rep109_bad.py", "rep109_helpers.py", config=self.CONFIG
+        )
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "plan_order" in message
+        assert "'clock'" in message
+        assert "stamp" in message  # the witness chain names the helper
+
+    def test_direct_rule_misses_what_the_reachability_rule_sees(self):
+        # REP103 scans syntax; the impurity hides behind a call.
+        assert lint("REP103", "rep109_bad.py", config=self.CONFIG) == []
+
+    def test_pure_helper_chain_is_clean(self):
+        findings = lint(
+            "REP109", "rep109_good.py", "rep109_helpers.py", config=self.CONFIG
+        )
+        assert findings == []
+
+
 class TestRepositoryIsClean:
-    """The tree itself must hold the invariants the rules encode (REP104's
-    one accepted finding lives in the committed baseline)."""
+    """The tree itself must hold the invariants the rules encode."""
 
     @pytest.mark.parametrize(
-        "rule_id", ["REP101", "REP102", "REP103", "REP105", "REP106", "REP107"]
+        "rule_id",
+        [
+            "REP101",
+            "REP102",
+            "REP103",
+            "REP104",
+            "REP105",
+            "REP106",
+            "REP107",
+            "REP108",
+            "REP109",
+        ],
     )
     def test_src_repro_has_no_findings(self, rule_id):
         src = Path(__file__).resolve().parents[2] / "src" / "repro"
