@@ -37,6 +37,12 @@ __all__ = [
 #: the impure effects tracked, in display order.
 EFFECTS = ("clock", "randomness", "env", "file-io", "global-mutation")
 
+#: Per-line directive waiving named effects on sanctioned wrapper lines
+#: (e.g. ``time.perf_counter()  # effect-exempt: clock`` in
+#: :mod:`repro.obs.clock`).  Only the effects the directive names are
+#: waived, and only on the directive's own line.
+_EXEMPT_DIRECTIVE = "effect-exempt:"
+
 _CLOCK_MODULES = frozenset({"time", "datetime"})
 _RANDOM_MODULES = frozenset({"random", "secrets", "uuid"})
 _FILE_IO_MODULES = frozenset({"tempfile", "shutil", "glob"})
@@ -137,13 +143,38 @@ class _DirectScanner:
     ) -> Iterator[str]:
         for node in ast.walk(func):
             if isinstance(node, ast.Global):
-                yield "global-mutation"
+                found: tuple[str, ...] = ("global-mutation",)
             elif isinstance(node, ast.Call):
-                yield from self._call_effects(node)
+                found = tuple(self._call_effects(node))
             elif isinstance(node, ast.Attribute):
-                yield from self._attribute_effects(node)
+                found = tuple(self._attribute_effects(node))
             elif isinstance(node, (ast.Assign, ast.AugAssign)):
-                yield from self._assignment_effects(node)
+                found = tuple(self._assignment_effects(node))
+            else:
+                continue
+            if not found:
+                continue
+            exempt = self._exempt_effects(node)
+            for effect in found:
+                if effect not in exempt:
+                    yield effect
+
+    def _exempt_effects(self, node: ast.AST) -> frozenset[str]:
+        """Effects waived on this node's line by an ``# effect-exempt:``
+        directive — the sanctioned-wrapper carve-out (``repro.obs.clock``).
+
+        The directive names the effects it waives (comma- or
+        space-separated), so it cannot silence more than it declares, and it
+        only applies to the line it sits on: an unsanctioned call elsewhere
+        in the same function is still reported.
+        """
+        comment = self.module.comment_on(getattr(node, "lineno", 0))
+        if _EXEMPT_DIRECTIVE not in comment:
+            return frozenset()
+        names = comment.split(_EXEMPT_DIRECTIVE, 1)[1]
+        return frozenset(
+            part for part in names.replace(",", " ").split() if part in EFFECTS
+        )
 
     def _call_effects(self, call: ast.Call) -> Iterator[str]:
         func = call.func

@@ -49,7 +49,10 @@ __all__ = [
     "save_model",
 ]
 
-_PAYLOAD_VERSION = 1
+# Bumped whenever extraction semantics change (v2: the effect scanner
+# honors per-line ``# effect-exempt:`` directives), so stale cached effect
+# sets cannot survive an analyzer upgrade.
+_PAYLOAD_VERSION = 2
 
 
 @dataclass

@@ -22,12 +22,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.harness import format_table
 from repro.errors import ReproError
+from repro.obs import timed_call
 
 DEFAULT_TRAJECTORY = Path("benchmarks") / "trajectory" / "trajectory.json"
 
@@ -44,9 +44,9 @@ def _cmd_figures(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     if unknown:
         parser.error(f"unknown experiments: {unknown}; use --list to see choices")
     for name in names:
-        started = time.perf_counter()
-        result = run_experiment(name, args.scale)
-        elapsed = time.perf_counter() - started
+        elapsed, result = timed_call(
+            "bench.experiment", lambda: run_experiment(name, args.scale), experiment=name
+        )
         print(result.render())
         print(f"(experiment wall time: {elapsed:.1f}s)")
         print()

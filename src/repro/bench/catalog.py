@@ -264,6 +264,28 @@ CATALOG: tuple[Scenario, ...] = (
         params=(("query", "_* op0 _* op0 _*"),),
         suites=_CI,
     ),
+    # -- new coverage: observability overhead -----------------------------------
+    # The same unsafe all-pairs evaluation, with and without a recording
+    # tracer installed; the 'tracer-overhead' invariant bounds the gap, and
+    # the untraced arm doubles as the null-tracer-cost regression guard.
+    Scenario(
+        id="obs-untraced",
+        title="all-pairs evaluation under the null tracer (production default)",
+        grammar="qblast",
+        query_class="obs-overhead",
+        run_edges=1500,
+        params=(("query", "_* qx_b _*"), ("traced", False)),
+        suites=_CI,
+    ),
+    Scenario(
+        id="obs-traced",
+        title="the same all-pairs evaluation under a recording tracer",
+        grammar="qblast",
+        query_class="obs-overhead",
+        run_edges=1500,
+        params=(("query", "_* qx_b _*"), ("traced", True)),
+        suites=_CI,
+    ),
     # -- new coverage: mixed safe/unsafe batch ----------------------------------
     Scenario(
         id="mixed-batch-qblast",
@@ -311,6 +333,16 @@ INVARIANTS: tuple[Invariant, ...] = (
         fast="service-throughput-warm",
         slow="service-throughput-cold",
         note="a warm shared cache must beat per-batch rebuilds",
+    ),
+    # Deliberately inverted roles: the gate checks slow >= factor * fast, so
+    # naming the *untraced* arm as 'slow' with factor 0.8 bounds the traced
+    # arm at <= 1.25x of the untraced baseline.
+    Invariant(
+        id="tracer-overhead",
+        fast="obs-traced",
+        slow="obs-untraced",
+        factor=0.8,
+        note="a recording tracer may cost at most 25% over the null-tracer path",
     ),
 )
 

@@ -14,9 +14,10 @@ Two layers use this module:
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
+
+from repro.obs import timed_call
 
 __all__ = [
     "BenchScale",
@@ -104,10 +105,12 @@ def current_scale(name: str | None = None) -> BenchScale:
 
 
 def time_call(function: Callable[[], object]) -> tuple[float, object]:
-    """Run a callable once, returning ``(elapsed seconds, result)``."""
-    started = time.perf_counter()
-    result = function()
-    return time.perf_counter() - started, result
+    """Run a callable once, returning ``(elapsed seconds, result)``.
+
+    Delegates to :func:`repro.obs.timed_call`: elapsed always comes from the
+    sanctioned monotonic clock, and when a recording tracer is installed the
+    call additionally shows up as a ``bench.call`` span."""
+    return timed_call("bench.call", function)
 
 
 @dataclass

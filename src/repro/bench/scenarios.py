@@ -659,8 +659,39 @@ def _build_warm_restart(scenario: Scenario, scale: ScenarioScale) -> _Prepared:
     )
 
 
+def _build_obs_overhead(scenario: Scenario, scale: ScenarioScale) -> _Prepared:
+    """Tracer overhead pair: the same all-pairs evaluation with either the
+    null tracer (the production default — ``params['traced']`` false) or a
+    recording :class:`~repro.obs.Tracer` installed.  Both arms produce the
+    identical pair set, so the checksum pins correctness while the
+    ``tracer-overhead`` invariant bounds the traced arm's cost."""
+    from repro.core.decomposition import evaluate_general_query, plan_decomposition
+    from repro.obs import NULL_TRACER, Tracer, use_tracer
+
+    run = _make_run(scenario, scale)
+    query = _resolved_query(scenario, run)
+    plan = plan_decomposition(run.spec, query)
+    l1, l2 = _lists(run, scenario, scale)
+    traced = bool(scenario.param("traced", False))
+    recorder = Tracer() if traced else None
+
+    def action() -> "NodePairs":
+        tracer: Any = recorder if recorder is not None else NULL_TRACER
+        if recorder is not None:
+            recorder.clear()  # bound memory across repetitions
+        with use_tracer(tracer):
+            return evaluate_general_query(run, query, l1, l2, plan=plan)
+
+    evaluate_general_query(run, query, l1[:1], l2[:1], plan=plan)  # warm the plan
+    return _Prepared(
+        action,
+        detail=f"query {query!r}, traced={traced}, |l1|={len(l1)}",
+    )
+
+
 WORKLOADS: dict[str, Callable[[Scenario, ScenarioScale], _Prepared]] = {
     "overhead": _build_overhead,
+    "obs-overhead": _build_obs_overhead,
     "pairwise": _build_pairwise,
     "safe-allpairs": _build_allpairs,
     "unsafe-allpairs": _build_allpairs,

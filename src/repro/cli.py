@@ -7,6 +7,10 @@ Subcommands cover the typical workflow of the library:
 * ``repro safety``    — check whether a query is safe for a specification,
 * ``repro query``     — answer a pairwise or all-pairs query over a stored run,
 * ``repro batch``     — stream a JSONL batch of queries through the query service,
+* ``repro trace``     — evaluate a query under the tracer and write a Chrome
+  trace-event JSON (loads in Perfetto / ``chrome://tracing``),
+* ``repro metrics``   — print the metrics registry in Prometheus text
+  exposition format, optionally after replaying a JSONL batch,
 * ``repro store``     — manage a persistent index store (build/warm/ls/stats/gc),
 * ``repro cache``     — inspect a warmed service's cache/store statistics,
 * ``repro bench``     — benchmark scenarios and trajectory gating (``run`` /
@@ -36,8 +40,18 @@ from repro.datasets.myexperiment import bioaid_specification, qblast_specificati
 from repro.datasets.paper_example import paper_specification
 from repro.datasets.synthetic import generate_synthetic_specification
 from repro.errors import ReproError
+from repro.obs import (
+    NULL_TRACER,
+    ExecutionProfile,
+    Tracer,
+    chrome_trace,
+    get_registry,
+    prometheus_text,
+    use_tracer,
+)
 from repro.service import IndexCache, QueryService, read_requests_jsonl, result_to_dict
 from repro.store import IndexStore
+from repro.workflow.run import Run
 from repro.workflow.serialization import (
     load_run,
     load_specification,
@@ -115,6 +129,41 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
     run = load_run(args.run)
     engine = ProvenanceQueryEngine(run.spec)
+    observing = bool(args.profile or args.trace_json or args.save_profile)
+    if not observing:
+        return _evaluate_query(args, run, engine)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        code = _evaluate_query(args, run, engine)
+    _emit_query_observability(args, tracer, run_id=Path(args.run).stem)
+    return code
+
+
+def _emit_query_observability(
+    args: argparse.Namespace, tracer: Tracer, *, run_id: str
+) -> None:
+    """Profile/trace output for ``repro query``; everything human-oriented
+    goes to stderr so piped pair output stays pure."""
+    spans = tracer.spans()
+    if args.trace_json:
+        document = chrome_trace(spans, process_name=f"repro query {run_id}")
+        Path(args.trace_json).write_text(json.dumps(document) + "\n")
+        print(f"trace: {len(spans)} spans -> {args.trace_json}", file=sys.stderr)
+    if args.profile or args.save_profile:
+        profile = ExecutionProfile.from_spans(
+            spans, query=args.query, run=run_id, meta={"command": "query"}
+        )
+        if args.profile:
+            print(profile.render(), file=sys.stderr)
+        if args.save_profile:
+            store = IndexStore(args.save_profile)
+            store.save_profile(profile)
+            print(f"profile saved to store {args.save_profile}", file=sys.stderr)
+
+
+def _evaluate_query(
+    args: argparse.Namespace, run: Run, engine: ProvenanceQueryEngine
+) -> int:
     if args.source is not None:
         if args.stream:
             raise SystemExit(
@@ -160,6 +209,63 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"  {source} -> {target}")
         if len(matches) > args.limit:
             print(f"  ... ({len(matches) - args.limit} more; use --json for all)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    run = load_run(args.run)
+    engine = ProvenanceQueryEngine(run.spec)
+    l1 = args.sources.split(",") if args.sources else None
+    l2 = args.targets.split(",") if args.targets else None
+    from repro.core.exec import ExecutorConfig
+
+    executor = ExecutorConfig(direction=args.direction, workers=args.workers)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        matches = engine.evaluate(run, args.query, l1, l2, executor=executor)
+    spans = tracer.spans()
+    document = chrome_trace(
+        spans, process_name=f"repro trace {Path(args.run).stem}"
+    )
+    text = json.dumps(document)
+    if args.output == "-":
+        print(text)
+    else:
+        Path(args.output).write_text(text + "\n")
+    print(
+        f"repro trace: {len(matches)} matching pairs, {len(spans)} spans"
+        + ("" if args.output == "-" else f" -> {args.output}"),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.requests:
+        service = QueryService(
+            cache=IndexCache(max_entries=args.cache_entries, store=None),
+            store_dir=args.store,
+        )
+        _register_cli_runs(service, args.run)
+        if not service.run_ids():
+            raise SystemExit(
+                "repro metrics --requests needs at least one run (--run RUN.json, "
+                "or --store pointing at a store with a persisted run registry)"
+            )
+        request_source = (
+            sys.stdin if args.requests == "-" else Path(args.requests).open()
+        )
+        # --trace swaps in a recording tracer so span counters tick too;
+        # installing the null tracer otherwise is a no-op re-install.
+        tracer = Tracer() if args.trace else NULL_TRACER
+        try:
+            with use_tracer(tracer):
+                for _ in service.iter_batch(read_requests_jsonl(request_source)):
+                    pass
+        finally:
+            if request_source is not sys.stdin:
+                request_source.close()
+    print(prometheus_text(get_registry()), end="")
     return 0
 
 
@@ -234,6 +340,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             failed=failed,
             hit_rate=stats.hit_rate,
         )
+        # The registry snapshot rides along under its own key: process-wide
+        # counters (cache hits/misses, store reads/writes, spans recorded)
+        # plus live collector samples, without disturbing the flat
+        # CacheStats schema scripts already assert on.
+        summary["metrics"] = get_registry().snapshot()
         Path(args.stats_json).write_text(json.dumps(summary, sort_keys=True) + "\n")
     return 0 if failed == 0 else 1
 
@@ -703,7 +814,96 @@ def build_parser() -> argparse.ArgumentParser:
             "pool where available); 1 (default) runs serial"
         ),
     )
+    query_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "record an execution profile: evaluate under the tracer and "
+            "print the per-operator span tree (with the coverage line) to "
+            "stderr, leaving stdout output unchanged"
+        ),
+    )
+    query_parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        help=(
+            "record the evaluation's spans and write them as Chrome "
+            "trace-event JSON (loads in Perfetto / chrome://tracing)"
+        ),
+    )
+    query_parser.add_argument(
+        "--save-profile",
+        metavar="STORE_DIR",
+        help=(
+            "persist the execution profile to this index store directory "
+            "(created if missing; see 'repro store')"
+        ),
+    )
     query_parser.set_defaults(handler=_cmd_query)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="evaluate a query under the tracer and emit Chrome trace JSON",
+        description=(
+            "Evaluate an all-pairs query with a recording tracer installed "
+            "and write the finished spans in Chrome trace-event format; load "
+            "the file in Perfetto or chrome://tracing to see the query "
+            "lifecycle (planning, frontier searches, decode, cache/store "
+            "traffic) on a timeline."
+        ),
+    )
+    trace_parser.add_argument("run", help="path to a run JSON file (see 'repro derive')")
+    trace_parser.add_argument("query")
+    trace_parser.add_argument("--sources", help="comma-separated source ids")
+    trace_parser.add_argument("--targets", help="comma-separated target ids")
+    trace_parser.add_argument(
+        "--direction", choices=["auto", "forward", "backward"], default="auto"
+    )
+    trace_parser.add_argument(
+        "--workers", type=int, default=1, help="parallel frontier fan-out"
+    )
+    trace_parser.add_argument(
+        "--output",
+        default="-",
+        metavar="PATH",
+        help="trace JSON destination (default: stdout)",
+    )
+    trace_parser.set_defaults(handler=_cmd_trace)
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="print the metrics registry in Prometheus text format",
+        description=(
+            "Print every registered counter/gauge/histogram plus live "
+            "collector samples in the Prometheus text exposition format. "
+            "With --requests, a JSONL batch is replayed through the query "
+            "service first so the exposition reflects real traffic."
+        ),
+    )
+    metrics_parser.add_argument(
+        "--requests",
+        metavar="PATH",
+        help="JSONL request file (or '-' for stdin) to replay before reporting",
+    )
+    metrics_parser.add_argument(
+        "--run",
+        action="append",
+        default=[],
+        metavar="[ID=]PATH",
+        help="register a run JSON file (repeatable; default ID is the file stem)",
+    )
+    metrics_parser.add_argument(
+        "--store", help="persistent store directory backing the service"
+    )
+    metrics_parser.add_argument(
+        "--cache-entries", type=int, default=512, help="index cache entry bound"
+    )
+    metrics_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="install a recording tracer during the replay (span counters tick)",
+    )
+    metrics_parser.set_defaults(handler=_cmd_metrics)
 
     batch_parser = sub.add_parser(
         "batch",

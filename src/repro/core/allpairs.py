@@ -57,6 +57,7 @@ from repro.core.query_index import QueryIndex
 from repro.errors import LabelError
 from repro.labeling.labels import ProductionStep, RecursionStep
 from repro.labeling.parse_tree import LabelTrie, TrieNode
+from repro.obs import get_tracer
 from repro.workflow.run import Run
 from repro.workflow.spec import Specification
 
@@ -439,6 +440,24 @@ def all_pairs_iter(
     strategy (see :class:`AllPairsOptions`); a custom ``pair_filter``
     replaces the Algorithm-1 decode and forces the per-pair strategies.
     """
+    return get_tracer().wrap_iter(
+        "decode.all_pairs",
+        _all_pairs_gen(run, l1, l2, index, options, pair_filter),
+        sources=len(l1),
+        targets=len(l2),
+        vectorized=options.vectorized,
+        filtered=options.use_reachability_filter,
+    )
+
+
+def _all_pairs_gen(
+    run: Run,
+    l1: Sequence[str],
+    l2: Sequence[str],
+    index: QueryIndex,
+    options: AllPairsOptions,
+    pair_filter: Callable[[str, str], bool] | None,
+) -> Iterator[tuple[str, str]]:
     unique1, unique2 = _unique(l1), _unique(l2)
     use_decode = pair_filter is None
     if pair_filter is None:

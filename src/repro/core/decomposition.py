@@ -80,6 +80,7 @@ from repro.core.optimizer import (
 from repro.core.query_index import QueryIndex, build_query_index
 from repro.core.relations import NodePairs
 from repro.core.safety import is_safe_query
+from repro.obs import get_tracer
 from repro.workflow.run import Run
 from repro.workflow.spec import Specification
 
@@ -256,23 +257,28 @@ def plan_decomposition(
     safety analyses (and, for safe subtrees, the query indexes built from
     them) land in the cache as a side effect of planning.
     """
-    root = parse_regex(query)
-    plan = DecompositionPlan(spec=spec, root=root)
-    probe = is_safe if is_safe is not None else (lambda node: is_safe_query(spec, node))
-    seen: set[RegexNode] = set()
+    with get_tracer().span("planner.decompose") as span:
+        root = parse_regex(query)
+        plan = DecompositionPlan(spec=spec, root=root)
+        probe = (
+            is_safe if is_safe is not None else (lambda node: is_safe_query(spec, node))
+        )
+        seen: set[RegexNode] = set()
 
-    def visit(node: RegexNode) -> None:
-        if node in seen:
-            return
-        if probe(node):
-            seen.add(node)
-            plan.safe_subtrees.append(node)
-            return
-        for child in node.children():
-            visit(child)
+        def visit(node: RegexNode) -> None:
+            if node in seen:
+                return
+            if probe(node):
+                seen.add(node)
+                plan.safe_subtrees.append(node)
+                return
+            for child in node.children():
+                visit(child)
 
-    visit(root)
-    return plan
+        visit(root)
+        span.set("safe_subtrees", len(plan.safe_subtrees))
+        span.set("fully_safe", plan.is_fully_safe)
+        return plan
 
 
 def worth_label_evaluation(node: RegexNode) -> bool:

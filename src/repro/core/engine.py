@@ -42,6 +42,7 @@ from repro.core.query_index import QueryIndex
 from repro.core.safety import SafetyReport
 from repro.errors import UnsafeQueryError
 from repro.labeling.reachability import is_reachable
+from repro.obs import get_tracer
 from repro.workflow.derivation import derive_run
 from repro.workflow.run import Run
 from repro.workflow.spec import Specification
@@ -264,31 +265,43 @@ class ProvenanceQueryEngine:
                 f"unknown direction {direction!r}; use 'auto', 'forward' or 'backward'"
             )
         self._check_run(run)
-        node = parse_regex(query)
-        try:
-            self.query_index(node)
-        except UnsafeQueryError:
-            return evaluate_general_query(
-                run,
-                node,
-                l1,
-                l2,
-                plan=self.plan(node),
-                use_reachability_filter=use_reachability_filter,
-                vectorized=vectorized,
-                index_provider=self._subtree_index_provider(),
-                strategy=strategy,
-                direction=direction,
-                executor=executor,
-            )
-        return self.all_pairs(
-            run,
-            node,
-            l1,
-            l2,
-            use_reachability_filter=use_reachability_filter,
-            vectorized=vectorized,
-        )
+        tracer = get_tracer()
+        with tracer.span(
+            "query.evaluate", strategy=strategy, direction=direction
+        ) as evaluation:
+            with tracer.span("query.parse"):
+                node = parse_regex(query)
+            safe = True
+            try:
+                with tracer.span("query.safety"):
+                    self.query_index(node)
+            except UnsafeQueryError:
+                safe = False
+            evaluation.set("safe", safe)
+            if not safe:
+                with tracer.span("query.execute", path="decomposition"):
+                    return evaluate_general_query(
+                        run,
+                        node,
+                        l1,
+                        l2,
+                        plan=self.plan(node),
+                        use_reachability_filter=use_reachability_filter,
+                        vectorized=vectorized,
+                        index_provider=self._subtree_index_provider(),
+                        strategy=strategy,
+                        direction=direction,
+                        executor=executor,
+                    )
+            with tracer.span("query.execute", path="safe-allpairs"):
+                return self.all_pairs(
+                    run,
+                    node,
+                    l1,
+                    l2,
+                    use_reachability_filter=use_reachability_filter,
+                    vectorized=vectorized,
+                )
 
     def evaluate_iter(
         self,
@@ -318,29 +331,43 @@ class ProvenanceQueryEngine:
         before the iterator is returned.
         """
         self._check_run(run)
-        node = parse_regex(query)
+        tracer = get_tracer()
+        with tracer.span("query.parse"):
+            node = parse_regex(query)
+        safe = True
         try:
-            self.query_index(node)
+            with tracer.span("query.safety"):
+                self.query_index(node)
         except UnsafeQueryError:
-            return evaluate_general_query_iter(
+            safe = False
+        if not safe:
+            return tracer.wrap_iter(
+                "query.stream",
+                evaluate_general_query_iter(
+                    run,
+                    node,
+                    l1,
+                    l2,
+                    plan=self.plan(node),
+                    use_reachability_filter=use_reachability_filter,
+                    vectorized=vectorized,
+                    index_provider=self._subtree_index_provider(),
+                    direction=direction,
+                    executor=executor,
+                ),
+                path="decomposition",
+            )
+        return tracer.wrap_iter(
+            "query.stream",
+            self.all_pairs_iter(
                 run,
                 node,
                 l1,
                 l2,
-                plan=self.plan(node),
                 use_reachability_filter=use_reachability_filter,
                 vectorized=vectorized,
-                index_provider=self._subtree_index_provider(),
-                direction=direction,
-                executor=executor,
-            )
-        return self.all_pairs_iter(
-            run,
-            node,
-            l1,
-            l2,
-            use_reachability_filter=use_reachability_filter,
-            vectorized=vectorized,
+            ),
+            path="safe-allpairs",
         )
 
     # -- reporting -------------------------------------------------------------------------

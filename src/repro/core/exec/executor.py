@@ -45,12 +45,21 @@ from repro.core.exec.ops import (
     RestrictOp,
 )
 from repro.core.exec.plan import PhysicalPlan
-from repro.core.exec.worker import SearchContext, init_worker, search_chunk, search_seeds
+from repro.core.exec.worker import (
+    ChunkPayload,
+    ChunkRecord,
+    ChunkResult,
+    SearchContext,
+    init_worker,
+    search_seeds,
+    timed_search_chunk,
+)
 from repro.core.relations import (
     NodePairs,
     evaluate_regex_relation,
     restrict,
 )
+from repro.obs import Span, SpanContext, Tracer, get_tracer
 
 __all__ = ["execute", "execute_iter"]
 
@@ -59,18 +68,26 @@ def execute(plan: PhysicalPlan) -> NodePairs:
     """Run a physical plan to a materialized set of ``(source, target)``."""
     root = plan.root
     if isinstance(root, LabelDecodeOp):
-        return all_pairs_safe_query(
-            plan.run,
-            list(root.l1),
-            list(root.l2),
-            plan.indexes(root.node),
-            plan.options,
-        )
+        with get_tracer().span(
+            "exec.label_decode", sources=len(root.l1), targets=len(root.l2)
+        ) as span:
+            result = all_pairs_safe_query(
+                plan.run,
+                list(root.l1),
+                list(root.l2),
+                plan.indexes(root.node),
+                plan.options,
+            )
+            span.set("pairs", len(result))
+            return result
     if isinstance(root, FrontierSearchOp):
         return set(_iter_frontier(plan, root))
     if isinstance(root, RestrictOp):
-        inner = _execute_join(plan, root.child)
-        return restrict(inner, root.l1, root.l2)
+        with get_tracer().span("exec.restrict") as span:
+            inner = _execute_join(plan, root.child)
+            result = restrict(inner, root.l1, root.l2)
+            span.set("pairs", len(result))
+            return result
     if isinstance(root, JoinOp):
         return _execute_join(plan, root)
     raise TypeError(f"unknown physical operator {root!r}")
@@ -84,12 +101,17 @@ def execute_iter(plan: PhysicalPlan) -> Iterator[tuple[str, str]]:
     """
     root = plan.root
     if isinstance(root, LabelDecodeOp):
-        return all_pairs_iter(
-            plan.run,
-            list(root.l1),
-            list(root.l2),
-            plan.indexes(root.node),
-            plan.options,
+        return get_tracer().wrap_iter(
+            "exec.label_decode",
+            all_pairs_iter(
+                plan.run,
+                list(root.l1),
+                list(root.l2),
+                plan.indexes(root.node),
+                plan.options,
+            ),
+            sources=len(root.l1),
+            targets=len(root.l2),
         )
     if isinstance(root, FrontierSearchOp):
         return _iter_frontier(plan, root)
@@ -117,9 +139,12 @@ def _execute_join(plan: PhysicalPlan, op: JoinOp) -> NodePairs:
             )
         return all_pairs_safe_query(run, universe, universe, indexes(node), options)
 
-    return evaluate_regex_relation(
-        run, op.root, subquery_evaluator=subquery_evaluator, allowed=op.allowed
-    )
+    with get_tracer().span("exec.join", routed=len(op.routed)) as span:
+        result = evaluate_regex_relation(
+            run, op.root, subquery_evaluator=subquery_evaluator, allowed=op.allowed
+        )
+        span.set("pairs", len(result))
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -128,18 +153,41 @@ def _execute_join(plan: PhysicalPlan, op: JoinOp) -> NodePairs:
 
 
 def _iter_frontier(plan: PhysicalPlan, op: FrontierSearchOp) -> Iterator[tuple[str, str]]:
+    tracer = get_tracer()
     config = plan.executor
     requested = min(config.workers, len(op.seeds)) if op.seeds else 1
     if requested <= 1:
-        yield from _iter_frontier_serial(plan, op)
+        with tracer.span(
+            "exec.frontier_search",
+            mode="serial",
+            direction=op.direction,
+            seeds=len(op.seeds),
+        ):
+            yield from _iter_frontier_serial(plan, op)
         return
     if config.budget is None:
-        yield from _iter_frontier_parallel(plan, op, requested, release=None)
+        with tracer.span(
+            "exec.frontier_search",
+            mode="parallel",
+            direction=op.direction,
+            seeds=len(op.seeds),
+            workers=requested,
+        ) as span:
+            yield from _iter_frontier_parallel(plan, op, requested, None, span)
         return
     granted = config.budget.acquire(requested)
     if granted <= 1:
         config.budget.release(granted)
-        yield from _iter_frontier_serial(plan, op)
+        # The budget is saturated, so the search degrades to serial on the
+        # calling thread; the mode attribute keeps the degrade visible in
+        # traces, still correctly nested under the caller's span.
+        with tracer.span(
+            "exec.frontier_search",
+            mode="serial-degraded",
+            direction=op.direction,
+            seeds=len(op.seeds),
+        ):
+            yield from _iter_frontier_serial(plan, op)
         return
     released = False
     release_lock = threading.Lock()
@@ -158,7 +206,14 @@ def _iter_frontier(plan: PhysicalPlan, op: FrontierSearchOp) -> Iterator[tuple[s
         config.budget.release(granted)
 
     try:
-        yield from _iter_frontier_parallel(plan, op, granted, release=release)
+        with tracer.span(
+            "exec.frontier_search",
+            mode="parallel",
+            direction=op.direction,
+            seeds=len(op.seeds),
+            workers=granted,
+        ) as span:
+            yield from _iter_frontier_parallel(plan, op, granted, release, span)
     finally:
         release()
 
@@ -204,7 +259,7 @@ def _chunked(seeds: tuple[str, ...], chunk_count: int) -> list[tuple[str, ...]]:
 @contextmanager
 def _worker_pool(
     plan: PhysicalPlan, op: FrontierSearchOp, granted: int
-) -> Iterator[tuple[Executor, Callable[[tuple[str, ...]], list[tuple[str, str]]]]]:
+) -> Iterator[tuple[Executor, Callable[[ChunkPayload], ChunkResult]]]:
     """A ready-to-submit pool plus its chunk function.
 
     Process pools get a plain-data :class:`SearchContext` shipped once per
@@ -254,8 +309,8 @@ def _worker_pool(
             )
             # Workers spawn lazily: exercise one before committing to the
             # backend, while falling back is still free.
-            pool.submit(search_chunk, ()).result(timeout=15)
-            task = search_chunk
+            pool.submit(timed_search_chunk, ((), None)).result(timeout=15)
+            task = timed_search_chunk
         except (OSError, RuntimeError, FuturesTimeoutError, PicklingError):
             # Everything pool creation and the probe actually raise when
             # process pools are unusable: spawn failures (OSError), a broken
@@ -269,16 +324,25 @@ def _worker_pool(
         adjacency = _graph_adjacency(plan, op)
         macro_successors = _lazy_macro_successors(op)
 
-        def task(seeds: tuple[str, ...]) -> list[tuple[str, str]]:
-            return search_seeds(
-                adjacency,
-                op.dfa,
-                seeds,
-                allowed=op.allowed,
-                emit_filter=op.emit_filter,
-                macro_successors=macro_successors,
-                forward=op.direction == "forward",
-            )
+        def task(payload: ChunkPayload) -> ChunkResult:
+            # Thread workers share the parent's tracer: adopt the payload's
+            # parent context so the chunk span nests under the submitting
+            # search, and stitch nothing on merge (record slot is None).
+            seeds, parent = payload
+            tracer = get_tracer()
+            with tracer.attach(SpanContext.from_tuple(parent)):
+                with tracer.span("exec.frontier_chunk", seeds=len(seeds)) as span:
+                    pairs = search_seeds(
+                        adjacency,
+                        op.dfa,
+                        seeds,
+                        allowed=op.allowed,
+                        emit_filter=op.emit_filter,
+                        macro_successors=macro_successors,
+                        forward=op.direction == "forward",
+                    )
+                    span.set("pairs", len(pairs))
+            return pairs, None
 
         pool = ThreadPoolExecutor(max_workers=granted)
     try:
@@ -287,22 +351,44 @@ def _worker_pool(
         pool.shutdown(wait=True)
 
 
+def _stitch_chunk(tracer: Tracer, search: Span, record: ChunkRecord) -> None:
+    """Adopt a worker process's chunk record as a child span of the search.
+
+    Worker and parent both read ``CLOCK_MONOTONIC``, so the timestamps are
+    directly comparable; the start is still clamped into the search span's
+    window to keep profiles well formed against clock weirdness under exotic
+    start methods."""
+    parent, started, ended, seeds, pairs = record
+    started = max(started, search.start)
+    tracer.record(
+        "exec.frontier_chunk",
+        started,
+        max(started, ended),
+        parent=SpanContext.from_tuple(parent),
+        attrs={"seeds": seeds, "pairs": pairs},
+        thread="worker",
+    )
+
+
 def _iter_frontier_parallel(
     plan: PhysicalPlan,
     op: FrontierSearchOp,
     granted: int,
     release: Callable[[], None] | None,
+    span: Span,
 ) -> Iterator[tuple[str, str]]:
+    tracer = get_tracer()
+    parent = span.context.as_tuple() if tracer.enabled else None
     chunks = _chunked(op.seeds, granted * 4)
     with _worker_pool(plan, op, granted) as (pool, task):
-        futures = [pool.submit(task, chunk) for chunk in chunks]
+        futures = [pool.submit(task, (chunk, parent)) for chunk in chunks]
         if release is not None:
             # Completion-driven, not consumption-driven: the budget frees as
             # soon as the pool finishes, however slowly the stream drains.
             remaining = len(futures)
             countdown = threading.Lock()
 
-            def on_done(_finished: "Future[list[tuple[str, str]]]") -> None:
+            def on_done(_finished: "Future[ChunkResult]") -> None:
                 nonlocal remaining
                 with countdown:
                     remaining -= 1
@@ -315,7 +401,10 @@ def _iter_frontier_parallel(
         try:
             pending = futures if plan.executor.ordered else as_completed(futures)
             for future in pending:
-                yield from future.result()
+                pairs, record = future.result()
+                if record is not None and tracer.enabled:
+                    _stitch_chunk(tracer, span, record)
+                yield from pairs
         finally:
             for future in futures:
                 future.cancel()

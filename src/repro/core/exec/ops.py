@@ -21,6 +21,7 @@ from typing import Callable, Iterable, Mapping
 
 from repro.automata.dfa import DFA
 from repro.automata.regex import RegexNode
+from repro.obs import get_tracer
 
 __all__ = [
     "FrontierSearchOp",
@@ -56,11 +57,15 @@ class MacroRelation:
         the returned mappings (never the fields) so reads need no lock."""
         with self._lock:
             if self._forward is None or self._backward is None:
-                forward: dict[str, list[str]] = {}
-                backward: dict[str, list[str]] = {}
-                for source, target in self._decode():
-                    forward.setdefault(source, []).append(target)
-                    backward.setdefault(target, []).append(source)
+                with get_tracer().span("exec.macro_decode") as span:
+                    forward: dict[str, list[str]] = {}
+                    backward: dict[str, list[str]] = {}
+                    pairs = 0
+                    for source, target in self._decode():
+                        pairs += 1
+                        forward.setdefault(source, []).append(target)
+                        backward.setdefault(target, []).append(source)
+                    span.set("pairs", pairs)
                 self._forward = {node: tuple(out) for node, out in forward.items()}
                 self._backward = {node: tuple(out) for node, out in backward.items()}
             return self._forward, self._backward

@@ -48,6 +48,7 @@ from repro.core.exec.ops import (
 )
 from repro.core.optimizer import estimate_frontier_search_cost, estimate_join_cost
 from repro.core.relations import restriction_universe
+from repro.obs import get_tracer
 from repro.workflow.run import Run
 
 __all__ = ["PhysicalPlan", "build_physical_plan"]
@@ -227,6 +228,39 @@ def build_physical_plan(
     direction decisions) — exactly the artifacts the cache layer persists.
     ``direction`` overrides the executor config's when not ``"auto"``.
     """
+    with get_tracer().span("exec.plan", requested=strategy) as span:
+        physical = _build_physical_plan(
+            run,
+            plan,
+            l1,
+            l2,
+            options=options,
+            indexes=indexes,
+            strategy=strategy,
+            direction=direction,
+            executor=executor,
+            push_restrictions=push_restrictions,
+            cost_based_routing=cost_based_routing,
+        )
+        span.set("strategy", physical.strategy)
+        span.set("direction", physical.direction)
+        return physical
+
+
+def _build_physical_plan(
+    run: Run,
+    plan: DecompositionPlan,
+    l1: Sequence[str] | None,
+    l2: Sequence[str] | None,
+    *,
+    options: AllPairsOptions,
+    indexes: IndexProvider,
+    strategy: str,
+    direction: str,
+    executor: ExecutorConfig | None,
+    push_restrictions: bool,
+    cost_based_routing: bool,
+) -> PhysicalPlan:
     if strategy not in _STRATEGIES:
         raise ValueError(
             f"unknown strategy {strategy!r}; use 'auto', 'frontier' or 'join'"

@@ -16,8 +16,38 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.automata.dfa import DFA
 from repro.core.relations import frontier_search
+from repro.obs import clock
 
-__all__ = ["SearchContext", "init_worker", "run_chunk", "search_chunk", "search_seeds"]
+__all__ = [
+    "ChunkPayload",
+    "ChunkRecord",
+    "ChunkResult",
+    "SearchContext",
+    "init_worker",
+    "run_chunk",
+    "search_chunk",
+    "search_seeds",
+    "timed_search_chunk",
+]
+
+#: The picklable trace context a chunk payload carries across the pool
+#: boundary: the ``(trace_id, span_id)`` of the submitting search span, or
+#: ``None`` when no recording tracer is installed.
+ContextTuple = tuple[int, int]
+
+#: What the traced pool entry point takes: the seed chunk plus the parent
+#: span context (plain data, so process pools can pickle it).
+ChunkPayload = tuple[tuple[str, ...], "ContextTuple | None"]
+
+#: What a worker ships home alongside its pairs: the echoed parent context
+#: and the chunk's clock window plus seed/pair counts.  The submitting side
+#: stitches this into its trace with :meth:`repro.obs.Tracer.record`.
+ChunkRecord = tuple["ContextTuple | None", float, float, int, int]
+
+#: The traced entry point's return shape.  ``None`` in the record slot means
+#: the span was already recorded live (the thread backend traces in-process
+#: and has nothing to stitch).
+ChunkResult = tuple[list[tuple[str, str]], "ChunkRecord | None"]
 
 
 @dataclass(frozen=True)
@@ -92,3 +122,19 @@ def search_chunk(seeds: tuple[str, ...]) -> list[tuple[str, str]]:
     """Pool entry point: search one seed chunk against the worker context."""
     assert _CONTEXT is not None, "worker used before init_worker ran"
     return run_chunk(_CONTEXT, seeds)
+
+
+def timed_search_chunk(payload: ChunkPayload) -> ChunkResult:
+    """Traced pool entry point: search one chunk and report *when*.
+
+    A worker process has no tracer (the ambient tracer is per-process), so
+    it times itself with the sanctioned clock — ``perf_counter`` reads
+    ``CLOCK_MONOTONIC`` on Linux, which is system-wide, so the window is
+    directly comparable with the parent's span clock — and echoes the
+    payload's parent context back so the submitting side can stitch the
+    chunk in as a child span.
+    """
+    seeds, parent = payload
+    started = clock.now()
+    pairs = search_chunk(seeds)
+    return pairs, (parent, started, clock.now(), len(seeds), len(pairs))

@@ -40,6 +40,7 @@ from repro.automata.regex import (
 )
 from repro.core.safety import is_safe_query
 from repro.datasets.index import EdgeTagIndex
+from repro.obs import get_tracer
 from repro.workflow.run import Run
 from repro.workflow.spec import Specification
 
@@ -280,9 +281,13 @@ class CostModel:
         self, query: str | RegexNode, *, input_pairs: int, run_edges: int
     ) -> StrategyEstimate:
         """Pick the cheapest strategy for the query under this cost model."""
-        candidates = [self.estimate_label_engine(query, input_pairs)]
-        g3 = self.estimate_g3(query, input_pairs)
-        if g3 is not None:
-            candidates.append(g3)
-        candidates.append(self.estimate_g1(query, run_edges))
-        return min(candidates, key=lambda estimate: estimate.cost)
+        with get_tracer().span("planner.cost_choose") as span:
+            candidates = [self.estimate_label_engine(query, input_pairs)]
+            g3 = self.estimate_g3(query, input_pairs)
+            if g3 is not None:
+                candidates.append(g3)
+            candidates.append(self.estimate_g1(query, run_edges))
+            best = min(candidates, key=lambda estimate: estimate.cost)
+            span.set("strategy", best.strategy)
+            span.set("candidates", len(candidates))
+            return best

@@ -1,0 +1,103 @@
+"""Exporters: Chrome trace-event JSON and Prometheus text exposition.
+
+:func:`chrome_trace` turns a tracer's finished spans into the trace-event
+format (``ph: "X"`` complete events, microsecond timestamps) that loads in
+Perfetto / ``chrome://tracing``; :func:`prometheus_text` renders a
+:class:`~repro.obs.metrics.MetricsRegistry` in the text exposition format
+(``# HELP``/``# TYPE`` plus samples, histograms with cumulative ``le``
+buckets).  Both are pure data transforms — no IO — so the CLI and tests own
+where the bytes go.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import Span
+
+__all__ = ["chrome_trace", "prometheus_text"]
+
+
+def chrome_trace(spans: Sequence[Span], *, process_name: str = "repro") -> dict[str, object]:
+    """The trace-event document for a span list.
+
+    Thread names map to stable small ``tid`` integers in order of first
+    appearance, with metadata events naming them, so Perfetto renders one
+    labeled row per thread.
+    """
+    tids: dict[str, int] = {}
+    events: list[dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        tid = tids.get(span.thread)
+        if tid is None:  # first appearance: emit the thread-name metadata
+            tid = tids[span.thread] = len(tids) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": span.thread or f"thread-{tid}"},
+                }
+            )
+        args: dict[str, object] = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round(span.start * 1_000_000, 3),
+                "dur": round(span.duration * 1_000_000, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format.
+
+    Instruments render with their declared kind; collector outputs render as
+    untyped gauges (the collector owns the semantics, the registry only
+    polls), namespaced exactly as the collector reports them.
+    """
+    lines: list[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{metric.name} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            cumulative = metric.bucket_counts()
+            for bound, count in zip(metric.bounds, cumulative):
+                lines.append(f'{metric.name}_bucket{{le="{bound}"}} {count}')
+            lines.append(f'{metric.name}_bucket{{le="+Inf"}} {cumulative[-1]}')
+            lines.append(f"{metric.name}_sum {_format_value(metric.sum)}")
+            lines.append(f"{metric.name}_count {cumulative[-1]}")
+    for name, collect in registry.collectors():
+        lines.append(f"# HELP {name} polled collector")
+        for sample_name, value in sorted(collect().items()):
+            lines.append(f"# TYPE {sample_name} gauge")
+            lines.append(f"{sample_name} {_format_value(float(value))}")
+    return "\n".join(lines) + "\n" if lines else ""

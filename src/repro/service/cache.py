@@ -54,6 +54,7 @@ from repro.core.decomposition import DecompositionPlan, plan_decomposition
 from repro.core.query_index import QueryIndex
 from repro.core.safety import SafetyReport, analyze_safety, query_dfa
 from repro.errors import UnsafeQueryError
+from repro.obs import get_registry, get_tracer
 from repro.workflow.spec import Specification
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -164,6 +165,28 @@ class IndexCache:
         self._index_builds = 0  # guarded-by: _lock
         self._safety_checks = 0  # guarded-by: _lock
         self._plan_builds = 0  # guarded-by: _lock
+        # Process-wide metrics mirror the per-instance counters above (the
+        # instruments are leaf locks, safe to bump under ``_lock``); the
+        # dataclass snapshot stays the per-cache schema-stable surface.
+        registry = get_registry()
+        self._hit_counter = registry.counter(
+            "repro_cache_hits_total", "in-memory index-cache hits"
+        )
+        self._miss_counter = registry.counter(
+            "repro_cache_misses_total", "in-memory index-cache misses"
+        )
+        self._eviction_counter = registry.counter(
+            "repro_cache_evictions_total", "index-cache LRU evictions"
+        )
+        self._build_counter = registry.counter(
+            "repro_cache_index_builds_total", "query index builds"
+        )
+        self._safety_counter = registry.counter(
+            "repro_cache_safety_checks_total", "query safety analyses"
+        )
+        self._plan_counter = registry.counter(
+            "repro_cache_plan_builds_total", "decomposition plan builds"
+        )
 
     # -- keys --------------------------------------------------------------------
 
@@ -227,6 +250,7 @@ class IndexCache:
                 # Benign race: concurrent builders produce equivalent plans
                 # and the last one wins.
                 entry.plan = plan
+            self._plan_counter.inc()
             self._reaccount(key, entry)
             self._persist(key, entry)
         elif self._reaccount(key, entry) or self._plan_stale(entry):
@@ -278,33 +302,41 @@ class IndexCache:
     def _lookup(self, spec: Specification, query: str | RegexNode) -> _Entry:
         node = parse_regex(query)
         key = self.key_for(spec, node)
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                self._hits += 1
-                self._entries.move_to_end(key)
-                return entry
-            build_lock = self._build_locks.setdefault(key, threading.Lock())
-        # Build outside the cache lock so distinct keys build in parallel;
-        # the per-key lock makes concurrent requests for one key build once.
-        with build_lock:
-            try:
-                with self._lock:
-                    entry = self._entries.get(key)
-                    if entry is not None:
-                        self._hits += 1
-                        self._entries.move_to_end(key)
-                        return entry
-                entry = self._restore(spec, key)
-                if entry is None:
-                    entry = self._build_coordinated(spec, node, key)
-                with self._lock:
-                    self._misses += 1
-                    self._insert(key, entry)
-                return entry
-            finally:
-                with self._lock:
-                    self._build_locks.pop(key, None)
+        with get_tracer().span("cache.lookup") as span:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._hits += 1
+                    self._hit_counter.inc()
+                    self._entries.move_to_end(key)
+                    span.set("hit", True)
+                    return entry
+                build_lock = self._build_locks.setdefault(key, threading.Lock())
+            # Build outside the cache lock so distinct keys build in parallel;
+            # the per-key lock makes concurrent requests for one key build once.
+            with build_lock:
+                try:
+                    with self._lock:
+                        entry = self._entries.get(key)
+                        if entry is not None:
+                            self._hits += 1
+                            self._hit_counter.inc()
+                            self._entries.move_to_end(key)
+                            span.set("hit", True)
+                            return entry
+                    entry = self._restore(spec, key)
+                    span.set("restored", entry is not None)
+                    if entry is None:
+                        entry = self._build_coordinated(spec, node, key)
+                    with self._lock:
+                        self._misses += 1
+                        self._miss_counter.inc()
+                        self._insert(key, entry)
+                    span.set("hit", False)
+                    return entry
+                finally:
+                    with self._lock:
+                        self._build_locks.pop(key, None)
 
     def _build_coordinated(
         self, spec: Specification, node: RegexNode, key: CacheKey
@@ -332,20 +364,25 @@ class IndexCache:
         return entry
 
     def _build(self, spec: Specification, node: RegexNode, key: CacheKey) -> _Entry:
-        dfa = query_dfa(spec, node)
-        report = analyze_safety(spec, dfa)
-        with self._lock:
-            self._safety_checks += 1
-        index: QueryIndex | None = None
-        if report.is_safe:
-            # Reuse the safety analysis instead of calling build_query_index,
-            # which would redo the DFA construction and the fixpoint.
-            index = QueryIndex(
-                spec=spec, dfa=report.dfa, lambdas=report.lambdas, query_text=key[1]
-            )
+        with get_tracer().span("cache.build") as span:
+            dfa = query_dfa(spec, node)
+            report = analyze_safety(spec, dfa)
             with self._lock:
-                self._index_builds += 1
-        return _Entry(report=report, index=index, cost=report.dfa.state_count**2)
+                self._safety_checks += 1
+            self._safety_counter.inc()
+            index: QueryIndex | None = None
+            if report.is_safe:
+                # Reuse the safety analysis instead of calling build_query_index,
+                # which would redo the DFA construction and the fixpoint.
+                index = QueryIndex(
+                    spec=spec, dfa=report.dfa, lambdas=report.lambdas, query_text=key[1]
+                )
+                with self._lock:
+                    self._index_builds += 1
+                self._build_counter.inc()
+            span.set("safe", report.is_safe)
+            span.set("states", report.dfa.state_count)
+            return _Entry(report=report, index=index, cost=report.dfa.state_count**2)
 
     @staticmethod
     def _entry_cost(entry: _Entry) -> int:
@@ -363,7 +400,9 @@ class IndexCache:
         store = self.store
         if store is None:
             return None
-        stored = store.load(spec, key[1])
+        with get_tracer().span("cache.restore") as span:
+            stored = store.load(spec, key[1])
+            span.set("hit", stored is not None)
         if stored is None:
             return None
         entry = _Entry(report=stored.report, index=stored.index, cost=0, plan=stored.plan)
@@ -424,6 +463,7 @@ class IndexCache:
             _, evicted = self._entries.popitem(last=False)
             self._total_cost -= evicted.cost
             self._evictions += 1
+            self._eviction_counter.inc()
 
     # -- management --------------------------------------------------------------
 

@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import os
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping, Sequence
@@ -40,6 +39,7 @@ from repro.core.decomposition import label_routed_subtrees, warm_frontier_dfa
 from repro.core.engine import ProvenanceQueryEngine
 from repro.core.exec import ExecutorConfig, WorkerBudget
 from repro.errors import ReproError
+from repro.obs import SpanContext, clock, get_registry, get_tracer
 from repro.service.cache import CacheStats, IndexCache
 from repro.store import IndexStore
 from repro.service.requests import (
@@ -139,6 +139,26 @@ class QueryService:
         self._pending_run_ids: set[str] = (  # guarded-by: _lock
             set(store.run_ids()) if store is not None else set()
         )
+        # Observability: request latencies go to a histogram; state that
+        # already lives behind the cache's and budget's own locks is polled
+        # through a collector instead of being counted twice.  A newer
+        # service instance re-registers the collector name and the snapshot
+        # follows it (exactly the registry's replacement semantics).
+        registry = get_registry()
+        self._latency = registry.histogram(
+            "repro_service_request_seconds", "batch request latency"
+        )
+        registry.register_collector("query_service", self._collect_metrics)
+
+    def _collect_metrics(self) -> dict[str, float]:
+        """The polled gauges of this service's live state."""
+        stats = self._cache.stats
+        return {
+            "repro_cache_entries": float(stats.entries),
+            "repro_cache_total_cost": float(stats.total_cost),
+            "repro_worker_budget_capacity": float(self._budget.capacity),
+            "repro_worker_budget_in_use": float(self._budget.in_use),
+        }
 
     def _with_budget(self, config: ExecutorConfig) -> ExecutorConfig:
         """A copy of ``config`` leasing its fan-out from this service's
@@ -335,17 +355,23 @@ class QueryService:
             return iter(())
 
         def generate() -> Iterator[QueryResult]:
-            pool = ThreadPoolExecutor(max_workers=self._max_workers)
-            try:
-                self._prebuild(batch, pool)
-                futures = [
-                    pool.submit(self._execute, request, position)
-                    for position, request in enumerate(batch)
-                ]
-                for future in futures:
-                    yield future.result()
-            finally:
-                pool.shutdown(wait=True)
+            tracer = get_tracer()
+            with tracer.span("service.batch", requests=len(batch)) as batch_span:
+                # Pool threads carry no span stack of their own: each request
+                # is handed the batch span's context and re-attaches it, so
+                # its service.request span nests here instead of floating.
+                parent = batch_span.context if tracer.enabled else None
+                pool = ThreadPoolExecutor(max_workers=self._max_workers)
+                try:
+                    self._prebuild(batch, pool)
+                    futures = [
+                        pool.submit(self._execute, request, position, parent)
+                        for position, request in enumerate(batch)
+                    ]
+                    for future in futures:
+                        yield future.result()
+                finally:
+                    pool.shutdown(wait=True)
 
         return generate()
 
@@ -417,70 +443,86 @@ class QueryService:
                 # as that request's error result during evaluation.
                 pass
 
-    def _execute(self, request: QueryRequest, position: int) -> QueryResult:
+    def _execute(
+        self,
+        request: QueryRequest,
+        position: int,
+        parent: SpanContext | None = None,
+    ) -> QueryResult:
         request_id = request.request_id if request.request_id is not None else str(position)
-        started = time.perf_counter()
+        tracer = get_tracer()
+        started = clock.now()
 
         def fail(message: str) -> QueryResult:
+            elapsed = clock.now() - started
+            self._latency.observe(elapsed)
             return QueryResult(
                 request_id=request_id,
                 op=request.op,
                 run=request.run,
                 ok=False,
                 error=message,
-                elapsed=time.perf_counter() - started,
+                elapsed=elapsed,
             )
 
-        try:
-            run = self.get_run(request.run)
-        except KeyError as error:
-            return fail(str(error).strip('"'))
-        engine = self.engine_for(request.run)
-        try:
-            answer: bool | None = None
-            pairs: tuple[tuple[str, str], ...] | None = None
-            if request.op == "reachability":
-                answer = engine.reachable(run, request.source, request.target)
-            elif request.op == "pairwise":
-                if engine.is_safe(request.query):
-                    answer = engine.pairwise(
-                        run, request.source, request.target, request.query
-                    )
-                else:
-                    answer = (request.source, request.target) in engine.evaluate(
-                        run,
-                        request.query,
-                        [request.source],
-                        [request.target],
-                        use_reachability_filter=request.use_reachability_filter,
-                    )
-            else:  # allpairs — the only remaining validated op
-                # Materializing anyway, so let evaluate() cost-route the
-                # unsafe remainder instead of forcing the streaming path.
-                # The request leases one budget slot for its own thread;
-                # a parallel frontier execution inside leases its fan-out
-                # from whatever the rest of the batch leaves free.
-                with self._budget.lease(1):
-                    matches = engine.evaluate(
-                        run,
-                        request.query,
-                        list(request.sources) if request.sources is not None else None,
-                        list(request.targets) if request.targets is not None else None,
-                        use_reachability_filter=request.use_reachability_filter,
-                        executor=self._executor,
-                    )
-                pairs = tuple(sorted(matches))
-        except Exception as error:
-            return fail(f"{type(error).__name__}: {error}")
-        return QueryResult(
-            request_id=request_id,
-            op=request.op,
-            run=request.run,
-            ok=True,
-            answer=answer,
-            pairs=pairs,
-            elapsed=time.perf_counter() - started,
-        )
+        with tracer.attach(parent), tracer.span(
+            "service.request", op=request.op, run=request.run
+        ) as span:
+            try:
+                run = self.get_run(request.run)
+            except KeyError as error:
+                span.set("ok", False)
+                return fail(str(error).strip('"'))
+            engine = self.engine_for(request.run)
+            try:
+                answer: bool | None = None
+                pairs: tuple[tuple[str, str], ...] | None = None
+                if request.op == "reachability":
+                    answer = engine.reachable(run, request.source, request.target)
+                elif request.op == "pairwise":
+                    if engine.is_safe(request.query):
+                        answer = engine.pairwise(
+                            run, request.source, request.target, request.query
+                        )
+                    else:
+                        answer = (request.source, request.target) in engine.evaluate(
+                            run,
+                            request.query,
+                            [request.source],
+                            [request.target],
+                            use_reachability_filter=request.use_reachability_filter,
+                        )
+                else:  # allpairs — the only remaining validated op
+                    # Materializing anyway, so let evaluate() cost-route the
+                    # unsafe remainder instead of forcing the streaming path.
+                    # The request leases one budget slot for its own thread;
+                    # a parallel frontier execution inside leases its fan-out
+                    # from whatever the rest of the batch leaves free.
+                    with self._budget.lease(1):
+                        matches = engine.evaluate(
+                            run,
+                            request.query,
+                            list(request.sources) if request.sources is not None else None,
+                            list(request.targets) if request.targets is not None else None,
+                            use_reachability_filter=request.use_reachability_filter,
+                            executor=self._executor,
+                        )
+                    pairs = tuple(sorted(matches))
+            except Exception as error:
+                span.set("ok", False)
+                return fail(f"{type(error).__name__}: {error}")
+            span.set("ok", True)
+            elapsed = clock.now() - started
+            self._latency.observe(elapsed)
+            return QueryResult(
+                request_id=request_id,
+                op=request.op,
+                run=request.run,
+                ok=True,
+                answer=answer,
+                pairs=pairs,
+                elapsed=elapsed,
+            )
 
     # -- reporting ---------------------------------------------------------------
 

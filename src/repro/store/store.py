@@ -61,6 +61,7 @@ from repro.core.decomposition import DecompositionPlan
 from repro.core.query_index import QueryIndex
 from repro.core.safety import SafetyReport
 from repro.errors import StoreError
+from repro.obs import ExecutionProfile, get_registry, get_tracer
 from repro.store.codec import entry_from_payload, entry_to_payload
 from repro.workflow.run import Run
 from repro.workflow.serialization import run_from_dict, run_to_dict
@@ -76,6 +77,20 @@ FORMAT_VERSION = 2
 
 _ENTRY_KIND = "store-entry"
 _RUN_KIND = "store-run"
+_PROFILE_KIND = "store-profile"
+
+#: Registry metrics mirroring the per-instance counters (one process-wide
+#: series per counter, however many store instances exist).
+_COUNTER_METRICS = {
+    "_hits": ("repro_store_hits_total", "disk-store entry hits"),
+    "_misses": ("repro_store_misses_total", "disk-store entry misses"),
+    "_writes": ("repro_store_writes_total", "disk-store artifact writes"),
+    "_errors": ("repro_store_errors_total", "disk-store swallowed failures"),
+    "_skipped_writes": (
+        "repro_store_skipped_writes_total",
+        "disk-store content-addressed write skips",
+    ),
+}
 
 
 @dataclass(frozen=True)
@@ -204,6 +219,11 @@ class IndexStore:
         self._errors = 0  # guarded-by: _lock
         self._evictions = 0  # guarded-by: _lock
         self._skipped_writes = 0  # guarded-by: _lock
+        registry = get_registry()
+        self._metric_counters = {
+            field: registry.counter(name, help_text)
+            for field, (name, help_text) in _COUNTER_METRICS.items()
+        }
 
     # -- paths -------------------------------------------------------------------
 
@@ -223,30 +243,34 @@ class IndexStore:
     def load(self, spec: Specification, query_text: str) -> StoredEntry | None:
         """Load one entry, or ``None`` on a miss *or* any corruption."""
         path = self.entry_path(spec.fingerprint, query_text)
-        try:
-            raw = path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            self._count("_misses")
-            return None
-        except OSError:
-            self._count("_errors")
-            self._count("_misses")
-            return None
-        try:
-            envelope = json.loads(raw)
-            payload = self._open_envelope(
-                envelope, _ENTRY_KIND, fingerprint=spec.fingerprint, query=query_text
-            )
-            report, index, plan = entry_from_payload(spec, payload)
-        except Exception:
-            # Truncation, bad checksum, version bump, decode bug: degrade to
-            # a rebuild, never a crash.
-            self._count("_errors")
-            self._count("_misses")
-            return None
-        self._touch(path)
-        self._count("_hits")
-        return StoredEntry(report=report, index=index, plan=plan)
+        with get_tracer().span("store.load") as span:
+            span.set("hit", False)
+            try:
+                raw = path.read_text(encoding="utf-8")
+            except FileNotFoundError:
+                self._count("_misses")
+                return None
+            except OSError:
+                self._count("_errors")
+                self._count("_misses")
+                return None
+            try:
+                envelope = json.loads(raw)
+                payload = self._open_envelope(
+                    envelope, _ENTRY_KIND, fingerprint=spec.fingerprint, query=query_text
+                )
+                report, index, plan = entry_from_payload(spec, payload)
+            except Exception:
+                # Truncation, bad checksum, version bump, decode bug: degrade to
+                # a rebuild, never a crash.
+                self._count("_errors")
+                self._count("_misses")
+                return None
+            self._touch(path)
+            self._count("_hits")
+            span.set("hit", True)
+            span.set("bytes", len(raw))
+            return StoredEntry(report=report, index=index, plan=plan)
 
     def save(
         self,
@@ -269,29 +293,31 @@ class IndexStore:
         are counted and swallowed: persistence is an optimization, and the
         in-memory tier keeps serving either way.
         """
-        try:
-            payload = entry_to_payload(report, index, plan)
-            checksum = _checksum(payload)
-            path = self.entry_path(fingerprint, query_text)
-            if self._existing_checksum(path) == checksum:
-                self._count("_skipped_writes")
-                return True
-            envelope = {
-                "format": FORMAT_VERSION,
-                "kind": _ENTRY_KIND,
-                "fingerprint": fingerprint,
-                "query": query_text,
-                "checksum": checksum,
-                "payload64": _encode_payload(payload),
-            }
-            _atomic_write(path, json.dumps(envelope))
-        except Exception:
-            self._count("_errors")
-            return False
-        self._count("_writes")
-        if self.max_bytes is not None:
-            self.gc()
-        return True
+        with get_tracer().span("store.save") as span:
+            try:
+                payload = entry_to_payload(report, index, plan)
+                checksum = _checksum(payload)
+                path = self.entry_path(fingerprint, query_text)
+                if self._existing_checksum(path) == checksum:
+                    self._count("_skipped_writes")
+                    span.set("skipped", True)
+                    return True
+                envelope = {
+                    "format": FORMAT_VERSION,
+                    "kind": _ENTRY_KIND,
+                    "fingerprint": fingerprint,
+                    "query": query_text,
+                    "checksum": checksum,
+                    "payload64": _encode_payload(payload),
+                }
+                _atomic_write(path, json.dumps(envelope))
+            except Exception:
+                self._count("_errors")
+                return False
+            self._count("_writes")
+            if self.max_bytes is not None:
+                self.gc()
+            return True
 
     def _existing_checksum(self, path: Path) -> str | None:
         """The *verified* payload checksum of an on-disk artifact, or
@@ -560,6 +586,54 @@ class IndexStore:
             urllib.parse.unquote(path.stem) for path in self._runs_dir.glob("*.json")
         )
 
+    # -- execution profiles -------------------------------------------------------
+
+    def profile_dir(self, run_id: str) -> Path:
+        """Where one run's persisted execution profiles live."""
+        return self.root / "profiles" / urllib.parse.quote(run_id, safe="")
+
+    def save_profile(self, profile: ExecutionProfile) -> bool:
+        """Persist one execution profile (the opt-in observability artifact
+        behind ``repro query --profile --save-profile``); returns success.
+
+        Content-addressed file names (payload checksum prefix), so re-saving
+        an identical profile overwrites its own artifact instead of piling
+        up duplicates.  Failures are counted and swallowed like
+        :meth:`save` — profiling must never fail a query.
+        """
+        try:
+            payload = profile.as_dict()
+            checksum = _checksum(payload)
+            envelope = {
+                "format": FORMAT_VERSION,
+                "kind": _PROFILE_KIND,
+                "run_id": profile.run,
+                "query": profile.query,
+                "checksum": checksum,
+                "payload64": _encode_payload(payload),
+            }
+            path = self.profile_dir(profile.run) / f"{checksum[:32]}.json"
+            _atomic_write(path, json.dumps(envelope))
+        except Exception:
+            self._count("_errors")
+            return False
+        self._count("_writes")
+        return True
+
+    def load_profiles(self, run_id: str) -> list[ExecutionProfile]:
+        """Every readable persisted profile of one run, sorted by query text
+        (corrupt artifacts are counted and skipped, like every other read)."""
+        profiles: list[ExecutionProfile] = []
+        for path in sorted(self.profile_dir(run_id).glob("*.json")):
+            try:
+                envelope = json.loads(path.read_text(encoding="utf-8"))
+                payload = self._open_envelope(envelope, _PROFILE_KIND)
+                profiles.append(ExecutionProfile.from_dict(payload))
+            except Exception:
+                self._count("_errors")
+        profiles.sort(key=lambda profile: profile.query)
+        return profiles
+
     # -- reporting ----------------------------------------------------------------
 
     @property
@@ -626,6 +700,9 @@ class IndexStore:
     def _count(self, counter: str) -> None:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + 1)
+        metric = self._metric_counters.get(counter)
+        if metric is not None:
+            metric.inc()
 
     def __iter__(self) -> Iterator[EntryInfo]:
         return iter(self.entries())

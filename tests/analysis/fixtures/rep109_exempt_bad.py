@@ -1,0 +1,14 @@
+# repro-lint-module: fixtures.rep109_planner
+"""REP109 exhibit: the planner reaches a clock read the ``# effect-exempt:``
+directive does not sanction (no directive on one path, a directive naming
+the wrong effect on the other)."""
+
+from fixtures.rep109_exempt_helpers import mislabeled_now, unsanctioned_now
+
+
+def plan_budget(nodes: list) -> float:
+    return unsanctioned_now() + float(len(nodes))
+
+
+def plan_deadline(nodes: list) -> float:
+    return mislabeled_now() + float(len(nodes))

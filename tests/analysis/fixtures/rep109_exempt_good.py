@@ -1,0 +1,9 @@
+# repro-lint-module: fixtures.rep109_planner
+"""REP109 clean twin: the planner times itself only through the sanctioned
+wrapper, whose clock read carries ``# effect-exempt: clock``."""
+
+from fixtures.rep109_exempt_helpers import sanctioned_now
+
+
+def plan_budget(nodes: list) -> float:
+    return sanctioned_now() + float(len(nodes))

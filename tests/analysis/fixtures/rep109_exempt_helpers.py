@@ -1,0 +1,22 @@
+# repro-lint-module: fixtures.rep109_exempt_helpers
+"""Helpers for the ``# effect-exempt:`` fixtures.
+
+``sanctioned_now`` mirrors ``repro.obs.clock.now``: the clock read sits on a
+line carrying the directive, so the effect scanner waives it.  The other two
+prove the directive's limits: ``unsanctioned_now`` has no directive and
+``mislabeled_now`` waives the *wrong* effect — both keep their clock effect.
+"""
+
+import time
+
+
+def sanctioned_now() -> float:
+    return time.perf_counter()  # effect-exempt: clock
+
+
+def unsanctioned_now() -> float:
+    return time.perf_counter()  # the carve-out does not apply here
+
+
+def mislabeled_now() -> float:
+    return time.perf_counter()  # effect-exempt: randomness

@@ -208,6 +208,38 @@ class TestPlannerPurity:
         assert findings == []
 
 
+class TestEffectExemptDirective:
+    """The ``# effect-exempt:`` carve-out behind ``repro.obs.clock``: the
+    directive waives exactly the named effect on its own line, so every
+    unsanctioned clock read stays a REP109 finding."""
+
+    CONFIG = AnalysisConfig(
+        determinism_modules=frozenset({"fixtures.rep109_planner"})
+    )
+
+    def test_sanctioned_wrapper_is_clean(self):
+        findings = lint(
+            "REP109",
+            "rep109_exempt_good.py",
+            "rep109_exempt_helpers.py",
+            config=self.CONFIG,
+        )
+        assert findings == []
+
+    def test_unsanctioned_and_mislabeled_clock_reads_still_fail(self):
+        findings = lint(
+            "REP109",
+            "rep109_exempt_bad.py",
+            "rep109_exempt_helpers.py",
+            config=self.CONFIG,
+        )
+        messages = " | ".join(finding.message for finding in findings)
+        assert len(findings) == 2
+        assert "'clock'" in messages
+        assert "unsanctioned_now" in messages  # no directive at all
+        assert "mislabeled_now" in messages  # directive naming another effect
+
+
 class TestRepositoryIsClean:
     """The tree itself must hold the invariants the rules encode."""
 

@@ -1,0 +1,83 @@
+"""Exporters: Chrome trace-event JSON and Prometheus text exposition."""
+
+import json
+
+from repro.obs import Tracer, chrome_trace, prometheus_text
+from repro.obs.metrics import MetricsRegistry
+
+
+def _spans():
+    tracer = Tracer(registry=MetricsRegistry())
+    with tracer.span("query.evaluate", query="a b"):
+        with tracer.span("exec.frontier_search", mode="serial"):
+            pass
+    return tracer.spans()
+
+
+class TestChromeTrace:
+    def test_complete_events_with_metadata(self):
+        document = chrome_trace(_spans(), process_name="unit")
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        meta = [event for event in events if event["ph"] == "M"]
+        assert meta[0]["args"] == {"name": "unit"}
+        complete = [event for event in events if event["ph"] == "X"]
+        assert {event["name"] for event in complete} == {
+            "query.evaluate",
+            "exec.frontier_search",
+        }
+        for event in complete:
+            assert event["cat"] == event["name"].split(".")[0]
+            assert event["dur"] >= 0
+        child = next(e for e in complete if e["name"] == "exec.frontier_search")
+        parent = next(e for e in complete if e["name"] == "query.evaluate")
+        assert child["args"]["parent_id"] == parent["args"]["span_id"]
+        assert child["args"]["mode"] == "serial"
+
+    def test_document_is_json_serializable(self):
+        json.dumps(chrome_trace(_spans()))
+
+    def test_threads_map_to_stable_named_tids(self):
+        document = chrome_trace(_spans())
+        events = document["traceEvents"]
+        thread_meta = [e for e in events if e.get("name") == "thread_name"]
+        assert len(thread_meta) == 1  # one thread, one row
+        tid = thread_meta[0]["tid"]
+        assert all(e["tid"] == tid for e in events if e["ph"] == "X")
+
+    def test_empty_span_list(self):
+        document = chrome_trace(())
+        assert [e["name"] for e in document["traceEvents"]] == ["process_name"]
+
+
+class TestPrometheusText:
+    def test_instruments_render_with_kind_and_help(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total", "cache hits").inc(3)
+        registry.gauge("repro_depth").set(1.5)
+        text = prometheus_text(registry)
+        assert "# HELP repro_hits_total cache hits" in text
+        assert "# TYPE repro_hits_total counter" in text
+        assert "repro_hits_total 3" in text
+        assert "repro_depth 1.5" in text
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_latency", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        text = prometheus_text(registry)
+        assert 'repro_latency_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_bucket{le="1.0"} 2' in text
+        assert 'repro_latency_bucket{le="+Inf"} 2' in text
+        assert "repro_latency_count 2" in text
+
+    def test_collectors_render_as_gauges(self):
+        registry = MetricsRegistry()
+        registry.register_collector("svc", lambda: {"repro_live": 4.0})
+        text = prometheus_text(registry)
+        assert "repro_live 4" in text
+        assert "# TYPE repro_live gauge" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import re
 
 import pytest
 
@@ -253,6 +254,44 @@ class TestBatchCommand:
         assert summary["hits"] >= 1
         assert 0.0 <= summary["hit_rate"] <= 1.0
 
+    def test_batch_stats_json_metrics_schema(self, tmp_path, run_path, capsys):
+        """The summary's 'metrics' block carries the registry snapshot —
+        cache/store counters, spans recorded, service latency — without
+        disturbing the flat CacheStats schema asserted above."""
+        requests = self._write_requests(
+            tmp_path,
+            [
+                {"op": "allpairs", "run": "r1", "query": "A+"},
+                {"op": "allpairs", "run": "r1", "query": "A+"},
+            ],
+        )
+        stats_path = tmp_path / "stats.json"
+        store_dir = tmp_path / "store"
+        assert main(["batch", str(requests), "--run", str(run_path),
+                     "--store", str(store_dir),
+                     "--stats-json", str(stats_path)]) == 0
+        capsys.readouterr()
+        summary = json.loads(stats_path.read_text())
+        assert summary["index_builds"] >= 1  # the flat schema is intact
+        metrics = summary["metrics"]
+        # Registry counters are process-wide and cumulative, so the schema
+        # test pins key presence (and minimums), never exact values.
+        for key in (
+            "repro_cache_hits_total",
+            "repro_cache_misses_total",
+            "repro_cache_index_builds_total",
+            "repro_store_hits_total",
+            "repro_store_misses_total",
+            "repro_store_writes_total",
+            "repro_obs_spans_total",
+            "repro_service_request_seconds_count",
+            "repro_cache_entries",
+            "repro_worker_budget_capacity",
+        ):
+            assert key in metrics, f"metrics block lost {key}"
+        assert metrics["repro_cache_hits_total"] >= 1
+        assert metrics["repro_service_request_seconds_count"] >= 2
+
     def test_batch_malformed_request_is_clean_error(self, tmp_path, run_path, capsys):
         requests = self._write_requests(tmp_path, [{"op": "bogus"}])
         assert main(["batch", str(requests), "--run", str(run_path)]) == 2
@@ -464,3 +503,72 @@ class TestStoreGcOrphans:
         assert "orphans: removed 0 entries" in out  # both grammars registered
         assert main(["store", "ls", str(store)]) == 0
         assert "0 entries" in capsys.readouterr().out  # LRU sweep took the rest
+
+
+class TestObservabilityCommands:
+    def test_query_profile_reports_covering_span_tree(self, run_path, capsys):
+        """The acceptance bar: per-operator spans cover >= 95% of the root
+        span's wall time on the paper-example run."""
+        assert main(["query", str(run_path), "_* e _*", "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "matching pairs" in captured.out  # stdout output is unchanged
+        assert "query.evaluate" in captured.err
+        match = re.search(r"coverage: (\d+(?:\.\d+)?)%", captured.err)
+        assert match is not None, captured.err
+        assert float(match.group(1)) >= 95.0
+
+    def test_query_trace_json_writes_a_chrome_trace(self, tmp_path, run_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["query", str(run_path), "A+",
+                     "--trace-json", str(trace_path)]) == 0
+        capsys.readouterr()
+        document = json.loads(trace_path.read_text())
+        events = document["traceEvents"]
+        assert "query.evaluate" in {event["name"] for event in events}
+        complete = [event for event in events if event["ph"] == "X"]
+        assert complete and all(event["dur"] >= 0 for event in complete)
+
+    def test_query_save_profile_persists_to_the_store(self, tmp_path, run_path, capsys):
+        from repro.store import IndexStore
+
+        store_dir = tmp_path / "store"
+        assert main(["query", str(run_path), "A+",
+                     "--save-profile", str(store_dir)]) == 0
+        capsys.readouterr()
+        (profile,) = IndexStore(store_dir).load_profiles("r1")
+        assert profile.query == "A+"
+        assert profile.root is not None
+        assert profile.coverage() >= 0.95
+
+    def test_trace_command_writes_the_document(self, tmp_path, run_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", str(run_path), "_* a _*",
+                     "--output", str(out_path)]) == 0
+        assert "spans" in capsys.readouterr().err
+        names = {
+            event["name"]
+            for event in json.loads(out_path.read_text())["traceEvents"]
+        }
+        assert "query.evaluate" in names
+        assert any(name.startswith("exec.") for name in names)
+
+    def test_trace_command_defaults_to_stdout(self, run_path, capsys):
+        assert main(["trace", str(run_path), "A+"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["traceEvents"]
+
+    def test_metrics_replay_renders_prometheus_text(self, tmp_path, run_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"op": "allpairs", "run": "r1", "query": "A+"}) + "\n"
+        )
+        assert main(["metrics", "--requests", str(requests),
+                     "--run", str(run_path), "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_cache_hits_total counter" in out
+        assert "# TYPE repro_service_request_seconds histogram" in out
+        assert re.search(r"repro_obs_spans_total [1-9]", out)
+
+    def test_metrics_without_replay_prints_the_registry(self, capsys):
+        assert main(["metrics"]) == 0
+        assert "repro_obs_spans_total" in capsys.readouterr().out
