@@ -105,7 +105,13 @@ class BooleanMatrix:
     @classmethod
     def from_packed(cls, size: int, data: str) -> "BooleanMatrix":
         """Rebuild a matrix from :meth:`to_packed` output (strict: a payload
-        whose byte length disagrees with ``size`` raises ``ValueError``)."""
+        whose byte length disagrees with ``size`` raises ``ValueError``).
+
+        The whole payload is decoded as *one* little-endian integer and rows
+        are sliced out by shift-and-mask — a single pass over the packed
+        buffer instead of a bytes-slice-and-convert per row, which is what
+        lets store format 2 deserialize straight into the row bitmasks.
+        """
         packed = base64.b64decode(data.encode("ascii"), validate=True)
         width = (size + 7) // 8
         if len(packed) != width * size:
@@ -115,10 +121,10 @@ class BooleanMatrix:
             )
         if size == 0:
             return cls(0)
-        rows = [
-            int.from_bytes(packed[offset : offset + width], "little")
-            for offset in range(0, len(packed), width)
-        ]
+        buffer = int.from_bytes(packed, "little")
+        row_bits = width * 8
+        mask = (1 << row_bits) - 1
+        rows = [(buffer >> (index * row_bits)) & mask for index in range(size)]
         return cls(size, rows)
 
     # -- basic queries -------------------------------------------------------

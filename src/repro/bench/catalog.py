@@ -264,6 +264,33 @@ CATALOG: tuple[Scenario, ...] = (
         params=(("query", "_* op0 _* op0 _*"),),
         suites=_CI,
     ),
+    # -- new coverage: compute-kernel A/B (PR 10) -------------------------------
+    # The same join-strategy evaluation of a wildcard-dense unsafe query on
+    # both kernels: the regime where relation algebra dominates, so the
+    # packed bitset rows (word-parallel compose/closure) must beat the
+    # per-element set path by a wide margin ('packed-kernel-5x' below).
+    Scenario(
+        id="kernel-packed-join",
+        title="dense-wildcard join evaluation on the packed bitset kernel",
+        grammar="dense-wildcard:250",
+        query_class="unsafe-allpairs",
+        run_edges=1200,
+        executor=ExecutorFactors(strategy="join", kernel="packed"),
+        params=(("query", "_* op0 _*"),),
+        seed=1,
+        suites=_CI,
+    ),
+    Scenario(
+        id="kernel-sets-join",
+        title="the same join evaluation on the legacy set-based kernel",
+        grammar="dense-wildcard:250",
+        query_class="unsafe-allpairs",
+        run_edges=1200,
+        executor=ExecutorFactors(strategy="join", kernel="sets"),
+        params=(("query", "_* op0 _*"),),
+        seed=1,
+        suites=_CI,
+    ),
     # -- new coverage: observability overhead -----------------------------------
     # The same unsafe all-pairs evaluation, with and without a recording
     # tracer installed; the 'tracer-overhead' invariant bounds the gap, and
@@ -334,6 +361,14 @@ INVARIANTS: tuple[Invariant, ...] = (
         slow="service-throughput-cold",
         note="a warm shared cache must beat per-batch rebuilds",
     ),
+    Invariant(
+        id="packed-kernel-5x",
+        fast="kernel-packed-join",
+        slow="kernel-sets-join",
+        factor=5.0,
+        note="the uint64 bitset kernel must beat the set reference >= 5x on "
+        "the dense-wildcard join workload",
+    ),
     # Deliberately inverted roles: the gate checks slow >= factor * fast, so
     # naming the *untraced* arm as 'slow' with factor 0.8 bounds the traced
     # arm at <= 1.25x of the untraced baseline.
@@ -401,7 +436,9 @@ def check_catalog(
             from repro.core.exec import ExecutorConfig
 
             ExecutorConfig(
-                direction=scenario.executor.direction, workers=scenario.executor.workers
+                direction=scenario.executor.direction,
+                workers=scenario.executor.workers,
+                kernel=scenario.executor.kernel,
             )
             if scenario.executor.strategy not in ("auto", "frontier", "join"):
                 raise ValueError(f"unknown strategy {scenario.executor.strategy!r}")

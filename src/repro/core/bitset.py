@@ -1,0 +1,607 @@
+"""Dense node interning and the uint64-packed bitset compute kernel.
+
+The set-based machinery in :mod:`repro.core.relations` represents run-scale
+state as ``set[str]`` / ``set[tuple[str, str]]`` and pays a hash lookup per
+element.  This module re-platforms that data path on *dense interned ids*
+(each run node gets an index ``0 .. n-1``, assigned once per
+:class:`~repro.workflow.run.Run` and memoized on it) and *packed bitsets*:
+
+* a node set is one unbounded Python integer whose bit ``i`` is node ``i``
+  (CPython stores it as an array of native words, so ``&``/``|``/``~`` run
+  word-parallel at C speed — 64 nodes per machine operation);
+* a relation or adjacency structure is one such row per source node, with
+  bit ``j`` of row ``i`` meaning ``i → j``.
+
+Rows serialize to a fixed-width **little-endian uint64 word layout**
+(``row_byte_width`` = ``ceil(n / 64) * 8`` bytes per row, exactly the layout
+of an ``array('Q')`` buffer), which is what the shared-memory worker arena
+(:mod:`repro.core.exec.arena`) and the store's packed matrix format exchange.
+
+When numpy is importable (a soft dependency, probed at import time — see
+:data:`HAS_NUMPY`) wide row unions additionally take a vectorized path:
+rows are mirrored into an ``(n, words)`` ``uint64`` matrix and a frontier
+propagation becomes one ``np.bitwise_or.reduce`` over the selected rows.
+The kernel is exactly equivalent with or without numpy; the probe only
+switches implementations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Protocol, Sequence
+
+from repro.automata.dfa import DFA
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workflow.run import Run
+
+__all__ = [
+    "WORD_BITS",
+    "HAS_NUMPY",
+    "word_count",
+    "row_byte_width",
+    "bit_indices",
+    "rows_to_bytes",
+    "rows_from_bytes",
+    "NodeInterner",
+    "PackedAdjacency",
+    "RowPropagator",
+    "PackedGraph",
+    "PackedRunView",
+    "build_run_view",
+    "closure_mask",
+    "PackedRelation",
+    "PackedFrontier",
+]
+
+WORD_BITS = 64
+
+
+def _load_numpy() -> Any:
+    """Probe for numpy without making it a hard dependency."""
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+_NUMPY: Any = _load_numpy()
+HAS_NUMPY: bool = _NUMPY is not None
+
+# Vectorize a propagation only when it unions at least this many rows (below
+# that, the Python big-int loop wins on constant factors) ...
+_NUMPY_MIN_FANOUT = 32
+# ... and only mirror a dense uint64 matrix for graphs up to this many nodes
+# (the mirror costs n * ceil(n/64) * 8 bytes; 16384 nodes = 32 MiB).
+_DENSE_NODE_LIMIT = 1 << 14
+
+
+def word_count(bits: int) -> int:
+    """Number of 64-bit words needed for a ``bits``-wide bitset row."""
+    return (bits + WORD_BITS - 1) // WORD_BITS
+
+
+def row_byte_width(bits: int) -> int:
+    """Serialized row width in bytes: whole little-endian uint64 words."""
+    return word_count(bits) * 8
+
+
+def bit_indices(mask: int) -> list[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    out: list[int] = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
+def rows_to_bytes(rows: Sequence[int], bits: int) -> bytes:
+    """Serialize rows into the fixed-width little-endian word layout."""
+    width = row_byte_width(bits)
+    return b"".join(row.to_bytes(width, "little") for row in rows)
+
+
+def rows_from_bytes(buffer: bytes | memoryview, bits: int, count: int) -> list[int]:
+    """Parse ``count`` fixed-width rows back into Python-int bitsets.
+
+    Accepts a ``memoryview`` so callers can parse straight out of a mapped
+    shared-memory segment without first copying the buffer.
+    """
+    width = row_byte_width(bits)
+    view = memoryview(buffer)
+    if len(view) < width * count:
+        raise ValueError(
+            f"buffer holds {len(view)} bytes; {count} rows of {width} bytes need "
+            f"{width * count}"
+        )
+    return [
+        int.from_bytes(view[index * width : (index + 1) * width], "little")
+        for index in range(count)
+    ]
+
+
+class NodeInterner:
+    """Dense ``node id -> bit index`` table for one run, built once.
+
+    ``ids`` preserves run node order, so bit indices (and therefore every
+    packed row) are deterministic for a given run.
+    """
+
+    __slots__ = ("ids", "index", "full_mask")
+
+    def __init__(self, ids: Iterable[str]) -> None:
+        self.ids: tuple[str, ...] = tuple(ids)
+        self.index: dict[str, int] = {
+            node_id: position for position, node_id in enumerate(self.ids)
+        }
+        self.full_mask: int = (1 << len(self.ids)) - 1
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def bit_of(self, node_id: str) -> int | None:
+        """Bit index of a node id, or ``None`` for ids not in the run."""
+        return self.index.get(node_id)
+
+    def mask_of(self, node_ids: Iterable[str]) -> int:
+        """Pack a node-id collection into a bitset (unknown ids dropped)."""
+        index = self.index
+        mask = 0
+        for node_id in node_ids:
+            position = index.get(node_id)
+            if position is not None:
+                mask |= 1 << position
+        return mask
+
+    def nodes_of(self, mask: int) -> list[str]:
+        """Unpack a bitset back into node ids, in bit (= run) order."""
+        ids = self.ids
+        return [ids[position] for position in bit_indices(mask)]
+
+
+class RowPropagator(Protocol):
+    """Anything that can union its rows over a source mask.
+
+    Both :class:`PackedAdjacency` and the executor's lazily-materialized
+    macro adjacency satisfy this; the frontier search only needs
+    :meth:`propagate`.
+    """
+
+    def propagate(self, mask: int) -> int:
+        """Union of ``rows[i]`` over the set bits ``i`` of ``mask``."""
+        ...
+
+
+class PackedAdjacency:
+    """One packed row per source node; ``propagate`` is the kernel hot loop."""
+
+    __slots__ = ("node_count", "rows", "_dense")
+
+    def __init__(self, node_count: int, rows: Sequence[int]) -> None:
+        if len(rows) != node_count:
+            raise ValueError(f"expected {node_count} rows, got {len(rows)}")
+        self.node_count = node_count
+        self.rows: list[int] = list(rows)
+        # Lazily-built numpy mirror; idempotent to race on (see _matrix).
+        self._dense: Any = None
+
+    @classmethod
+    def from_edges(
+        cls, node_count: int, edges: Iterable[tuple[int, int]]
+    ) -> "PackedAdjacency":
+        rows = [0] * node_count
+        for source, target in edges:
+            rows[source] |= 1 << target
+        return cls(node_count, rows)
+
+    def propagate(self, mask: int) -> int:
+        """Union of the successor rows of every set bit of ``mask``."""
+        if (
+            _NUMPY is not None
+            and 0 < self.node_count <= _DENSE_NODE_LIMIT
+            and mask.bit_count() >= _NUMPY_MIN_FANOUT
+        ):
+            return self._propagate_dense(mask)
+        rows = self.rows
+        out = 0
+        while mask:
+            low = mask & -mask
+            out |= rows[low.bit_length() - 1]
+            mask ^= low
+        return out
+
+    def _matrix(self) -> Any:
+        """The ``(n, words)`` uint64 mirror of the rows, built on first use.
+
+        Safe to race from threads: every builder computes the same immutable
+        array and the attribute store is atomic under the GIL.
+        """
+        dense = self._dense
+        if dense is None:
+            words = word_count(self.node_count)
+            flat = _NUMPY.frombuffer(
+                rows_to_bytes(self.rows, self.node_count), dtype=_NUMPY.uint64
+            )
+            dense = flat.reshape(self.node_count, words)
+            self._dense = dense
+        return dense
+
+    def _propagate_dense(self, mask: int) -> int:
+        width = row_byte_width(self.node_count)
+        mask_bytes = _NUMPY.frombuffer(
+            mask.to_bytes(width, "little"), dtype=_NUMPY.uint8
+        )
+        selected = _NUMPY.unpackbits(mask_bytes, bitorder="little")[: self.node_count]
+        rows = self._matrix()[selected.astype(bool)]
+        if not len(rows):
+            return 0
+        out = _NUMPY.bitwise_or.reduce(rows, axis=0)
+        return int.from_bytes(out.tobytes(), "little")
+
+    def to_bytes(self) -> bytes:
+        return rows_to_bytes(self.rows, self.node_count)
+
+    @classmethod
+    def from_bytes(
+        cls, buffer: bytes | memoryview, node_count: int
+    ) -> "PackedAdjacency":
+        return cls(node_count, rows_from_bytes(buffer, node_count, node_count))
+
+
+class PackedGraph:
+    """One traversal direction of a run in packed form."""
+
+    __slots__ = ("by_tag", "any_tag")
+
+    def __init__(self, by_tag: Mapping[str, PackedAdjacency], any_tag: PackedAdjacency) -> None:
+        self.by_tag: dict[str, PackedAdjacency] = dict(by_tag)
+        self.any_tag = any_tag
+
+
+class PackedRunView:
+    """The memoized packed form of a run: interner plus both directions.
+
+    Built once per run (see ``Run.packed``) and reused by every query, which
+    is what retires the old per-call adjacency rebuilds in the join and
+    closure paths.
+    """
+
+    __slots__ = ("interner", "forward", "backward")
+
+    def __init__(self, interner: NodeInterner, forward: PackedGraph, backward: PackedGraph) -> None:
+        self.interner = interner
+        self.forward = forward
+        self.backward = backward
+
+    def graph(self, direction: str) -> PackedGraph:
+        if direction == "forward":
+            return self.forward
+        if direction == "backward":
+            return self.backward
+        raise ValueError(f"unknown direction {direction!r}")
+
+
+def build_run_view(run: "Run") -> PackedRunView:
+    """Intern a run's nodes and pack both adjacency directions by tag."""
+    interner = NodeInterner(run.nodes)
+    index = interner.index
+    node_count = len(interner)
+    forward_by_tag: dict[str, list[int]] = {}
+    backward_by_tag: dict[str, list[int]] = {}
+    forward_any = [0] * node_count
+    backward_any = [0] * node_count
+    for edge in run.edges:
+        source = index[edge.source]
+        target = index[edge.target]
+        source_bit = 1 << source
+        target_bit = 1 << target
+        tag_forward = forward_by_tag.get(edge.tag)
+        if tag_forward is None:
+            tag_forward = [0] * node_count
+            forward_by_tag[edge.tag] = tag_forward
+            backward_by_tag[edge.tag] = [0] * node_count
+        tag_forward[source] |= target_bit
+        backward_by_tag[edge.tag][target] |= source_bit
+        forward_any[source] |= target_bit
+        backward_any[target] |= source_bit
+    forward = PackedGraph(
+        {tag: PackedAdjacency(node_count, rows) for tag, rows in forward_by_tag.items()},
+        PackedAdjacency(node_count, forward_any),
+    )
+    backward = PackedGraph(
+        {tag: PackedAdjacency(node_count, rows) for tag, rows in backward_by_tag.items()},
+        PackedAdjacency(node_count, backward_any),
+    )
+    return PackedRunView(interner, forward, backward)
+
+
+def closure_mask(adjacency: RowPropagator, seeds: int) -> int:
+    """Reachability closure of a seed mask (seeds included), by wavefront.
+
+    Each round propagates the whole frontier in one word-parallel union, so
+    the loop runs once per BFS level instead of once per node.
+    """
+    reach = seeds
+    frontier = seeds
+    while frontier:
+        fresh = adjacency.propagate(frontier) & ~reach
+        reach |= fresh
+        frontier = fresh
+    return reach
+
+
+class PackedRelation:
+    """A node-pair relation as packed rows (bit ``j`` of row ``i`` = ``i → j``)."""
+
+    __slots__ = ("node_count", "rows")
+
+    def __init__(self, node_count: int, rows: Sequence[int]) -> None:
+        if len(rows) != node_count:
+            raise ValueError(f"expected {node_count} rows, got {len(rows)}")
+        self.node_count = node_count
+        self.rows: list[int] = list(rows)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, node_count: int) -> "PackedRelation":
+        return cls(node_count, [0] * node_count)
+
+    @classmethod
+    def identity(cls, node_count: int, universe: int) -> "PackedRelation":
+        """The diagonal over a node universe (the empty path)."""
+        rows = [0] * node_count
+        for position in bit_indices(universe):
+            rows[position] = 1 << position
+        return cls(node_count, rows)
+
+    @classmethod
+    def from_pairs(
+        cls, interner: NodeInterner, pairs: Iterable[tuple[str, str]]
+    ) -> "PackedRelation":
+        """Pack a set-based relation (pairs with unknown ids are dropped)."""
+        index = interner.index
+        rows = [0] * len(interner)
+        for source, target in pairs:
+            source_bit = index.get(source)
+            target_bit = index.get(target)
+            if source_bit is not None and target_bit is not None:
+                rows[source_bit] |= 1 << target_bit
+        return cls(len(interner), rows)
+
+    @classmethod
+    def from_adjacency(
+        cls, adjacency: PackedAdjacency, allowed: int | None
+    ) -> "PackedRelation":
+        """A single-step relation from packed adjacency, restricted to a
+        universe mask on both endpoints (``None`` = unrestricted)."""
+        if allowed is None:
+            return cls(adjacency.node_count, adjacency.rows)
+        rows = [0] * adjacency.node_count
+        source_mask = allowed
+        adjacency_rows = adjacency.rows
+        while source_mask:
+            low = source_mask & -source_mask
+            position = low.bit_length() - 1
+            rows[position] = adjacency_rows[position] & allowed
+            source_mask ^= low
+        return cls(adjacency.node_count, rows)
+
+    # -- inspection --------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not any(self.rows)
+
+    def pair_count(self) -> int:
+        return sum(row.bit_count() for row in self.rows)
+
+    def to_pairs(self, interner: NodeInterner) -> set[tuple[str, str]]:
+        """Unpack into the set-based :data:`~repro.core.relations.NodePairs`."""
+        ids = interner.ids
+        out: set[tuple[str, str]] = set()
+        for position, row in enumerate(self.rows):
+            if not row:
+                continue
+            source = ids[position]
+            for target in bit_indices(row):
+                out.add((source, ids[target]))
+        return out
+
+    # -- algebra -----------------------------------------------------------------
+
+    def union(self, other: "PackedRelation") -> "PackedRelation":
+        return PackedRelation(
+            self.node_count,
+            [mine | theirs for mine, theirs in zip(self.rows, other.rows)],
+        )
+
+    def compose(self, other: "PackedRelation") -> "PackedRelation":
+        """Relational composition: row ``i`` becomes the union of the other
+        relation's rows over row ``i``'s set bits (a boolean matrix product
+        computed word-parallel)."""
+        other_rows = other.rows
+        out = [0] * self.node_count
+        for position, row in enumerate(self.rows):
+            acc = 0
+            while row:
+                low = row & -row
+                acc |= other_rows[low.bit_length() - 1]
+                row ^= low
+            out[position] = acc
+        return PackedRelation(self.node_count, out)
+
+    def transitive_closure(self) -> "PackedRelation":
+        """``R+`` by in-place row sweeps to a fixpoint.
+
+        Each sweep replaces row ``i`` with ``row[i] | union(row[j] for j in
+        row[i])`` against the *current* rows, so reachability discovered
+        early in a sweep accelerates later rows; sweeps repeat until no row
+        changes.  Equivalent to the set-based semi-naive fixpoint.
+        """
+        rows = list(self.rows)
+        changed = True
+        while changed:
+            changed = False
+            for position, row in enumerate(rows):
+                if not row:
+                    continue
+                acc = row
+                pending = row
+                while pending:
+                    low = pending & -pending
+                    acc |= rows[low.bit_length() - 1]
+                    pending ^= low
+                if acc != row:
+                    rows[position] = acc
+                    changed = True
+        return PackedRelation(self.node_count, rows)
+
+    def with_diagonal(self, universe: int) -> "PackedRelation":
+        """Add the identity over a universe mask (``R`` → ``R ∪ id``)."""
+        rows = list(self.rows)
+        for position in bit_indices(universe):
+            rows[position] |= 1 << position
+        return PackedRelation(self.node_count, rows)
+
+    def restrict(self, sources: int | None, targets: int | None) -> "PackedRelation":
+        """Keep pairs with the source in ``sources`` and target in ``targets``
+        (``None`` = unconstrained, mirroring the set-based ``restrict``)."""
+        rows = self.rows
+        out = [0] * self.node_count
+        target_mask = -1 if targets is None else targets
+        if sources is None:
+            for position, row in enumerate(rows):
+                out[position] = row & target_mask
+        else:
+            pending = sources
+            while pending:
+                low = pending & -pending
+                position = low.bit_length() - 1
+                out[position] = rows[position] & target_mask
+                pending ^= low
+        return PackedRelation(self.node_count, out)
+
+
+class _MergedRows:
+    """The lazily-unioned rows of several adjacency matrices.
+
+    A frontier bucket like "every tag except one" would cost a full
+    ``n``-row merge to materialize eagerly — per DFA state, per pool worker,
+    exactly the startup the arena exists to avoid.  Instead the union of
+    each row is computed the first time a frontier actually touches it and
+    cached, so compile time is O(states) and the merge cost is bounded by
+    the rows a search really visits.  Safe to race from threads: every
+    writer stores the same value and list-item assignment is atomic under
+    the GIL.
+    """
+
+    __slots__ = ("node_count", "_sources", "_rows")
+
+    def __init__(self, matrices: Sequence[PackedAdjacency]) -> None:
+        self.node_count = matrices[0].node_count
+        self._sources: tuple[list[int], ...] = tuple(m.rows for m in matrices)
+        self._rows: list[int | None] = [None] * self.node_count
+
+    def propagate(self, mask: int) -> int:
+        rows = self._rows
+        sources = self._sources
+        out = 0
+        while mask:
+            low = mask & -mask
+            position = low.bit_length() - 1
+            row = rows[position]
+            if row is None:
+                row = 0
+                for source in sources:
+                    row |= source[position]
+                rows[position] = row
+            out |= row
+            mask ^= low
+        return out
+
+
+class PackedFrontier:
+    """A compiled product frontier search: DFA × packed adjacency.
+
+    The constructor pre-resolves, per DFA state, the list of live moves —
+    ``(next state, row propagator)`` for every transition that is neither
+    dead-state-bound nor over a tag absent from the run and macros — so each
+    :meth:`search` round does one word-parallel ``propagate`` per live move
+    instead of a per-edge dictionary probe.
+
+    Tags a state sends to the *same* next state are merged into one
+    propagator: a wildcard self-loop (every tag → same state, the ``_*``
+    workhorse) costs a single propagation per frontier instead of one per
+    tag.  When such a bucket covers every tag of ``by_tag`` the
+    caller-provided ``any_tag`` matrix (the run view already memoizes it)
+    is used directly; partial buckets union their rows lazily through
+    :class:`_MergedRows`, keeping compilation — which runs in every pool
+    worker — free of O(n · tags) work.
+    """
+
+    __slots__ = ("start", "accepting", "moves", "allowed")
+
+    def __init__(
+        self,
+        by_tag: Mapping[str, PackedAdjacency],
+        dfa: DFA,
+        *,
+        allowed: int,
+        macros: Mapping[str, RowPropagator] | None = None,
+        any_tag: PackedAdjacency | None = None,
+    ) -> None:
+        dead = dfa.dead_state()
+        tag_count = len(by_tag)
+        moves: list[list[tuple[int, RowPropagator]]] = []
+        for state in range(dfa.state_count):
+            entries: list[tuple[int, RowPropagator]] = []
+            buckets: dict[int, list[PackedAdjacency]] = {}
+            for tag, next_state in dfa.transitions[state].items():
+                if next_state == dead:
+                    continue
+                adjacency = by_tag.get(tag)
+                if adjacency is not None:
+                    buckets.setdefault(next_state, []).append(adjacency)
+                if macros:
+                    macro = macros.get(tag)
+                    if macro is not None:
+                        entries.append((next_state, macro))
+            for next_state, group in buckets.items():
+                if len(group) == 1:
+                    entries.append((next_state, group[0]))
+                elif any_tag is not None and len(group) == tag_count:
+                    entries.append((next_state, any_tag))
+                else:
+                    entries.append((next_state, _MergedRows(group)))
+            moves.append(entries)
+        self.start = dfa.start
+        self.accepting: tuple[int, ...] = tuple(dfa.accepting)
+        self.moves = moves
+        self.allowed = allowed
+
+    def search(self, seed_bit: int) -> int:
+        """Mask of nodes some accepted path reaches from the seed bit index.
+
+        The per-(node, state) bookkeeping of the set-based search collapses
+        into one ``seen`` mask per DFA state; each worklist step advances a
+        whole node-mask frontier through one DFA move word-parallel.
+        """
+        seed_mask = 1 << seed_bit
+        if not seed_mask & self.allowed:
+            return 0
+        state_count = len(self.moves)
+        seen = [0] * state_count
+        seen[self.start] = seed_mask
+        worklist: list[tuple[int, int]] = [(self.start, seed_mask)]
+        while worklist:
+            state, mask = worklist.pop()
+            for next_state, propagator in self.moves[state]:
+                fresh = propagator.propagate(mask) & self.allowed & ~seen[next_state]
+                if fresh:
+                    seen[next_state] |= fresh
+                    worklist.append((next_state, fresh))
+        result = 0
+        for state in self.accepting:
+            result |= seen[state]
+        return result

@@ -1,0 +1,206 @@
+"""The zero-copy shared-memory arena of the process-pool executor.
+
+The legacy process backend pickles the whole search context — adjacency,
+macro rows, pruning sets — into every worker through the pool initializer.
+This module replaces that with one ``multiprocessing.shared_memory`` segment
+per parallel frontier execution: the parent packs every row table the search
+needs (per-tag adjacency, macro rows, the ``allowed`` and emit masks) into a
+single **content-addressed** segment, and workers attach by name from a tiny
+picklable :class:`ArenaLayout` header and parse rows straight out of the
+mapped buffer (one pass per worker, no per-task deserialization).
+
+Tables are stored **sparsely**: only nonzero rows are written, each as a
+little-endian ``uint32`` row index followed by the row in the fixed-width
+uint64 word layout of :mod:`repro.core.bitset`.  Per-tag adjacency over a
+many-tag grammar is overwhelmingly zero rows (every edge contributes one
+nonzero row to exactly one tag table), so this keeps the segment
+proportional to the run's *edges* rather than ``tags × nodes``.
+
+Lifecycle discipline (enforced repo-wide by lint rule REP110):
+
+* the **executor** owns the segment — :func:`create_arena` hands it back and
+  destroys it on any packing failure; the caller must pair it with exactly
+  one :func:`release_arena` (close + unlink) once the pool is shut down;
+* **workers** only ever attach — :func:`attach_tables` closes its mapping on
+  every path and never unlinks.
+
+Creations, attaches, releases and packed byte counts are tracked through the
+process-wide observability metrics registry.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from hashlib import sha256
+from itertools import count
+from multiprocessing import shared_memory
+from typing import Mapping, Sequence
+
+from repro.core.bitset import row_byte_width
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "ArenaLayout",
+    "attach_tables",
+    "create_arena",
+    "release_arena",
+]
+
+_METRICS = get_registry()
+_CREATED = _METRICS.counter(
+    "exec_arena_segments_created_total",
+    "Shared-memory arena segments created by the parallel executor.",
+)
+_RELEASED = _METRICS.counter(
+    "exec_arena_segments_released_total",
+    "Arena segments closed and unlinked after pool shutdown.",
+)
+_ATTACHED = _METRICS.counter(
+    "exec_arena_attaches_total",
+    "Worker-side attaches to an arena segment.",
+)
+_PACKED_BYTES = _METRICS.counter(
+    "exec_arena_packed_bytes_total",
+    "Bytes of packed row tables written into arena segments.",
+)
+_ACTIVE = _METRICS.gauge(
+    "exec_arena_active_segments",
+    "Arena segments currently alive (created minus released).",
+)
+
+#: Distinguishes segments of concurrent executors within one process; the
+#: digest already distinguishes content, so this only breaks ties between
+#: simultaneous identical queries.
+_SEQUENCE = count()
+
+
+@dataclass(frozen=True)
+class ArenaLayout:
+    """The picklable header a chunk-pool initializer carries to workers.
+
+    ``segments`` maps each table key (``"tag:<tag>"``, ``"macro:<tag>"``,
+    ``"allowed"``, ``"emit"``) to ``(byte offset, stored entries, logical
+    rows)``.  A stored entry is a little-endian ``uint32`` row index plus a
+    ``row_bytes``-wide packed row (whole little-endian uint64 words for
+    ``node_count`` bits); rows not stored are zero, so a table re-expands to
+    exactly ``logical rows`` Python-int rows on attach.
+    """
+
+    name: str
+    node_count: int
+    row_bytes: int
+    segments: tuple[tuple[str, int, int, int], ...]
+    total_bytes: int
+
+    def offsets(self) -> dict[str, tuple[int, int, int]]:
+        return {key: (offset, entries, rows) for key, offset, entries, rows in self.segments}
+
+
+def _arena_name(digest: str) -> str:
+    """Content-addressed segment name, tie-broken per process and sequence
+    so concurrent identical queries never collide on create."""
+    return f"repro-{digest[:12]}-{os.getpid():x}-{next(_SEQUENCE):x}"
+
+
+def create_arena(
+    tables: Mapping[str, Sequence[int]], node_count: int
+) -> tuple[ArenaLayout, shared_memory.SharedMemory]:
+    """Pack row tables into a fresh shared-memory segment.
+
+    Returns the layout header plus the live segment, whose ownership passes
+    to the caller: pair with exactly one :func:`release_arena`.  If packing
+    fails after creation, the segment is closed and unlinked here before the
+    error propagates — no partially-written arena ever leaks.
+    """
+    row_bytes = row_byte_width(node_count)
+    blobs: list[tuple[str, bytes, int]] = []
+    offset = 0
+    hasher = sha256(f"{node_count}:{row_bytes}".encode())
+    segments: list[tuple[str, int, int, int]] = []
+    for key in sorted(tables):
+        rows = tables[key]
+        blob = b"".join(
+            index.to_bytes(4, "little") + row.to_bytes(row_bytes, "little")
+            for index, row in enumerate(rows)
+            if row
+        )
+        entries = len(blob) // (4 + row_bytes)
+        hasher.update(key.encode())
+        hasher.update(blob)
+        blobs.append((key, blob, offset))
+        segments.append((key, offset, entries, len(rows)))
+        offset += len(blob)
+    total = max(offset, 1)  # SharedMemory rejects zero-byte segments
+    layout = ArenaLayout(
+        name=_arena_name(hasher.hexdigest()),
+        node_count=node_count,
+        row_bytes=row_bytes,
+        segments=tuple(segments),
+        total_bytes=total,
+    )
+    segment = shared_memory.SharedMemory(name=layout.name, create=True, size=total)
+    try:
+        for _, blob, start in blobs:
+            segment.buf[start : start + len(blob)] = blob
+    except BaseException:
+        segment.close()
+        # Not filesystem IO: tears down the /dev/shm segment this very
+        # function just created (REP109 sanctioned-wrapper carve-out).
+        segment.unlink()  # effect-exempt: file-io
+        raise
+    _CREATED.inc()
+    _ACTIVE.inc()
+    _PACKED_BYTES.inc(float(total))
+    return layout, segment
+
+
+def release_arena(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink a segment created by :func:`create_arena`.
+
+    Idempotent against a racing unlink (a worker's resource tracker cleaning
+    up after an abnormal exit): a missing backing file is already the state
+    this function establishes.
+    """
+    segment.close()
+    try:
+        # Executor-time segment teardown, not filesystem IO (REP109).
+        segment.unlink()  # effect-exempt: file-io
+    except FileNotFoundError:
+        pass
+    _RELEASED.inc()
+    _ACTIVE.dec()
+
+
+def attach_tables(layout: ArenaLayout) -> dict[str, list[int]]:
+    """Worker side: map the segment read-only, parse every table into packed
+    Python-int rows, and close the mapping before returning.
+
+    Parsing happens straight off the mapped buffer (``memoryview`` slices,
+    no intermediate copy); the returned rows are plain ints, so the mapping
+    is not needed afterwards — attach once per worker, never unlink.
+    """
+    width = layout.row_bytes
+    stride = 4 + width
+    segment = shared_memory.SharedMemory(name=layout.name)
+    try:
+        view = memoryview(segment.buf)
+        try:
+            tables: dict[str, list[int]] = {}
+            for key, offset, entries, rows in layout.segments:
+                table = [0] * rows
+                for entry in range(entries):
+                    start = offset + entry * stride
+                    index = int.from_bytes(view[start : start + 4], "little")
+                    table[index] = int.from_bytes(
+                        view[start + 4 : start + stride], "little"
+                    )
+                tables[key] = table
+        finally:
+            # Exported sub-views would make close() raise BufferError, so
+            # release ours before the mapping goes away.
+            view.release()
+    finally:
+        segment.close()
+    _ATTACHED.inc()
+    return tables

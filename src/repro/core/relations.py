@@ -15,6 +15,14 @@ adjacency dictionaries built on the fly for joins; the transitive closure
 uses semi-naive iteration.  Following the library-wide convention, the empty
 path is admitted: ``ε`` and ``e*`` relate every node of the run to itself.
 
+This set-based path remains selectable (``ExecutorConfig.kernel = "sets"``)
+as the executable reference semantics; the production default is
+:func:`evaluate_regex_relation_packed`, the same bottom-up evaluation over
+the uint64-packed kernel of :mod:`repro.core.bitset`.  The packed path reads
+the run's adjacency from the memoized ``run.packed`` view — built once per
+run and reused across queries — instead of re-deriving per-tag edge sets on
+every call, and the closure helpers below ride the same packed view.
+
 Two restriction-pushdown primitives let callers keep intermediate relations
 proportional to the *requested* node lists instead of the whole run:
 
@@ -37,6 +45,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.automata.dfa import DFA
+from repro.core.bitset import PackedRelation, closure_mask
 from repro.automata.regex import (
     AnySymbol,
     Concat,
@@ -64,6 +73,7 @@ __all__ = [
     "frontier_search",
     "product_frontier_targets",
     "evaluate_regex_relation",
+    "evaluate_regex_relation_packed",
 ]
 
 NodePairs = set[tuple[str, str]]
@@ -157,32 +167,22 @@ def restrict(
 
 def forward_closure_nodes(run: Run, seeds: Iterable[str]) -> frozenset[str]:
     """All nodes reachable from any seed, including the seeds themselves
-    (seed ids not present in the run are silently dropped)."""
-    result = {seed for seed in seeds if seed in run.nodes}
-    successors = run.successors
-    stack = list(result)
-    while stack:
-        node = stack.pop()
-        for target, _ in successors[node]:
-            if target not in result:
-                result.add(target)
-                stack.append(target)
-    return frozenset(result)
+    (seed ids not present in the run are silently dropped).
+
+    Runs on the memoized packed view: one word-parallel wavefront per BFS
+    level over the run's any-tag rows instead of a per-edge set walk.
+    """
+    view = run.packed
+    reach = closure_mask(view.forward.any_tag, view.interner.mask_of(seeds))
+    return frozenset(view.interner.nodes_of(reach))
 
 
 def backward_closure_nodes(run: Run, seeds: Iterable[str]) -> frozenset[str]:
     """All nodes that reach any seed, including the seeds themselves
     (seed ids not present in the run are silently dropped)."""
-    result = {seed for seed in seeds if seed in run.nodes}
-    predecessors = run.predecessors
-    stack = list(result)
-    while stack:
-        node = stack.pop()
-        for source, _ in predecessors[node]:
-            if source not in result:
-                result.add(source)
-                stack.append(source)
-    return frozenset(result)
+    view = run.packed
+    reach = closure_mask(view.backward.any_tag, view.interner.mask_of(seeds))
+    return frozenset(view.interner.nodes_of(reach))
 
 
 def restriction_universe(
@@ -320,7 +320,14 @@ def evaluate_regex_relation(
         shortcut = subquery_evaluator(node)
         if shortcut is not None:
             return shortcut
-    universe = allowed if allowed is not None else run.node_ids()
+    # The empty-path diagonal (epsilon, star) only exists at nodes the run
+    # actually contains; ids in ``allowed`` that are not run nodes must not
+    # fabricate pairs (the packed kernel drops them at interning).
+    universe = (
+        frozenset(allowed).intersection(run.nodes)
+        if allowed is not None
+        else run.node_ids()
+    )
     if isinstance(node, Epsilon):
         return identity_relation(universe)
     if isinstance(node, Symbol):
@@ -355,3 +362,104 @@ def evaluate_regex_relation(
         )
         return transitive_closure(inner)
     raise TypeError(f"unknown regex node {node!r}")
+
+
+def _evaluate_packed(
+    run: Run,
+    node: RegexNode,
+    *,
+    subquery_evaluator: Callable[[RegexNode], "NodePairs | None"] | None,
+    allowed_mask: int | None,
+    universe_mask: int,
+) -> PackedRelation:
+    """The packed twin of :func:`evaluate_regex_relation`'s recursion.
+
+    Leaves come straight from the memoized ``run.packed`` rows; compositions,
+    unions, and closures are word-parallel :class:`PackedRelation` algebra.
+    Safe subtrees intercepted by ``subquery_evaluator`` arrive as node-pair
+    sets (the label-decode output) and are packed at the boundary.
+    """
+    view = run.packed
+    node_count = len(view.interner)
+    if subquery_evaluator is not None:
+        shortcut = subquery_evaluator(node)
+        if shortcut is not None:
+            return PackedRelation.from_pairs(view.interner, shortcut)
+    if isinstance(node, Epsilon):
+        return PackedRelation.identity(node_count, universe_mask)
+    if isinstance(node, Symbol):
+        adjacency = view.forward.by_tag.get(node.tag)
+        if adjacency is None:
+            return PackedRelation.empty(node_count)
+        return PackedRelation.from_adjacency(adjacency, allowed_mask)
+    if isinstance(node, AnySymbol):
+        return PackedRelation.from_adjacency(view.forward.any_tag, allowed_mask)
+    if isinstance(node, Concat):
+        relation: PackedRelation | None = None
+        for part in node.parts:
+            part_relation = _evaluate_packed(
+                run,
+                part,
+                subquery_evaluator=subquery_evaluator,
+                allowed_mask=allowed_mask,
+                universe_mask=universe_mask,
+            )
+            relation = part_relation if relation is None else relation.compose(part_relation)
+            if relation.is_empty():
+                return PackedRelation.empty(node_count)
+        return relation if relation is not None else PackedRelation.identity(
+            node_count, universe_mask
+        )
+    if isinstance(node, Union):
+        result = PackedRelation.empty(node_count)
+        for part in node.parts:
+            result = result.union(
+                _evaluate_packed(
+                    run,
+                    part,
+                    subquery_evaluator=subquery_evaluator,
+                    allowed_mask=allowed_mask,
+                    universe_mask=universe_mask,
+                )
+            )
+        return result
+    if isinstance(node, (Star, Plus)):
+        inner = _evaluate_packed(
+            run,
+            node.child,
+            subquery_evaluator=subquery_evaluator,
+            allowed_mask=allowed_mask,
+            universe_mask=universe_mask,
+        )
+        closed = inner.transitive_closure()
+        if isinstance(node, Star):
+            return closed.with_diagonal(universe_mask)
+        return closed
+    raise TypeError(f"unknown regex node {node!r}")
+
+
+def evaluate_regex_relation_packed(
+    run: Run,
+    node: RegexNode,
+    *,
+    subquery_evaluator: Callable[[RegexNode], "NodePairs | None"] | None = None,
+    allowed: frozenset[str] | set[str] | None = None,
+) -> NodePairs:
+    """:func:`evaluate_regex_relation` on the packed kernel.
+
+    Same contract and results as the set-based evaluation (the Hypothesis
+    equivalence suite holds the two paths together); only the representation
+    differs — relations live as packed rows for the whole bottom-up pass and
+    unpack to node pairs exactly once at the root.
+    """
+    view = run.packed
+    allowed_mask = None if allowed is None else view.interner.mask_of(allowed)
+    universe_mask = view.interner.full_mask if allowed_mask is None else allowed_mask
+    relation = _evaluate_packed(
+        run,
+        node,
+        subquery_evaluator=subquery_evaluator,
+        allowed_mask=allowed_mask,
+        universe_mask=universe_mask,
+    )
+    return relation.to_pairs(view.interner)

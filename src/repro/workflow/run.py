@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import networkx
 
+    from repro.core.bitset import PackedRunView
     from repro.labeling.labels import Label
     from repro.workflow.spec import Specification
 
@@ -117,6 +118,19 @@ class Run:
         for edge in self.edges:
             incoming[edge.target].append((edge.source, edge.tag))
         return {node_id: tuple(sources) for node_id, sources in incoming.items()}
+
+    @cached_property
+    def packed(self) -> "PackedRunView":
+        """The run's dense-interned, uint64-packed adjacency view.
+
+        Built once (the service warms it at registration) and reused by every
+        query: tag/wildcard rows for both directions plus the node interner,
+        so joins and closures never rebuild adjacency per call.  The import
+        is deferred because :mod:`repro.core` imports this module.
+        """
+        from repro.core.bitset import build_run_view
+
+        return build_run_view(self)
 
     @cached_property
     def edges_by_tag(self) -> Mapping[str, tuple[RunEdge, ...]]:

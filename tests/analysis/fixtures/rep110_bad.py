@@ -1,0 +1,22 @@
+"""REP110 broken fixture: shared-memory segments whose lifecycle leaks."""
+
+from multiprocessing import shared_memory
+
+
+def happy_path_only_close() -> bytes:
+    # close() is unreachable if the buf write raises, and the created
+    # segment is never unlink()ed at all.
+    segment = shared_memory.SharedMemory(name="rep110", create=True, size=16)
+    segment.buf[0:4] = b"abcd"
+    data = bytes(segment.buf[0:4])
+    segment.close()
+    return data
+
+
+def attach_without_close(name: str) -> int:
+    segment = shared_memory.SharedMemory(name=name)
+    return segment.size
+
+
+def fire_and_forget(name: str) -> None:
+    shared_memory.SharedMemory(name=name, create=True, size=8)

@@ -1,0 +1,36 @@
+"""REP110 clean fixture: guarded lifecycles and whole-segment hand-offs."""
+
+from multiprocessing import shared_memory
+
+
+def guarded_create() -> bytes:
+    segment = shared_memory.SharedMemory(name="rep110", create=True, size=16)
+    try:
+        segment.buf[0:4] = b"abcd"
+        return bytes(segment.buf[0:4])
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def guarded_attach(name: str) -> int:
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        return segment.size
+    finally:
+        segment.close()
+
+
+def create_for_caller() -> shared_memory.SharedMemory:
+    # Ownership (and with it the close/unlink duty) passes to the caller.
+    segment = shared_memory.SharedMemory(name="owned", create=True, size=8)
+    return segment
+
+
+def create_then_delegate(register: object) -> None:
+    segment = shared_memory.SharedMemory(name="tracked", create=True, size=8)
+    track(register, segment)
+
+
+def track(register: object, segment: shared_memory.SharedMemory) -> None:
+    del register, segment

@@ -1,0 +1,454 @@
+"""The packed bitset kernel pinned to its set-based reference.
+
+Every word-parallel operation the packed data path performs — tag/all-edge
+relations, join composition, the semi-naive closure, restriction universes,
+the product frontier search (with and without macro transitions), and the
+fixed-width row serialization shared with store format 2 and the worker
+arena — must return exactly what the per-element set machinery returns, on
+Hypothesis-generated runs, queries, masks and node lists (including empty
+and disjoint ones).  A parametrized end-to-end test additionally holds the
+two kernels together through the executor under the thread *and* process
+backends.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.automata.boolean_matrix import BooleanMatrix
+from repro.automata.dfa import dfa_from_regex
+from repro.automata.regex import parse_regex
+from repro.core.bitset import (
+    PackedAdjacency,
+    PackedFrontier,
+    PackedRelation,
+    bit_indices,
+    closure_mask,
+    row_byte_width,
+    rows_from_bytes,
+    rows_to_bytes,
+)
+from repro.core.exec import ExecutorConfig, build_physical_plan, execute
+from repro.core.exec.arena import attach_tables, create_arena, release_arena
+from repro.core.intersection import intersect_run
+from repro.core.query_index import build_query_index
+from repro.core.decomposition import plan_decomposition
+from repro.core.relations import (
+    all_edge_relation,
+    compose,
+    evaluate_regex_relation,
+    evaluate_regex_relation_packed,
+    forward_closure_nodes,
+    frontier_search,
+    restrict,
+    restriction_universe,
+    tag_relation,
+    transitive_closure,
+)
+from repro.datasets.paper_example import paper_specification
+from repro.datasets.synthetic import generate_synthetic_specification
+from repro.obs.metrics import get_registry
+from repro.workflow.derivation import derive_run
+
+_SPECS = {
+    "paper": paper_specification(),
+    "synthetic": generate_synthetic_specification(90, seed=3),
+}
+_RUNS = {
+    name: [derive_run(spec, seed=seed, target_edges=60) for seed in (0, 1)]
+    for name, spec in _SPECS.items()
+}
+
+_SETTINGS = dict(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.data_too_large]
+)
+
+
+@st.composite
+def run_and_lists(draw):
+    """A run plus two node lists covering None/empty/duplicate/disjoint."""
+    name = draw(st.sampled_from(sorted(_SPECS)))
+    run = draw(st.sampled_from(_RUNS[name]))
+    nodes = list(run.node_ids())
+
+    def node_list():
+        kind = draw(st.integers(0, 4))
+        if kind == 0:
+            return None
+        if kind == 1:
+            return []
+        if kind == 2:
+            return ["node-that-does-not-exist"]
+        count = draw(st.integers(1, 8))
+        return [nodes[draw(st.integers(0, len(nodes) - 1))] for _ in range(count)]
+
+    return run, node_list(), node_list()
+
+
+@st.composite
+def run_query_lists(draw):
+    run, l1, l2 = draw(run_and_lists())
+    tags = sorted(run.tags())
+
+    def leaf():
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return "_"
+        if choice == 1:
+            return "_*"
+        return draw(st.sampled_from(tags))
+
+    shape = draw(st.integers(0, 3))
+    if shape == 0:
+        query = f"{leaf()} . {leaf()}"
+    elif shape == 1:
+        query = f"({leaf()} | {leaf()})"
+    elif shape == 2:
+        query = f"({draw(st.sampled_from(tags))})*"
+    else:
+        query = f"{leaf()} . ({leaf()} | {leaf()})* . {leaf()}"
+    return run, query, l1, l2
+
+
+def _mask_of(run, node_list):
+    interner = run.packed.interner
+    return None if node_list is None else interner.mask_of(node_list)
+
+
+# ---------------------------------------------------------------------------
+# Row serialization: the layout shared with store format 2 and the arena
+# ---------------------------------------------------------------------------
+
+
+class TestRowSerialization:
+    @given(
+        st.integers(1, 200).flatmap(
+            lambda bits: st.tuples(
+                st.just(bits),
+                st.lists(st.integers(0, (1 << bits) - 1), max_size=8),
+            )
+        )
+    )
+    @settings(**_SETTINGS)
+    def test_rows_round_trip_through_word_layout(self, data):
+        bits, rows = data
+        buffer = rows_to_bytes(rows, bits)
+        assert len(buffer) == row_byte_width(bits) * len(rows)
+        assert rows_from_bytes(buffer, bits, len(rows)) == rows
+
+    @given(st.integers(0, 130))
+    @settings(**_SETTINGS)
+    def test_bit_indices_inverts_mask_construction(self, seed):
+        indices = sorted({(seed * prime) % 131 for prime in (3, 7, 31, 89)})
+        mask = sum(1 << index for index in indices)
+        assert bit_indices(mask) == indices
+
+    @given(
+        st.integers(0, 70).flatmap(
+            lambda size: st.tuples(
+                st.just(size),
+                st.lists(
+                    st.integers(0, max(0, (1 << size) - 1)),
+                    min_size=size,
+                    max_size=size,
+                ),
+            )
+        )
+    )
+    @settings(**_SETTINGS)
+    def test_store_format2_packed_rows_round_trip(self, data):
+        """to_packed/from_packed — the store's on-disk row encoding —
+        round-trips matrices across the uint64 word boundary."""
+        size, rows = data
+        matrix = BooleanMatrix(size, rows)
+        assert BooleanMatrix.from_packed(size, matrix.to_packed()) == matrix
+
+    @given(st.integers(1, 60), st.integers(0, 5))
+    @settings(**_SETTINGS)
+    def test_adjacency_round_trips_through_bytes(self, size, seed):
+        edges = [((seed + i * 7) % size, (i * 13) % size) for i in range(size)]
+        adjacency = PackedAdjacency.from_edges(size, edges)
+        rebuilt = PackedAdjacency.from_bytes(adjacency.to_bytes(), size)
+        assert rebuilt.rows == adjacency.rows
+
+
+# ---------------------------------------------------------------------------
+# Relation algebra: packed rows vs per-element sets
+# ---------------------------------------------------------------------------
+
+
+class TestRelationAlgebra:
+    @given(run_and_lists())
+    @settings(**_SETTINGS)
+    def test_tag_and_all_edge_relations_match(self, data):
+        run, l1, _ = data
+        view = run.packed
+        allowed = None if l1 is None else frozenset(l1)
+        allowed_mask = _mask_of(run, l1)
+        packed_any = PackedRelation.from_adjacency(view.forward.any_tag, allowed_mask)
+        assert packed_any.to_pairs(view.interner) == all_edge_relation(run, allowed)
+        for tag, adjacency in view.forward.by_tag.items():
+            packed = PackedRelation.from_adjacency(adjacency, allowed_mask)
+            assert packed.to_pairs(view.interner) == tag_relation(run, tag, allowed)
+
+    @given(run_and_lists())
+    @settings(**_SETTINGS)
+    def test_join_composition_matches(self, data):
+        run, l1, l2 = data
+        view = run.packed
+        left = tag_relation(run, sorted(run.tags())[0])
+        right = all_edge_relation(run, None if l2 is None else frozenset(l2))
+        packed = PackedRelation.from_pairs(view.interner, left).compose(
+            PackedRelation.from_pairs(view.interner, right)
+        )
+        assert packed.to_pairs(view.interner) == compose(left, right)
+
+    @given(run_and_lists())
+    @settings(**_SETTINGS)
+    def test_semi_naive_closure_matches(self, data):
+        run, l1, _ = data
+        relation = all_edge_relation(run, None if l1 is None else frozenset(l1))
+        view = run.packed
+        packed = PackedRelation.from_pairs(view.interner, relation).transitive_closure()
+        assert packed.to_pairs(view.interner) == transitive_closure(relation)
+
+    @given(run_and_lists())
+    @settings(**_SETTINGS)
+    def test_restriction_universe_matches_explicit_closures(self, data):
+        """The packed wavefront closure behind ``restriction_universe``
+        agrees with a per-edge breadth-first reference."""
+        run, l1, l2 = data
+        universe = restriction_universe(run, l1, l2)
+
+        def brute_closure(seeds, adjacency):
+            reached = {seed for seed in seeds if seed in adjacency}
+            stack = list(reached)
+            while stack:
+                node = stack.pop()
+                for target, _ in adjacency[node]:
+                    if target not in reached:
+                        reached.add(target)
+                        stack.append(target)
+            return reached
+
+        if l1 is None and l2 is None:
+            assert universe is None
+            return
+        expected = None
+        if l1 is not None:
+            expected = brute_closure(l1, run.successors)
+        if l2 is not None:
+            backward = brute_closure(l2, run.predecessors)
+            expected = backward if expected is None else expected & backward
+        assert universe == frozenset(expected)
+
+    @given(run_and_lists())
+    @settings(**_SETTINGS)
+    def test_closure_mask_matches_forward_closure_nodes(self, data):
+        run, l1, _ = data
+        seeds = list(run.node_ids())[:3] if l1 is None else l1
+        view = run.packed
+        mask = closure_mask(view.forward.any_tag, view.interner.mask_of(seeds))
+        in_run = [seed for seed in seeds if view.interner.bit_of(seed) is not None]
+        assert frozenset(view.interner.nodes_of(mask)) == forward_closure_nodes(
+            run, in_run
+        )
+
+    @given(run_query_lists())
+    @settings(**_SETTINGS)
+    def test_regex_evaluation_matches_on_both_kernels(self, data):
+        run, query, l1, _ = data
+        node = parse_regex(query)
+        allowed = None if l1 is None else frozenset(l1)
+        assert evaluate_regex_relation_packed(
+            run, node, allowed=allowed
+        ) == evaluate_regex_relation(run, node, allowed=allowed)
+
+
+# ---------------------------------------------------------------------------
+# The product frontier search, with and without macro transitions
+# ---------------------------------------------------------------------------
+
+
+class TestPackedFrontier:
+    @given(run_query_lists())
+    @settings(**_SETTINGS)
+    def test_frontier_search_matches_set_reference(self, data):
+        run, query, l1, seeds = data
+        dfa = dfa_from_regex(query, run.tags())
+        view = run.packed
+        allowed = None if l1 is None else frozenset(l1)
+        allowed_mask = (
+            view.interner.full_mask if l1 is None else view.interner.mask_of(l1)
+        )
+        frontier = PackedFrontier(
+            view.forward.by_tag,
+            dfa,
+            allowed=allowed_mask,
+            any_tag=view.forward.any_tag,
+        )
+        for seed in list(run.node_ids())[:5] if seeds is None else seeds:
+            expected = frontier_search(run.successors, dfa, seed, allowed=allowed)
+            bit = view.interner.bit_of(seed)
+            reached = set() if bit is None else set(
+                view.interner.nodes_of(frontier.search(bit))
+            )
+            assert reached == expected
+
+    @given(run_query_lists())
+    @settings(**_SETTINGS)
+    def test_frontier_search_matches_with_macro_transitions(self, data):
+        """One run tag is rerouted through a macro relation: the set search
+        expands it via ``macro_successors`` while the packed search gets a
+        propagator — both must reach the same accepted nodes."""
+        run, query, _, _ = data
+        macro_tag = sorted(run.tags())[-1]
+        dfa = dfa_from_regex(query, run.tags())
+        view = run.packed
+        macro_pairs = tag_relation(run, macro_tag)
+        expand = {}
+        for source, target in macro_pairs:
+            expand.setdefault(source, []).append(target)
+        adjacency = {
+            node: [(t, tag) for t, tag in run.successors[node] if tag != macro_tag]
+            for node in run.node_ids()
+        }
+        by_tag = {
+            tag: matrix
+            for tag, matrix in view.forward.by_tag.items()
+            if tag != macro_tag
+        }
+        macro_matrix = PackedAdjacency.from_edges(
+            len(view.interner),
+            (
+                (view.interner.index[source], view.interner.index[target])
+                for source, target in macro_pairs
+            ),
+        )
+        frontier = PackedFrontier(
+            by_tag,
+            dfa,
+            allowed=view.interner.full_mask,
+            macros={macro_tag: macro_matrix},
+        )
+        for seed in list(run.node_ids())[:5]:
+            expected = frontier_search(
+                adjacency,
+                dfa,
+                seed,
+                macro_successors={macro_tag: lambda n: expand.get(n, ())},
+            )
+            reached = set(
+                view.interner.nodes_of(frontier.search(view.interner.index[seed]))
+            )
+            assert reached == expected
+
+    @given(run_and_lists())
+    @settings(**_SETTINGS)
+    def test_fine_grained_run_packed_twin_matches(self, data):
+        run, _, _ = data
+        fine = intersect_run(run, dfa_from_regex("_* " + sorted(run.tags())[0], run.tags()))
+        for source in list(run.node_ids())[:5]:
+            assert fine.accepting_targets_packed(source) == fine.accepting_targets(
+                source
+            )
+
+
+# ---------------------------------------------------------------------------
+# The worker arena: sparse round-trips and lifecycle accounting
+# ---------------------------------------------------------------------------
+
+
+class TestArena:
+    @given(
+        st.integers(1, 80).flatmap(
+            lambda nodes: st.tuples(
+                st.just(nodes),
+                st.dictionaries(
+                    st.sampled_from(["tag:a", "tag:b", "macro:m", "allowed", "emit"]),
+                    st.lists(
+                        st.integers(0, (1 << nodes) - 1),
+                        min_size=nodes,
+                        max_size=nodes,
+                    ),
+                    max_size=4,
+                ),
+            )
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tables_round_trip_through_shared_memory(self, data):
+        nodes, tables = data
+        layout, segment = create_arena(tables, nodes)
+        try:
+            attached = attach_tables(layout)
+        finally:
+            release_arena(segment)
+        assert attached == {key: list(rows) for key, rows in tables.items()}
+
+    def test_lifecycle_metrics_stay_balanced(self):
+        registry = get_registry()
+        created = registry.counter("exec_arena_segments_created_total", "")
+        released = registry.counter("exec_arena_segments_released_total", "")
+        active = registry.gauge("exec_arena_active_segments", "")
+        before = (created.value, released.value, active.value)
+        layout, segment = create_arena({"tag:x": [0, 1, 2]}, 3)
+        release_arena(segment)
+        assert created.value == before[0] + 1
+        assert released.value == before[1] + 1
+        assert active.value == before[2]
+
+    def test_release_is_idempotent_against_racing_unlink(self):
+        layout, segment = create_arena({"allowed": [7]}, 3)
+        segment.unlink()
+        release_arena(segment)  # must tolerate the already-unlinked file
+
+
+# ---------------------------------------------------------------------------
+# End to end: both kernels, both pool backends
+# ---------------------------------------------------------------------------
+
+
+class TestKernelExecutorEquivalence:
+    @pytest.mark.parametrize("kernel", ["packed", "sets"])
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_frontier_matches_reference_on_both_kernels(
+        self, kernel, backend
+    ):
+        run = _RUNS["synthetic"][0]
+        tags = sorted(run.tags())
+        query = f"_* {tags[0]} _*"
+        l1 = list(run.node_ids())
+        l2 = l1[:4]
+        reference = restrict(
+            evaluate_regex_relation(run, parse_regex(query)), l1, l2
+        )
+        plan = plan_decomposition(run.spec, query)
+        physical = build_physical_plan(
+            run,
+            plan,
+            l1,
+            l2,
+            indexes=lambda node: build_query_index(run.spec, node),
+            strategy="frontier",
+            executor=ExecutorConfig(workers=2, backend=backend, kernel=kernel),
+        )
+        assert set(execute(physical)) == set(reference)
+
+    @pytest.mark.parametrize("kernel", ["packed", "sets"])
+    def test_join_strategy_matches_reference_on_both_kernels(self, kernel):
+        run = _RUNS["paper"][0]
+        tags = sorted(run.tags())
+        query = f"_* {tags[0]} _*"
+        reference = evaluate_regex_relation(run, parse_regex(query))
+        plan = plan_decomposition(run.spec, query)
+        physical = build_physical_plan(
+            run,
+            plan,
+            None,
+            None,
+            indexes=lambda node: build_query_index(run.spec, node),
+            strategy="join",
+            executor=ExecutorConfig(kernel=kernel),
+        )
+        assert set(execute(physical)) == set(reference)
